@@ -1,0 +1,55 @@
+// Shared plumbing for the paper-table bench binaries.
+//
+// Each binary regenerates one table/figure of the DATE'11 evaluation and
+// prints (a) the regenerated table in the paper's layout, (b) the paper's
+// published value next to ours where available, and (c) a CSV block for
+// post-processing.  Absolute agreement is not the goal (the paper's
+// numbers come from proprietary traces and an ST design kit); shape and
+// calibrated anchors are — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+namespace pcal::bench {
+
+/// Accesses per workload run.  Override with PCAL_BENCH_ACCESSES for
+/// quicker smoke runs.
+inline std::uint64_t accesses() {
+  if (const char* env = std::getenv("PCAL_BENCH_ACCESSES")) {
+    const long long v = std::atoll(env);
+    if (v > 1000) return static_cast<std::uint64_t>(v);
+  }
+  return kDefaultTraceAccesses;
+}
+
+/// The process-wide calibrated aging context (built once, ~1s).
+inline const AgingContext& aging() {
+  static AgingContext* ctx = new AgingContext();
+  return *ctx;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "==================================================\n"
+            << title << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "nominal cell lifetime: "
+            << TextTable::num(aging().nominal_lifetime_years(), 2)
+            << " years; drowsy stress factor gamma = "
+            << TextTable::num(aging().sleep_stress_factor(), 3) << "\n"
+            << "==================================================\n";
+}
+
+inline void print_table(const TextTable& table) {
+  table.render(std::cout);
+  std::cout << "\n--- CSV ---\n";
+  table.render_csv(std::cout);
+  std::cout << std::endl;
+}
+
+}  // namespace pcal::bench

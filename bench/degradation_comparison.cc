@@ -1,0 +1,55 @@
+// Quantifies §III-A.2: the graceful-degradation alternative the paper
+// rejects, versus uniform wear leveling.
+//
+// Stepwise disabling keeps dead banks' survivors running, so the cache
+// "lives" until the last bank dies — but at shrinking capacity and
+// collapsing hit rate, and it presumes an aging detector.  The fair
+// figure of merit is hit-rate-weighted equivalent full-performance years,
+// which the re-indexed design beats without any detector.
+#include "bench_common.h"
+
+#include "core/degradation.h"
+
+int main() {
+  using namespace pcal;
+  using namespace pcal::bench;
+
+  print_header("Graceful degradation vs wear leveling",
+               "DATE'11 §III-A.2 (8kB, 16B lines, M = 4)");
+
+  TextTable table({"benchmark", "first death", "last death",
+                   "equiv. years", "reindexed LT", "winner"});
+
+  double avg_equiv = 0.0, avg_reidx = 0.0;
+  int reindex_wins = 0;
+  const auto& sigs = mediabench_signatures();
+  for (const auto& sig : sigs) {
+    const auto spec = make_mediabench_workload(sig.name);
+    const auto timeline = simulate_graceful_degradation(
+        spec, static_variant(paper_config(8192, 16, 4)), aging().lut(),
+        accesses());
+    const SimResult reidx = run_workload(spec, paper_config(8192, 16, 4),
+                                         aging(), accesses());
+    const bool reindex_better =
+        reidx.lifetime_years() > timeline.equivalent_full_years;
+    reindex_wins += reindex_better ? 1 : 0;
+    table.add_row(
+        {sig.name, TextTable::num(timeline.stages.front().end_years, 2),
+         TextTable::num(timeline.total_years, 2),
+         TextTable::num(timeline.equivalent_full_years, 2),
+         TextTable::num(reidx.lifetime_years(), 2),
+         reindex_better ? "reindex" : "degrade"});
+    avg_equiv += timeline.equivalent_full_years;
+    avg_reidx += reidx.lifetime_years();
+  }
+  const double n = static_cast<double>(sigs.size());
+  table.add_row({"Average", "-", "-", TextTable::num(avg_equiv / n, 2),
+                 TextTable::num(avg_reidx / n, 2),
+                 std::to_string(reindex_wins) + "/18"});
+  print_table(table);
+  std::cout << "equivalent years weight each degradation stage by its "
+               "measured hit rate relative to the full cache; the paper's "
+               "additional objections (aging detector hardware, "
+               "unpredictable performance cliffs) are not even priced in.\n";
+  return 0;
+}

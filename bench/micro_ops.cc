@@ -1,0 +1,92 @@
+// Microbenchmarks (google-benchmark): hot-path costs of the architecture
+// model — decoder + indexing per access, cache access, block control, full
+// simulator throughput, and workload generation.
+#include <benchmark/benchmark.h>
+
+#include "bank/banked_cache.h"
+#include "core/simulator.h"
+#include "trace/workloads.h"
+#include "util/lfsr.h"
+
+namespace pcal {
+namespace {
+
+BankedCacheConfig bc_config(IndexingKind kind, std::uint64_t banks) {
+  BankedCacheConfig c;
+  c.cache.size_bytes = 8192;
+  c.cache.line_bytes = 16;
+  c.partition.num_banks = banks;
+  c.indexing = kind;
+  c.breakeven_cycles = 32;
+  return c;
+}
+
+void BM_DecoderDecode(benchmark::State& state) {
+  const auto kind = static_cast<IndexingKind>(state.range(0));
+  PartitionConfig part;
+  part.num_banks = 8;
+  CacheConfig cache;
+  cache.size_bytes = 8192;
+  cache.line_bytes = 16;
+  BankDecoder d(cache, part, make_indexing_policy(kind, 8, 1));
+  std::uint64_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.decode(idx & 511));
+    ++idx;
+  }
+}
+BENCHMARK(BM_DecoderDecode)
+    ->Arg(static_cast<int>(IndexingKind::kStatic))
+    ->Arg(static_cast<int>(IndexingKind::kProbing))
+    ->Arg(static_cast<int>(IndexingKind::kScrambling));
+
+void BM_BankedCacheAccess(benchmark::State& state) {
+  BankedCache bc(bc_config(IndexingKind::kProbing,
+                           static_cast<std::uint64_t>(state.range(0))));
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(bc.access((x >> 20) % 65536, (x & 1) != 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BankedCacheAccess)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  auto spec = make_mediabench_workload("rijndael_i");
+  SyntheticTraceSource src(spec, UINT64_MAX);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void BM_SimulatorEndToEnd(benchmark::State& state) {
+  auto spec = make_mediabench_workload("cjpeg");
+  SimConfig cfg;
+  cfg.cache.size_bytes = 8192;
+  cfg.cache.line_bytes = 16;
+  cfg.partition.num_banks = 4;
+  const Simulator sim(cfg);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    SyntheticTraceSource src(spec, n);
+    benchmark::DoNotOptimize(sim.run(src));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorEndToEnd)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_LfsrStep(benchmark::State& state) {
+  GaloisLfsr lfsr(16, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(lfsr.step());
+}
+BENCHMARK(BM_LfsrStep);
+
+}  // namespace
+}  // namespace pcal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Regenerates Table IV: average idleness and lifetime when varying cache
+// size (8/16/32kB) and number of blocks (M = 2/4/8), with Probing
+// re-indexing.  We additionally report M = 16, which the paper argues is
+// the feasibility limit for uniform banks.
+#include "bench_common.h"
+
+int main() {
+  using namespace pcal;
+  using namespace pcal::bench;
+
+  print_header(
+      "Table IV — average idleness and lifetime vs cache size and banks",
+      "DATE'11 Table IV (16B lines)");
+
+  // Paper values: {idleness %, LT years} for (size x M).
+  const double paper_idle[3][3] = {{15, 42, 58}, {15, 41, 64}, {25, 47, 68}};
+  const double paper_lt[3][3] = {{3.34, 4.34, 5.30},
+                                 {3.35, 4.31, 5.69},
+                                 {3.68, 4.62, 5.98}};
+
+  TextTable table({"size", "M=2:Idl", "(p)", "M=2:LT", "(p)",
+                   "M=4:Idl", "(p)", "M=4:LT", "(p)",
+                   "M=8:Idl", "(p)", "M=8:LT", "(p)",
+                   "M=16:Idl", "M=16:LT"});
+
+  const std::uint64_t sizes[] = {8192, 16384, 32768};
+  const auto workloads = all_mediabench_workloads();
+  for (int s = 0; s < 3; ++s) {
+    std::vector<std::string> row{std::to_string(sizes[s] / 1024) + "kB"};
+    int m_idx = 0;
+    for (std::uint64_t m : {2u, 4u, 8u, 16u}) {
+      double idle = 0.0, lt = 0.0;
+      for (const auto& spec : workloads) {
+        const SimResult r = run_workload(
+            spec, paper_config(sizes[s], 16, m), aging(), accesses());
+        idle += r.avg_residency();
+        lt += r.lifetime_years();
+      }
+      idle /= static_cast<double>(workloads.size());
+      lt /= static_cast<double>(workloads.size());
+      row.push_back(TextTable::pct(idle, 0));
+      if (m_idx < 3) row.push_back(TextTable::num(paper_idle[s][m_idx], 0));
+      row.push_back(TextTable::num(lt, 2));
+      if (m_idx < 3) row.push_back(TextTable::num(paper_lt[s][m_idx], 2));
+      ++m_idx;
+    }
+    table.add_row(std::move(row));
+  }
+  print_table(table);
+  std::cout << "paper: M=8 gives ~2x lifetime; M=2 no more than ~26% "
+               "extension.  M=16 is our extension beyond the published "
+               "sweep (the paper's stated feasibility limit).\n";
+  return 0;
+}

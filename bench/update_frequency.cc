@@ -1,0 +1,40 @@
+// Ablation for §III-A.3 ("Updating the Indexing"): how many re-indexing
+// updates are actually needed, and what the flushes cost.
+//
+// The paper argues updates can be very infrequent (piggybacked on context-
+// switch flushes, once a day or less) because aging horizons are years.
+// Probing needs >= M updates for perfectly uniform idleness; beyond that,
+// more updates only add flush misses.  This sweep shows both effects:
+// lifetime saturates once updates >= M, while the hit rate decays slowly
+// with update frequency.
+#include "bench_common.h"
+
+int main() {
+  using namespace pcal;
+  using namespace pcal::bench;
+
+  print_header("Update-frequency ablation", "DATE'11 §III-A.3");
+
+  const auto spec = make_mediabench_workload("say");
+  TextTable table({"updates", "LT (years)", "bank-LT imbalance",
+                   "hit rate", "flush writebacks"});
+  for (std::uint64_t updates : {0u, 1u, 2u, 3u, 4u, 8u, 16u, 64u, 256u}) {
+    SimConfig cfg = paper_config(8192, 16, 4);
+    cfg.reindex_updates = updates;
+    if (updates == 0) cfg.indexing = IndexingKind::kStatic;
+    const SimResult r = run_workload(spec, cfg, aging(), accesses());
+    table.add_row(
+        {std::to_string(updates), TextTable::num(r.lifetime_years(), 3),
+         TextTable::num(r.lifetime ? r.lifetime->imbalance() : 0.0, 3),
+         TextTable::num(r.cache_stats.hit_rate(), 4),
+         std::to_string(r.cache_stats.flushed_dirty)});
+  }
+  print_table(table);
+  std::cout
+      << "expected: lifetime jumps once updates >= M-1 rotations cover all "
+         "banks (M = 4 here), then saturates; imbalance -> 1; hit rate "
+         "degrades only marginally even at 256 updates — consistent with "
+         "the paper's claim that piggybacking on existing flushes makes "
+         "the update cost negligible.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Architecture exploration: sweep bank count and indexing policy for one
+// workload and print the design space a cache architect would look at —
+// the scenario motivating the paper (choose M and the indexing scheme for
+// a given SoC).
+//
+// Usage: aging_exploration [workload] [cache_kb]
+//   e.g. aging_exploration rijndael_i 16
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pcal;
+
+  const std::string workload_name = argc > 1 ? argv[1] : "dijkstra";
+  const std::uint64_t cache_kb =
+      argc > 2 ? std::stoull(argv[2]) : 8;
+
+  AgingContext aging;
+  const WorkloadSpec workload = make_mediabench_workload(workload_name);
+  std::cout << "design-space exploration for '" << workload_name << "', "
+            << cache_kb << "kB direct-mapped cache, 16B lines\n\n";
+
+  TextTable table({"M", "indexing", "breakeven", "avg idleness",
+                   "min idleness", "LT (years)", "vs mono", "Esav",
+                   "hit rate"});
+
+  double mono_lt = 0.0;
+  for (std::uint64_t m : {1u, 2u, 4u, 8u, 16u}) {
+    for (auto kind : {IndexingKind::kStatic, IndexingKind::kProbing,
+                      IndexingKind::kScrambling}) {
+      if (m == 1 && kind != IndexingKind::kStatic) continue;
+      SimConfig cfg = paper_config(cache_kb * 1024, 16, m);
+      cfg.indexing = kind;
+      if (kind == IndexingKind::kStatic) cfg.reindex_updates = 0;
+      const SimResult r =
+          run_workload(workload, cfg, aging, kDefaultTraceAccesses);
+      if (m == 1) mono_lt = r.lifetime_years();
+      table.add_row({std::to_string(m), to_string(kind),
+                     std::to_string(r.breakeven_cycles),
+                     TextTable::pct(r.avg_residency(), 1),
+                     TextTable::pct(r.min_residency(), 1),
+                     TextTable::num(r.lifetime_years(), 2),
+                     TextTable::num(r.lifetime_years() / mono_lt, 2) + "x",
+                     TextTable::pct(r.energy_saving(), 1),
+                     TextTable::num(r.cache_stats.hit_rate(), 3)});
+    }
+  }
+  table.render(std::cout);
+  std::cout << "\nreading guide: static indexing is capped by the *least* "
+               "idle bank (min idleness); probing/scrambling convert the "
+               "*average* idleness into lifetime.  Larger M exposes more "
+               "idleness but adds wiring overhead to Esav.  Scrambling "
+               "trails probing at the default 16 updates per run — it only "
+               "converges to uniform asymptotically (paper §IV-B.2); rerun "
+               "with more updates and the gap closes.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// The characterization framework, exposed: regenerates the per-cell
+// physics artifacts behind the lifetime numbers as CSV blocks suitable
+// for plotting — the software analogue of the paper's "SPICE-based
+// characterization framework" (§IV-A).
+//
+//   (1) read-condition inverter VTCs, fresh and aged (the butterfly);
+//   (2) read SNM vs symmetric ΔVth (how the margin collapses);
+//   (3) SNM-vs-time aging profiles for several (p0, P_sleep) operating
+//       points, with the 20% end-of-life criterion marked;
+//   (4) the resulting lifetime map over sleep residency.
+#include <iostream>
+
+#include "aging/characterizer.h"
+#include "aging/snm.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pcal;
+
+  AgingParams params = AgingParams::st45();
+  CellAgingCharacterizer chr(params);
+  chr.calibrate();
+  const SramCell cell(params.cell);
+
+  std::cout << "# pcal cell characterization (calibrated: nominal lifetime "
+            << TextTable::num(chr.lifetime_years(0.5, 0.0), 3)
+            << " y, gamma " << TextTable::num(chr.sleep_stress_factor(), 3)
+            << ", SNM0 " << TextTable::num(chr.nominal_snm(), 4) << " V)\n";
+
+  // (1) butterfly curves
+  std::cout << "\n# butterfly: vin, vout_fresh, vout_aged(100mV)\n";
+  const std::size_t points = 64;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double vin = params.cell.vdd * static_cast<double>(i) /
+                       static_cast<double>(points - 1);
+    std::cout << TextTable::num(vin, 4) << ","
+              << TextTable::num(cell.inverter_vtc(vin, 0.0), 4) << ","
+              << TextTable::num(cell.inverter_vtc(vin, 0.1), 4) << "\n";
+  }
+
+  // (2) read SNM vs symmetric shift
+  std::cout << "\n# snm_vs_shift: dvth_V, read_snm_V, degradation_pct\n";
+  for (double dv = 0.0; dv <= 0.30001; dv += 0.02) {
+    const double snm = read_snm(cell, dv, dv).snm;
+    std::cout << TextTable::num(dv, 2) << "," << TextTable::num(snm, 4)
+              << ","
+              << TextTable::num((1.0 - snm / chr.nominal_snm()) * 100, 1)
+              << "\n";
+  }
+
+  // (3) SNM aging profiles
+  std::cout << "\n# aging_profile: years, snm[p0=.5 S=0], snm[p0=.5 S=.42],"
+               " snm[p0=.9 S=0], threshold\n";
+  const double threshold = 0.8 * chr.nominal_snm();
+  for (double t = 0.25; t <= 8.0001; t += 0.25) {
+    std::cout << TextTable::num(t, 2) << ","
+              << TextTable::num(chr.snm_after(t, 0.5, 0.0), 4) << ","
+              << TextTable::num(chr.snm_after(t, 0.5, 0.42), 4) << ","
+              << TextTable::num(chr.snm_after(t, 0.9, 0.0), 4) << ","
+              << TextTable::num(threshold, 4) << "\n";
+  }
+
+  // (4) lifetime vs sleep residency
+  std::cout << "\n# lifetime_map: sleep_residency, lifetime_years, "
+               "paper_fit\n";
+  for (double s = 0.0; s <= 0.9501; s += 0.05) {
+    std::cout << TextTable::num(s, 2) << ","
+              << TextTable::num(chr.lifetime_years(0.5, s), 3) << ","
+              << TextTable::num(2.93 / (1.0 - s * (1.0 - 0.226)), 3)
+              << "\n";
+  }
+  std::cout << "\n# DRV of the fresh cell: "
+            << TextTable::num(data_retention_voltage(cell, 0.0, 0.0), 3)
+            << " V (drowsy state retains at "
+            << TextTable::num(AgingParams::st45().vdd_retention, 2)
+            << " V)\n";
+  return 0;
+}

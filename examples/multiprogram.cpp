@@ -1,0 +1,66 @@
+// Multiprogrammed workload with context-switch piggybacked re-indexing.
+//
+// The paper's deployment model: updates are "associated to any cache flush
+// occurring in the system" (context switches), so re-indexing costs zero
+// extra flushes.  This example runs three programs in round-robin quanta
+// and compares:
+//   (1) static indexing (no updates),
+//   (2) re-indexing piggybacked on quantum boundaries (updates coincide
+//       with flushes the system performs anyway),
+//   (3) the same update count fired mid-quantum (worst-case alignment).
+// (2) and (3) age identically; the only difference is who pays the flush.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "trace/multiprogram.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pcal;
+
+  MultiProgramConfig mp;
+  mp.programs = {make_mediabench_workload("sha"),
+                 make_mediabench_workload("cjpeg"),
+                 make_mediabench_workload("dijkstra")};
+  mp.quantum_accesses = 125'000;
+  const std::uint64_t total = 3'000'000;  // 24 quanta -> 23 context switches
+
+  AgingContext aging;
+  TextTable table({"configuration", "LT (years)", "avg idleness",
+                   "hit rate", "updates", "Esav"});
+
+  const auto run = [&](const char* label, SimConfig cfg) {
+    MultiProgramSource src(mp, total);
+    const SimResult r = Simulator(cfg).run(src, &aging.lut());
+    table.add_row({label, TextTable::num(r.lifetime_years(), 2),
+                   TextTable::pct(r.avg_residency(), 1),
+                   TextTable::num(r.cache_stats.hit_rate(), 4),
+                   std::to_string(r.reindex_updates_applied),
+                   TextTable::pct(r.energy_saving(), 1)});
+    return r;
+  };
+
+  run("static (no re-indexing)",
+      static_variant(paper_config(8192, 16, 4)));
+
+  // Piggybacked: one update per context switch -> 23 updates over the
+  // run.  The simulator spreads updates evenly, which with the interval
+  // equal to the quantum is exactly quantum-aligned.
+  SimConfig piggy = paper_config(8192, 16, 4);
+  piggy.reindex_updates = total / mp.quantum_accesses - 1;
+  run("probing, piggybacked on context switches", piggy);
+
+  // Misaligned: same number of rotations, but fired between switches, so
+  // every one is an *extra* flush on top of the OS's own.
+  SimConfig misaligned = piggy;
+  misaligned.reindex_updates = piggy.reindex_updates - 1;  // never aligns
+  run("probing, mid-quantum updates (extra flushes)", misaligned);
+
+  table.render(std::cout);
+  std::cout << "\nnote: the multiprogrammed mix is naturally friendlier to "
+               "re-indexing than any single program — three working sets "
+               "rotate through the banks even between updates, and each "
+               "context switch already costs a flush, which is where the "
+               "paper hides the update.\n";
+  return 0;
+}

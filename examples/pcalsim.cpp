@@ -1,0 +1,160 @@
+// pcalsim — the command-line front-end to the simulator.
+//
+// Runs one workload on one architecture configuration described by an
+// INI file (plus command-line overrides) and prints the full report:
+// idleness, energy breakdown, lifetime, cache statistics.
+//
+// Usage:
+//   pcalsim <config.ini> [section.key=value ...]
+//   pcalsim --example            # print an annotated example config
+//
+// Example config:
+//   [workload]
+//   name = rijndael_i        # a MediaBench name, or uniform/streaming/
+//                            # hotspot, or trace:<path>
+//   accesses = 2000000
+//   [cache]
+//   size = 8k
+//   line = 16
+//   ways = 1
+//   [partition]
+//   banks = 4
+//   indexing = probing       # static | probing | scrambling
+//   updates = 16
+#include <iostream>
+
+#include "core/experiment.h"
+#include "trace/multiprogram.h"
+#include "trace/trace_io.h"
+#include "util/config_file.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pcal;
+
+constexpr const char* kExampleConfig = R"(# pcalsim example configuration
+[workload]
+name = rijndael_i
+accesses = 2000000
+
+[cache]
+size = 8k
+line = 16
+ways = 1
+
+[partition]
+banks = 4
+indexing = probing
+updates = 16
+)";
+
+IndexingKind parse_indexing(const std::string& s) {
+  if (s == "static") return IndexingKind::kStatic;
+  if (s == "probing") return IndexingKind::kProbing;
+  if (s == "scrambling") return IndexingKind::kScrambling;
+  throw ConfigError("unknown indexing kind: " + s);
+}
+
+std::unique_ptr<TraceSource> make_source(const ConfigFile& cfg,
+                                         std::uint64_t accesses) {
+  const std::string name =
+      cfg.get_string("workload", "name", "rijndael_i");
+  if (starts_with(name, "trace:")) {
+    auto trace = std::make_unique<Trace>(load_trace_file(name.substr(6)));
+    return trace;
+  }
+  WorkloadSpec spec;
+  if (name == "uniform")
+    spec = make_uniform_workload(cfg.get_u64("workload", "footprint",
+                                             64 * 1024));
+  else if (name == "streaming")
+    spec = make_streaming_workload(cfg.get_u64("workload", "footprint",
+                                               64 * 1024));
+  else if (name == "hotspot")
+    spec = make_hotspot_workload(cfg.get_u64("workload", "footprint",
+                                             64 * 1024));
+  else
+    spec = make_mediabench_workload(name);
+  return std::make_unique<SyntheticTraceSource>(spec, accesses);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--example") {
+    std::cout << kExampleConfig;
+    return 0;
+  }
+  if (argc < 2) {
+    std::cerr << "usage: pcalsim <config.ini> [section.key=value ...]\n"
+                 "       pcalsim --example\n";
+    return 2;
+  }
+  try {
+    ConfigFile cfg = ConfigFile::load(argv[1]);
+    for (int i = 2; i < argc; ++i) cfg.apply_override(argv[i]);
+
+    SimConfig sim;
+    sim.cache.size_bytes = cfg.get_u64("cache", "size", 8192);
+    sim.cache.line_bytes = cfg.get_u64("cache", "line", 16);
+    sim.cache.ways = cfg.get_u64("cache", "ways", 1);
+    sim.partition.num_banks = cfg.get_u64("partition", "banks", 4);
+    sim.indexing =
+        parse_indexing(cfg.get_string("partition", "indexing", "probing"));
+    sim.reindex_updates = cfg.get_u64("partition", "updates", 16);
+    sim.validate();
+
+    const std::uint64_t accesses =
+        cfg.get_u64("workload", "accesses", 2'000'000);
+    auto source = make_source(cfg, accesses);
+
+    AgingContext aging;
+    const SimResult r = Simulator(sim).run(*source, &aging.lut());
+
+    std::cout << "pcalsim: " << r.workload << " on " << r.config_label
+              << "\n"
+              << "accesses: " << r.accesses
+              << ", breakeven: " << r.breakeven_cycles << " cycles"
+              << ", re-indexing updates: " << r.reindex_updates_applied
+              << "\n\n";
+
+    TextTable banks({"bank", "accesses", "sleep residency",
+                     "idle intervals > BE", "sleep episodes",
+                     "lifetime (y)"});
+    for (std::size_t b = 0; b < r.banks.size(); ++b) {
+      const BankResult& br = r.banks[b];
+      banks.add_row({std::to_string(b), std::to_string(br.accesses),
+                     TextTable::pct(br.sleep_residency, 2),
+                     TextTable::pct(br.useful_idleness_count, 2),
+                     std::to_string(br.sleep_episodes),
+                     TextTable::num(br.lifetime_years, 3)});
+    }
+    banks.render(std::cout);
+
+    std::cout << "\ncache: hit rate "
+              << TextTable::num(r.cache_stats.hit_rate(), 4) << " ("
+              << r.cache_stats.hits << " hits, " << r.cache_stats.misses
+              << " misses, " << r.cache_stats.writebacks
+              << " writebacks, " << r.cache_stats.flushes << " flushes)\n";
+
+    const EnergyBreakdown& e = r.energy.partitioned;
+    std::cout << "energy (pJ): dynamic " << TextTable::num(e.dynamic_pj, 0)
+              << ", leakage active "
+              << TextTable::num(e.leakage_active_pj, 0)
+              << ", leakage retention "
+              << TextTable::num(e.leakage_retention_pj, 0)
+              << ", transitions " << TextTable::num(e.transition_pj, 0)
+              << "\n"
+              << "saving vs monolithic baseline: "
+              << TextTable::pct(r.energy_saving(), 2) << " %\n"
+              << "cache lifetime: " << TextTable::num(r.lifetime_years(), 3)
+              << " years (limiting bank "
+              << (r.lifetime ? r.lifetime->limiting_bank : 0) << ")\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pcalsim: error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,32 @@
+#include "aging/aging_lut.h"
+
+#include <algorithm>
+
+namespace pcal {
+
+AgingLut AgingLut::build(const CellAgingCharacterizer& characterizer) {
+  // p0 is symmetric around 0.5; the lifetime surface is smooth in p0 and
+  // convex in sleep, denser sampling near the ends where 1/(1-s) bends.
+  std::vector<double> p0_axis = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                 0.6, 0.7, 0.8, 0.9, 1.0};
+  std::vector<double> sleep_axis = {0.0,  0.1,  0.2,  0.3,  0.4,  0.5,
+                                    0.6,  0.7,  0.8,  0.85, 0.9,  0.93,
+                                    0.96, 0.98, 0.99, 1.0};
+  return build(characterizer, std::move(p0_axis), std::move(sleep_axis));
+}
+
+AgingLut AgingLut::build(const CellAgingCharacterizer& characterizer,
+                         std::vector<double> p0_axis,
+                         std::vector<double> sleep_axis) {
+  return AgingLut(characterizer.build_lut(p0_axis, sleep_axis));
+}
+
+double AgingLut::lifetime_years(double p0, double sleep) const {
+  return table_(std::clamp(p0, 0.0, 1.0), std::clamp(sleep, 0.0, 1.0));
+}
+
+AgingLut AgingLut::deserialize(std::istream& is) {
+  return AgingLut(BilinearTable2D::deserialize(is));
+}
+
+}  // namespace pcal

@@ -1,0 +1,47 @@
+#include "aging/flipping.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pcal {
+
+double effective_worst_duty(double p0, const FlippingScheme& scheme,
+                            double horizon_s) {
+  PCAL_ASSERT(p0 >= 0.0 && p0 <= 1.0);
+  PCAL_ASSERT(horizon_s > 0.0);
+  const double worst = std::max(p0, 1.0 - p0);
+  if (scheme.flip_period_s <= 0.0 || scheme.flip_period_s >= horizon_s)
+    return worst;
+  // Over the horizon, a load alternates between duty `worst` (normal
+  // phases) and `1 - worst` (inverted phases), one flip period each.
+  // With n completed half-cycles the average is 1/2 plus the residual of
+  // the possibly-unpaired final period.
+  const double periods = horizon_s / scheme.flip_period_s;
+  const double paired = std::floor(periods / 2.0) * 2.0;
+  const double residual = periods - paired;  // in [0, 2)
+  // Paired periods contribute exactly 1/2; the residual contributes up to
+  // one period at the worst duty (conservative: start un-inverted).
+  const double avg =
+      (paired * 0.5 + std::min(residual, 1.0) * worst +
+       std::max(residual - 1.0, 0.0) * (1.0 - worst)) /
+      periods;
+  return std::clamp(avg, 0.5, worst);
+}
+
+double effective_p0(double p0, const FlippingScheme& scheme,
+                    double horizon_s) {
+  // worst-duty w corresponds to p0 = w on the [0.5, 1] branch.
+  return effective_worst_duty(p0, scheme, horizon_s);
+}
+
+double flipping_energy_pj(std::uint64_t bits, const FlippingScheme& scheme,
+                          double horizon_s) {
+  PCAL_ASSERT(horizon_s >= 0.0);
+  if (scheme.flip_period_s <= 0.0) return 0.0;
+  const double flips = std::floor(horizon_s / scheme.flip_period_s);
+  return flips * static_cast<double>(bits) * scheme.flip_energy_pj_per_bit;
+}
+
+}  // namespace pcal

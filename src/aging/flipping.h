@@ -1,0 +1,48 @@
+// Content-inversion (cell flipping) baseline — the paper's related work
+// [11] (whole-memory periodic inversion) and [15] (word-granularity,
+// flip-bit-per-word) model.
+//
+// A cell that stores '0' with probability p0 stresses one pMOS load p0 of
+// the time and the other 1-p0; the worst load governs aging, so skewed
+// content ages faster (best case is p0 = 0.5, ref [11]).  Periodically
+// inverting the stored contents makes each load alternate between the two
+// stress duties: over a horizon much longer than the flip period, both
+// loads see the *average* duty 1/2 — value-balancing by time-multiplexing,
+// the exact dual of what re-indexing does to idleness.
+//
+// The model below computes the effective worst-load stress duty for a
+// given intrinsic p0 and the ratio of flip period to lifetime horizon,
+// including the residual imbalance of a finite number of flips.
+#pragma once
+
+#include <cstdint>
+
+namespace pcal {
+
+struct FlippingScheme {
+  /// Inversion period in seconds.  [11] flips rarely (software-driven);
+  /// [15] flips every few thousand cycles.  0 disables flipping.
+  double flip_period_s = 0.0;
+  /// Energy overhead per flip of one cell pair, folded into reports by
+  /// callers (reads + writebacks of the whole array, amortized).
+  double flip_energy_pj_per_bit = 0.02;
+};
+
+/// Worst-load effective stress duty for a cell with intrinsic stored-zero
+/// probability `p0` under `scheme`, evaluated over `horizon_s` seconds.
+/// Without flipping this is max(p0, 1-p0); with flipping it decays toward
+/// 0.5 as the number of completed flips grows (the residual is at most
+/// half a period's worth of imbalance).
+double effective_worst_duty(double p0, const FlippingScheme& scheme,
+                            double horizon_s);
+
+/// The equivalent balanced p0 to feed the aging LUT: the p0 in [0.5, 1]
+/// whose worst-load duty equals effective_worst_duty(...).
+double effective_p0(double p0, const FlippingScheme& scheme,
+                    double horizon_s);
+
+/// Flip energy over a horizon for an array of `bits` cells (pJ).
+double flipping_energy_pj(std::uint64_t bits, const FlippingScheme& scheme,
+                          double horizon_s);
+
+}  // namespace pcal

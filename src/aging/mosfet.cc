@@ -1,0 +1,25 @@
+#include "aging/mosfet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcal {
+
+double alpha_power_id(const DeviceParams& dev, double vgs, double vds) {
+  const double vov = vgs - dev.vth;
+  if (vov <= 0.0 || vds <= 0.0) return 0.0;
+  const double idsat = dev.beta * std::pow(vov, dev.alpha);
+  const double vdsat = std::pow(vov, dev.alpha / 2.0);
+  if (vds >= vdsat) return idsat;
+  const double x = vds / vdsat;
+  return idsat * (2.0 - x) * x;
+}
+
+double alpha_power_id_shifted(const DeviceParams& dev, double dvth,
+                              double vgs, double vds) {
+  DeviceParams shifted = dev;
+  shifted.vth = dev.vth + std::max(0.0, dvth);
+  return alpha_power_id(shifted, vgs, vds);
+}
+
+}  // namespace pcal

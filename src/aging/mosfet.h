@@ -1,0 +1,27 @@
+// Sakurai–Newton alpha-power-law MOSFET model.
+//
+// The SPICE level of detail the paper uses is overkill for what it
+// extracts (DC butterfly curves of a 6T cell); the alpha-power law captures
+// the short-channel saturation behaviour that shapes SNM while staying
+// closed form.  Only drain-current *ratios* matter for SNM, so beta is in
+// arbitrary consistent units.
+#pragma once
+
+#include "aging/aging_params.h"
+
+namespace pcal {
+
+/// Drain current of an n-type device (source-referenced, all voltages >= 0
+/// in normal operation):
+///   cutoff      (vgs <= vth):        0
+///   saturation  (vds >= vdsat):      beta * (vgs - vth)^alpha
+///   triode      (vds <  vdsat):      Idsat * (2 - vds/vdsat)*(vds/vdsat)
+/// with vdsat = (vgs - vth)^(alpha/2).  p-type devices are handled by the
+/// caller flipping signs (pass |vgs|, |vds| and its own params).
+double alpha_power_id(const DeviceParams& dev, double vgs, double vds);
+
+/// Convenience: threshold-shifted device (NBTI adds `dvth` to |vth|).
+double alpha_power_id_shifted(const DeviceParams& dev, double dvth,
+                              double vgs, double vds);
+
+}  // namespace pcal

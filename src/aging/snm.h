@@ -1,0 +1,27 @@
+// Read static-noise-margin extraction from butterfly curves.
+//
+// Seevinck's classic method: plot both inverter VTCs in one plane (the
+// butterfly), rotate coordinates by 45°, and measure the maximum vertical
+// separation inside each lobe; the largest square that fits in a lobe has
+// that separation as its diagonal, so its side is separation / sqrt(2).
+// The cell's SNM is the *smaller* lobe — asymmetric NBTI (p0 != 0.5)
+// shrinks one lobe faster and that lobe fails first.
+#pragma once
+
+#include "aging/sram_cell.h"
+
+namespace pcal {
+
+struct SnmResult {
+  double snm = 0.0;    // min of the two lobes (V)
+  double lobe0 = 0.0;  // square side of the first lobe (V)
+  double lobe1 = 0.0;  // square side of the second lobe (V)
+};
+
+/// Computes the read SNM of a cell whose inverter-1 pMOS is shifted by
+/// `dvth_p0` and inverter-2 pMOS by `dvth_p1` (volts).
+/// `samples` controls VTC sampling density.
+SnmResult read_snm(const SramCell& cell, double dvth_p0, double dvth_p1,
+                   std::size_t samples = 400);
+
+}  // namespace pcal

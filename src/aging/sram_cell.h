@@ -1,0 +1,64 @@
+// DC model of the 6T SRAM cell under read stress.
+//
+// Mirrors the paper's characterization flow: NBTI ΔVth values are annotated
+// on the two pMOS loads, then the *read* static noise margin is extracted
+// from the butterfly curves (read SNM is the worst case for aging, as the
+// paper notes citing Kang et al.).  During a read, both bitlines are
+// precharged to Vdd and the wordline is high, so each storage node is also
+// pulled up through its access transistor — this is what degrades the
+// read SNM relative to hold.
+#pragma once
+
+#include <vector>
+
+#include "aging/aging_params.h"
+
+namespace pcal {
+
+/// One half-cell inverter VTC point solver under read conditions.
+class SramCell {
+ public:
+  explicit SramCell(const SramCellParams& params);
+
+  /// Output voltage of one inverter whose pMOS has threshold shift
+  /// `dvth_p`, for input `vin`, with the access transistor pulling the
+  /// output toward the precharged bitline (read condition).
+  double inverter_vtc(double vin, double dvth_p) const;
+
+  /// Read-disturb voltage: the '0' storage node's voltage while its
+  /// wordline is high (inverter_vtc at vin = vdd).  A classic stability
+  /// indicator; tested to be well above 0 and well below the trip point.
+  double read_disturb_voltage(double dvth_p) const;
+
+  /// Samples the VTC on `points` equally spaced inputs in [0, vdd].
+  std::vector<double> sample_vtc(double dvth_p, std::size_t points) const;
+
+  /// Inverter VTC in the *hold* state (wordline low, no access-transistor
+  /// load) at an arbitrary supply `vdd` — used for retention analysis of
+  /// the drowsy state.  Caveat of the alpha-power model: with no
+  /// subthreshold conduction, both devices cut off below their thresholds,
+  /// so retention metrics lower-bound at ~Vth rather than the (lower)
+  /// physical DRV.
+  double inverter_vtc_hold(double vin, double dvth_p, double vdd) const;
+
+  const SramCellParams& params() const { return params_; }
+
+ private:
+  SramCellParams params_;
+};
+
+/// Hold-state SNM of the cell at supply `vdd` with the two loads shifted
+/// by (dvth_p0, dvth_p1).  Same butterfly construction as read_snm but
+/// without the access transistors; hold SNM > read SNM at nominal vdd.
+double hold_snm(const SramCell& cell, double vdd, double dvth_p0,
+                double dvth_p1, std::size_t samples = 256);
+
+/// Data-retention voltage: the minimum supply at which the (possibly
+/// aged) cell still holds data with at least `required_snm` volts of hold
+/// margin.  Bisection over the supply; returns the nominal vdd if even
+/// that fails.  This validates the drowsy Vdd_low choice: retention at
+/// 0.75V must clear the margin comfortably.
+double data_retention_voltage(const SramCell& cell, double dvth_p0,
+                              double dvth_p1, double required_snm = 0.04);
+
+}  // namespace pcal

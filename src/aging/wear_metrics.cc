@@ -1,0 +1,56 @@
+#include "aging/wear_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace pcal {
+
+double gini_coefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  for (double v : values) PCAL_ASSERT_MSG(v >= 0.0, "negative wear value");
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double cum_weighted = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cum_weighted += (static_cast<double>(i) + 1.0) * values[i];
+    total += values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double coefficient_of_variation(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  return std::sqrt(var) / mean;
+}
+
+double max_min_ratio(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  if (*lo <= 0.0) return *hi <= 0.0 ? 1.0 : 1e9;
+  return *hi / *lo;
+}
+
+double leveling_efficiency(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double mean = 0.0, lo = values.front();
+  for (double v : values) {
+    mean += v;
+    lo = std::min(lo, v);
+  }
+  mean /= static_cast<double>(values.size());
+  if (mean <= 0.0) return 1.0;
+  return lo / mean;
+}
+
+}  // namespace pcal

@@ -1,0 +1,30 @@
+// Wear-leveling quality metrics.
+//
+// The paper's evaluation reports only the resulting lifetime; these
+// metrics quantify *how well* a scheme levels wear across its units
+// (banks or lines), which is the mechanism behind the lifetime.  Used by
+// the granularity-comparison bench and the reports.
+#pragma once
+
+#include <vector>
+
+namespace pcal {
+
+/// Gini coefficient of a non-negative distribution (0 = perfectly even,
+/// -> 1 = concentrated on one unit).  Returns 0 for empty or all-zero
+/// input.
+double gini_coefficient(std::vector<double> values);
+
+/// Coefficient of variation (stddev / mean); 0 for empty or zero-mean.
+double coefficient_of_variation(const std::vector<double>& values);
+
+/// max/min ratio; 1 for empty input, +inf is clamped to a large value
+/// when the minimum is zero but the maximum is not.
+double max_min_ratio(const std::vector<double>& values);
+
+/// The paper's implicit figure of merit: how much of the *average*
+/// idleness the *minimum* captures (1 = perfectly leveled; the static
+/// partition scores low).
+double leveling_efficiency(const std::vector<double>& values);
+
+}  // namespace pcal

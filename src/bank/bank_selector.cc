@@ -1,0 +1,36 @@
+#include "bank/bank_selector.h"
+
+namespace pcal {
+
+BankSelector::BankSelector(std::uint64_t num_banks) {
+  PCAL_ASSERT(num_banks > 0);
+  states_.assign(num_banks, VddState::kNominal);
+  transitions_.assign(num_banks, 0);
+}
+
+bool BankSelector::set_state(std::uint64_t bank, VddState state) {
+  PCAL_ASSERT(bank < states_.size());
+  if (states_[bank] == state) return false;
+  states_[bank] = state;
+  ++transitions_[bank];
+  return true;
+}
+
+VddState BankSelector::state(std::uint64_t bank) const {
+  PCAL_ASSERT(bank < states_.size());
+  return states_[bank];
+}
+
+std::uint64_t BankSelector::transitions(std::uint64_t bank) const {
+  PCAL_ASSERT(bank < transitions_.size());
+  return transitions_[bank];
+}
+
+std::uint64_t BankSelector::retention_count() const {
+  std::uint64_t n = 0;
+  for (VddState s : states_)
+    if (s == VddState::kRetention) ++n;
+  return n;
+}
+
+}  // namespace pcal

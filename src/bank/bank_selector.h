@@ -1,0 +1,49 @@
+// Bank Selector: per-bank supply-voltage mux (paper Fig. 1).
+//
+// Drives Vdd or Vdd_low to each bank according to the Block Control
+// terminal-count signals.  The low-power state is voltage scaling, not
+// power gating — the paper argues this is the only viable choice for
+// standard memory-compiler blocks, and it is state preserving, so no
+// contents are lost on sleep.  This class tracks the voltage state machine
+// and counts transitions; energy costs are attached in src/power.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pcal {
+
+enum class VddState : std::uint8_t {
+  kNominal = 0,  // Vdd: bank active / ready
+  kRetention = 1 // Vdd_low: drowsy, state preserving, not accessible
+};
+
+class BankSelector {
+ public:
+  explicit BankSelector(std::uint64_t num_banks);
+
+  /// Applies the sleep decision for one bank.  Returns true if the state
+  /// changed (a Vdd transition occurred).
+  bool set_state(std::uint64_t bank, VddState state);
+
+  VddState state(std::uint64_t bank) const;
+  bool is_retention(std::uint64_t bank) const {
+    return state(bank) == VddState::kRetention;
+  }
+
+  std::uint64_t num_banks() const { return states_.size(); }
+
+  /// Total Vdd transitions (either direction) on a bank.
+  std::uint64_t transitions(std::uint64_t bank) const;
+
+  /// Banks currently in retention.
+  std::uint64_t retention_count() const;
+
+ private:
+  std::vector<VddState> states_;
+  std::vector<std::uint64_t> transitions_;
+};
+
+}  // namespace pcal

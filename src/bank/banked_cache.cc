@@ -1,0 +1,53 @@
+#include "bank/banked_cache.h"
+
+namespace pcal {
+
+BankedCache::BankedCache(const BankedCacheConfig& config)
+    : config_(config),
+      cache_(config.cache),
+      decoder_(config.cache, config.partition,
+               make_indexing_policy(config.indexing,
+                                    config.partition.num_banks,
+                                    config.indexing_seed)),
+      block_control_(config.partition.num_banks, config.breakeven_cycles) {
+  config_.validate();
+}
+
+BankedAccessOutcome BankedCache::access(std::uint64_t address, bool is_write) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  const std::uint64_t set_index = config_.cache.set_index_of(address);
+  const DecodedIndex d = decoder_.decode(set_index);
+
+  BankedAccessOutcome out;
+  out.logical_bank = d.logical_bank;
+  out.physical_bank = d.physical_bank;
+  out.woke_bank = block_control_.is_sleeping(d.physical_bank, cycle_);
+
+  const CacheAccessResult r =
+      cache_.access(config_.cache.tag_of(address), d.physical_set, is_write);
+  out.hit = r.hit;
+  out.writeback = r.writeback;
+
+  block_control_.on_access(d.physical_bank, cycle_);
+  ++cycle_;
+  return out;
+}
+
+std::uint64_t BankedCache::update_indexing() {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  decoder_.update();
+  return cache_.flush();
+}
+
+void BankedCache::finish() {
+  if (finished_) return;
+  block_control_.finish(cycle_);
+  finished_ = true;
+}
+
+double BankedCache::bank_residency(std::uint64_t bank) const {
+  PCAL_ASSERT_MSG(finished_, "call finish() first");
+  return block_control_.sleep_residency(bank, cycle_);
+}
+
+}  // namespace pcal

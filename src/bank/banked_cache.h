@@ -1,0 +1,84 @@
+// The M-block uniformly partitioned cache (paper Fig. 1 + Fig. 2).
+//
+// Composition of the standard pieces: a behavioural cache (tag store), the
+// bank decoder with its time-varying indexing f(), and Block Control
+// idleness tracking.  One access is consumed per cycle.  Firing
+// update_indexing() advances f() and flushes the cache, exactly as the
+// paper requires ("every time the indexing is updated the entire cache
+// content becomes unusable and a cache flush is required") — in deployment
+// the update piggybacks on flushes that happen anyway (context switches).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bank/block_control.h"
+#include "bank/decoder.h"
+#include "cache/cache.h"
+
+namespace pcal {
+
+struct BankedCacheConfig {
+  CacheConfig cache;
+  PartitionConfig partition;
+  IndexingKind indexing = IndexingKind::kProbing;
+  std::uint64_t indexing_seed = 1;
+  /// Idle cycles before a bank enters the drowsy state.  Normally computed
+  /// from the power model (power::breakeven_cycles); a plain number here
+  /// keeps src/bank independent of src/power.
+  std::uint64_t breakeven_cycles = 32;
+
+  void validate() const {
+    cache.validate();
+    partition.validate(cache);
+  }
+};
+
+struct BankedAccessOutcome {
+  bool hit = false;
+  bool writeback = false;
+  std::uint64_t logical_bank = 0;
+  std::uint64_t physical_bank = 0;
+  /// True if this access had to wake the bank from retention (it was
+  /// sleeping in the previous cycle) — costs a transition.
+  bool woke_bank = false;
+};
+
+class BankedCache {
+ public:
+  explicit BankedCache(const BankedCacheConfig& config);
+
+  /// Simulates one access at the next cycle.  Returns the outcome.
+  BankedAccessOutcome access(std::uint64_t address, bool is_write);
+
+  /// Fires the update signal: advances f() and flushes the cache.
+  /// Returns the number of dirty lines the flush wrote back.
+  std::uint64_t update_indexing();
+
+  /// Finalizes idle-interval bookkeeping; call when the trace ends.
+  void finish();
+
+  // ---- component access ----
+  const BankedCacheConfig& config() const { return config_; }
+  const CacheModel& cache() const { return cache_; }
+  const BankDecoder& decoder() const { return decoder_; }
+  const BlockControl& block_control() const { return block_control_; }
+  const IndexingPolicy& policy() const { return decoder_.policy(); }
+
+  /// Cycles simulated so far (== accesses consumed).
+  std::uint64_t cycles() const { return cycle_; }
+  std::uint64_t indexing_updates() const { return policy().updates(); }
+
+  /// Sleep residency of a physical bank over the whole simulated time.
+  double bank_residency(std::uint64_t bank) const;
+
+ private:
+  BankedCacheConfig config_;
+  CacheModel cache_;
+  BankDecoder decoder_;
+  BlockControl block_control_;
+  std::uint64_t cycle_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace pcal

@@ -1,0 +1,35 @@
+#include "bank/decoder.h"
+
+namespace pcal {
+
+BankDecoder::BankDecoder(const CacheConfig& cache,
+                         const PartitionConfig& partition,
+                         std::unique_ptr<IndexingPolicy> policy)
+    : index_bits_(cache.index_bits()),
+      bank_bits_(partition.bank_bits()),
+      num_banks_(partition.num_banks),
+      policy_(std::move(policy)) {
+  cache.validate();
+  partition.validate(cache);
+  PCAL_CONFIG_CHECK(policy_ != nullptr, "decoder needs an indexing policy");
+  PCAL_CONFIG_CHECK(policy_->num_banks() == num_banks_,
+                    "indexing policy bank count " << policy_->num_banks()
+                                                  << " != partition "
+                                                  << num_banks_);
+}
+
+DecodedIndex BankDecoder::decode(std::uint64_t set_index) const {
+  PCAL_ASSERT_MSG(set_index < (std::uint64_t{1} << index_bits_),
+                  "set index out of range");
+  DecodedIndex d;
+  const unsigned line_bits = index_bits_ - bank_bits_;
+  d.line = extract_bits(set_index, 0, line_bits);
+  d.logical_bank = extract_bits(set_index, line_bits, bank_bits_);
+  d.physical_bank = policy_->map_bank(d.logical_bank);
+  PCAL_ASSERT(d.physical_bank < num_banks_);
+  d.physical_set = (d.physical_bank << line_bits) | d.line;
+  d.select_mask = one_hot_encode(d.physical_bank, num_banks_);
+  return d;
+}
+
+}  // namespace pcal

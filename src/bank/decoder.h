@@ -1,0 +1,56 @@
+// Bank decoder "D" with dynamic indexing (paper Fig. 1b + Fig. 2).
+//
+// Splits an n-bit cache index into (p MSBs = logical bank, n-p LSBs =
+// line-in-bank), routes the logical bank through the time-varying f()
+// (IndexingPolicy), and produces both the physical set index and the 1-hot
+// activation word.  This is the entire hardware addition of the paper's
+// architecture; everything else is standard memory-compiler macros.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bank/one_hot.h"
+#include "bank/partition_config.h"
+#include "indexing/index_policy.h"
+
+namespace pcal {
+
+struct DecodedIndex {
+  std::uint64_t logical_bank = 0;   // p MSBs before f()
+  std::uint64_t physical_bank = 0;  // after f()
+  std::uint64_t line = 0;           // n-p LSBs, unchanged by f()
+  std::uint64_t physical_set = 0;   // physical_bank * lines_per_bank + line
+  std::uint64_t select_mask = 0;    // 1-hot over M banks
+};
+
+class BankDecoder {
+ public:
+  /// Takes ownership of the indexing policy.
+  BankDecoder(const CacheConfig& cache, const PartitionConfig& partition,
+              std::unique_ptr<IndexingPolicy> policy);
+
+  /// Decodes an n-bit set index (as produced by CacheConfig::set_index_of).
+  DecodedIndex decode(std::uint64_t set_index) const;
+
+  /// Fires the `update` signal: advances f().  The caller must flush the
+  /// cache afterwards — the mapping change invalidates all resident lines.
+  void update() { policy_->update(); }
+
+  void reset() { policy_->reset(); }
+
+  const IndexingPolicy& policy() const { return *policy_; }
+  IndexingPolicy& policy() { return *policy_; }
+
+  unsigned index_bits() const { return index_bits_; }
+  unsigned bank_bits() const { return bank_bits_; }
+  std::uint64_t num_banks() const { return num_banks_; }
+
+ private:
+  unsigned index_bits_;  // n
+  unsigned bank_bits_;   // p
+  std::uint64_t num_banks_;
+  std::unique_ptr<IndexingPolicy> policy_;
+};
+
+}  // namespace pcal

@@ -1,0 +1,91 @@
+#include "bank/line_managed_cache.h"
+
+#include <algorithm>
+
+#include "util/lfsr.h"
+
+namespace pcal {
+
+LineManagedCache::LineManagedCache(const LineManagedConfig& config)
+    : config_(config),
+      cache_(config.cache),
+      num_sets_(config.cache.num_sets()),
+      control_(config.cache.num_sets(), config.breakeven_cycles) {
+  config_.validate();
+  if (config_.indexing == IndexingKind::kScrambling) {
+    const unsigned width =
+        std::min(24u, config_.cache.index_bits() + 8u);
+    lfsr_ = std::make_unique<GaloisLfsr>(width, config_.indexing_seed);
+  }
+}
+
+std::uint64_t LineManagedCache::map_set(std::uint64_t logical_set) const {
+  switch (config_.indexing) {
+    case IndexingKind::kStatic:
+      return logical_set;
+    case IndexingKind::kProbing:
+      return (logical_set + rotation_) & (num_sets_ - 1);
+    case IndexingKind::kScrambling:
+      return (logical_set ^ xor_pattern_) & (num_sets_ - 1);
+  }
+  return logical_set;
+}
+
+LineAccessOutcome LineManagedCache::access(std::uint64_t address,
+                                           bool is_write) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  LineAccessOutcome out;
+  out.logical_set = config_.cache.set_index_of(address);
+  out.physical_set = map_set(out.logical_set);
+  out.woke_line = control_.is_sleeping(out.physical_set, cycle_);
+  const CacheAccessResult r =
+      cache_.access(config_.cache.tag_of(address), out.physical_set,
+                    is_write);
+  out.hit = r.hit;
+  out.writeback = r.writeback;
+  control_.on_access(out.physical_set, cycle_);
+  ++cycle_;
+  return out;
+}
+
+std::uint64_t LineManagedCache::update_indexing() {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  switch (config_.indexing) {
+    case IndexingKind::kStatic:
+      break;
+    case IndexingKind::kProbing:
+      rotation_ = (rotation_ + 1) & (num_sets_ - 1);
+      break;
+    case IndexingKind::kScrambling:
+      xor_pattern_ = lfsr_->step() & (num_sets_ - 1);
+      break;
+  }
+  ++updates_;
+  return cache_.flush();
+}
+
+void LineManagedCache::finish() {
+  if (finished_) return;
+  control_.finish(cycle_);
+  finished_ = true;
+}
+
+double LineManagedCache::line_residency(std::uint64_t line) const {
+  PCAL_ASSERT_MSG(finished_, "call finish() first");
+  return control_.sleep_residency(line, cycle_);
+}
+
+double LineManagedCache::avg_residency() const {
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < num_sets_; ++i) sum += line_residency(i);
+  return sum / static_cast<double>(num_sets_);
+}
+
+double LineManagedCache::min_residency() const {
+  double lo = line_residency(0);
+  for (std::uint64_t i = 1; i < num_sets_; ++i)
+    lo = std::min(lo, line_residency(i));
+  return lo;
+}
+
+}  // namespace pcal

@@ -1,0 +1,43 @@
+// 1-hot bank-select encoding (paper Fig. 1b).
+//
+// The decoder turns the p MSBs of the index into a 2^p-bit 1-hot select
+// word: bank 0 -> 0...01, bank M-1 -> 10...0.  The paper's point is that
+// this costs a single gate level per minterm, so the performance overhead
+// of partitioning is negligible; we model it functionally and charge its
+// (tiny) energy in the power model.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitops.h"
+#include "util/error.h"
+
+namespace pcal {
+
+/// Encodes bank `b` of `num_banks` as a 1-hot mask.
+inline std::uint64_t one_hot_encode(std::uint64_t bank,
+                                    std::uint64_t num_banks) {
+  PCAL_ASSERT_MSG(is_pow2(num_banks) && num_banks <= 64,
+                  "1-hot encoder supports up to 64 banks");
+  PCAL_ASSERT_MSG(bank < num_banks,
+                  "bank " << bank << " out of range " << num_banks);
+  return std::uint64_t{1} << bank;
+}
+
+/// Decodes a 1-hot mask back to a bank number.  Throws if the mask is not
+/// exactly 1-hot (hardware would flag this as a fault).
+inline std::uint64_t one_hot_decode(std::uint64_t mask,
+                                    std::uint64_t num_banks) {
+  PCAL_ASSERT_MSG(popcount64(mask) == 1, "select mask is not 1-hot");
+  const auto bank = static_cast<std::uint64_t>(log2_exact(mask));
+  PCAL_ASSERT(bank < num_banks);
+  return bank;
+}
+
+/// True iff the mask is a valid 1-hot select for `num_banks` banks.
+inline bool is_one_hot(std::uint64_t mask, std::uint64_t num_banks) {
+  return popcount64(mask) == 1 &&
+         (num_banks >= 64 || mask <= low_mask(static_cast<unsigned>(num_banks)));
+}
+
+}  // namespace pcal

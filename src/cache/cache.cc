@@ -1,0 +1,87 @@
+#include "cache/cache.h"
+
+#include <sstream>
+
+namespace pcal {
+
+std::string CacheConfig::describe() const {
+  std::ostringstream os;
+  os << size_bytes / 1024 << "kB/" << line_bytes << "B";
+  if (ways > 1)
+    os << "/" << ways << "way";
+  else
+    os << "/DM";
+  return os.str();
+}
+
+CacheModel::CacheModel(const CacheConfig& config) : config_(config) {
+  config_.validate();
+  ways_.resize(config_.num_sets() * config_.ways);
+}
+
+CacheAccessResult CacheModel::access(std::uint64_t tag, std::uint64_t set,
+                                     bool is_write) {
+  PCAL_ASSERT_MSG(set < config_.num_sets(),
+                  "set " << set << " out of range " << config_.num_sets());
+  ++stats_.accesses;
+  ++lru_clock_;
+  Way* base = &ways_[set * config_.ways];
+  Way* victim = base;
+  for (std::uint64_t w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      ++stats_.hits;
+      way.lru = lru_clock_;
+      if (is_write) way.dirty = true;
+      return {true, false};
+    }
+    // Track the replacement victim: first invalid way wins, else oldest.
+    if (!way.valid) {
+      if (victim->valid) victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++stats_.misses;
+  const bool writeback = victim->valid && victim->dirty;
+  if (writeback) ++stats_.writebacks;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru = lru_clock_;
+  return {false, writeback};
+}
+
+CacheAccessResult CacheModel::access_address(std::uint64_t address,
+                                             bool is_write) {
+  return access(config_.tag_of(address), config_.set_index_of(address),
+                is_write);
+}
+
+std::uint64_t CacheModel::flush() {
+  std::uint64_t dirty = 0;
+  for (Way& w : ways_) {
+    if (w.valid && w.dirty) ++dirty;
+    w = Way{};
+  }
+  ++stats_.flushes;
+  stats_.flushed_dirty += dirty;
+  return dirty;
+}
+
+bool CacheModel::contains(std::uint64_t tag, std::uint64_t set) const {
+  PCAL_ASSERT(set < config_.num_sets());
+  const Way* base = &ways_[set * config_.ways];
+  for (std::uint64_t w = 0; w < config_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+std::uint64_t CacheModel::valid_lines() const {
+  std::uint64_t n = 0;
+  for (const Way& w : ways_)
+    if (w.valid) ++n;
+  return n;
+}
+
+}  // namespace pcal

@@ -1,0 +1,79 @@
+// Behavioral cache model.
+//
+// A set-indexed tag store with optional associativity (LRU replacement) and
+// write-back dirty tracking.  The banked wrapper in src/bank supplies
+// *physical* set indices after dynamic re-indexing, so the access entry
+// point takes (tag, set) rather than a raw address; address-based access is
+// provided for monolithic use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.h"
+
+namespace pcal {
+
+struct CacheAccessResult {
+  bool hit = false;
+  bool writeback = false;  // a dirty victim was evicted
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;       // dirty evictions (capacity/conflict)
+  std::uint64_t flushes = 0;          // whole-cache flushes
+  std::uint64_t flushed_dirty = 0;    // dirty lines written back by flushes
+
+  double hit_rate() const {
+    return accesses ? static_cast<double>(hits) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+  double miss_rate() const { return accesses ? 1.0 - hit_rate() : 0.0; }
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheConfig& config);
+
+  const CacheConfig& config() const { return config_; }
+
+  /// Access by pre-computed (tag, set).  `set` must be < num_sets().
+  CacheAccessResult access(std::uint64_t tag, std::uint64_t set,
+                           bool is_write);
+
+  /// Convenience for monolithic (non-banked) use: derives tag/set from the
+  /// address per the configured geometry.
+  CacheAccessResult access_address(std::uint64_t address, bool is_write);
+
+  /// Invalidates everything; returns the number of dirty lines flushed
+  /// (they would be written back to the next level).
+  std::uint64_t flush();
+
+  /// True iff (tag, set) is currently resident.
+  bool contains(std::uint64_t tag, std::uint64_t set) const;
+
+  /// Number of currently valid lines (for occupancy diagnostics).
+  std::uint64_t valid_lines() const;
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // higher = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  std::vector<Way> ways_;  // num_sets * ways, set-major
+  std::uint64_t lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace pcal

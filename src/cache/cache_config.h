@@ -1,0 +1,60 @@
+// Cache geometry configuration.
+//
+// The paper's experiments use direct-mapped caches of 8/16/32kB with 16 or
+// 32-byte lines; the model also supports set-associativity as an extension.
+// All geometry parameters must be powers of two, matching the hardware
+// constraint the paper leans on ("M = 2^p for obvious practical reasons").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bitops.h"
+#include "util/error.h"
+
+namespace pcal {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 16 * 1024;
+  std::uint64_t line_bytes = 16;
+  std::uint64_t ways = 1;          // 1 = direct-mapped
+  unsigned address_bits = 32;      // physical address width, for tag sizing
+
+  // ---- derived geometry ----
+
+  std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const { return num_lines() / ways; }
+  /// n in the paper: number of index bits (direct-mapped: log2(num_lines)).
+  unsigned index_bits() const { return log2_exact(num_sets()); }
+  unsigned offset_bits() const { return log2_exact(line_bytes); }
+  /// Tag bits stored per line.  Grows when the index shrinks (bigger lines
+  /// or higher associativity), which is what makes tag arrays relatively
+  /// more expensive at 32B lines (paper, Table III discussion).
+  unsigned tag_bits() const {
+    return address_bits - index_bits() - offset_bits();
+  }
+
+  std::uint64_t set_index_of(std::uint64_t address) const {
+    return (address >> offset_bits()) & low_mask(index_bits());
+  }
+  std::uint64_t tag_of(std::uint64_t address) const {
+    return address >> (offset_bits() + index_bits());
+  }
+
+  void validate() const {
+    PCAL_CONFIG_CHECK(is_pow2(size_bytes), "cache size must be a power of 2");
+    PCAL_CONFIG_CHECK(is_pow2(line_bytes) && line_bytes >= 4,
+                      "line size must be a power of 2 and >= 4 bytes");
+    PCAL_CONFIG_CHECK(is_pow2(ways) && ways >= 1,
+                      "associativity must be a power of 2");
+    PCAL_CONFIG_CHECK(size_bytes >= line_bytes * ways,
+                      "cache must hold at least one set");
+    PCAL_CONFIG_CHECK(address_bits >= index_bits() + offset_bits() + 1,
+                      "address width too small for this geometry");
+    PCAL_CONFIG_CHECK(address_bits <= 48, "address width too large");
+  }
+
+  std::string describe() const;
+};
+
+}  // namespace pcal

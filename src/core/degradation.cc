@@ -1,0 +1,91 @@
+#include "core/degradation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cache/cache.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+/// Hit rate of the partition with a subset of banks disabled: accesses
+/// mapping to a dead bank cannot allocate and always miss.
+double hit_rate_with_dead_banks(const WorkloadSpec& workload,
+                                const SimConfig& config,
+                                const std::vector<bool>& dead,
+                                std::uint64_t num_accesses) {
+  CacheModel cache(config.cache);
+  const unsigned line_bits =
+      config.cache.index_bits() - config.partition.bank_bits();
+  SyntheticTraceSource source(workload, num_accesses);
+  std::uint64_t hits = 0, total = 0;
+  while (auto a = source.next()) {
+    ++total;
+    const std::uint64_t set = config.cache.set_index_of(a->address);
+    const std::uint64_t bank = set >> line_bits;
+    if (dead[bank]) continue;  // forced miss, not even allocated
+    if (cache.access(config.cache.tag_of(a->address), set,
+                     a->kind == AccessKind::kWrite)
+            .hit)
+      ++hits;
+  }
+  return total ? static_cast<double>(hits) / static_cast<double>(total)
+               : 0.0;
+}
+
+}  // namespace
+
+DegradationTimeline simulate_graceful_degradation(
+    const WorkloadSpec& workload, const SimConfig& config,
+    const AgingLut& lut, std::uint64_t num_accesses) {
+  PCAL_CONFIG_CHECK(config.indexing == IndexingKind::kStatic,
+                    "graceful degradation applies to the static partition "
+                    "(re-indexing would defeat the per-bank death order)");
+  // 1. Per-bank lifetimes from the static power-managed run.
+  SyntheticTraceSource source(workload, num_accesses);
+  const SimResult r = Simulator(config).run(source, &lut);
+  PCAL_ASSERT(r.lifetime.has_value());
+  const std::uint64_t m = config.partition.num_banks;
+
+  // 2. Death order.
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return r.lifetime->banks[a].lifetime_years <
+           r.lifetime->banks[b].lifetime_years;
+  });
+
+  // 3. Stage-by-stage hit rates as banks drop out.
+  DegradationTimeline timeline;
+  std::vector<bool> dead(m, false);
+  double stage_start = 0.0;
+  const double full_hit_rate =
+      hit_rate_with_dead_banks(workload, config, dead, num_accesses);
+  for (std::size_t k = 0; k <= m; ++k) {
+    const double stage_end =
+        k < m ? r.lifetime->banks[order[k]].lifetime_years
+              : r.lifetime->banks[order[m - 1]].lifetime_years;
+    if (stage_end > stage_start) {
+      DegradationStage stage;
+      stage.start_years = stage_start;
+      stage.end_years = stage_end;
+      stage.live_banks = m - k;
+      stage.hit_rate =
+          k == 0 ? full_hit_rate
+                 : hit_rate_with_dead_banks(workload, config, dead,
+                                            num_accesses);
+      timeline.stages.push_back(stage);
+      if (full_hit_rate > 0.0) {
+        timeline.equivalent_full_years +=
+            (stage_end - stage_start) * stage.hit_rate / full_hit_rate;
+      }
+      stage_start = stage_end;
+    }
+    if (k < m) dead[order[k]] = true;
+  }
+  timeline.total_years = stage_start;
+  return timeline;
+}
+
+}  // namespace pcal

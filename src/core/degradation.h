@@ -1,0 +1,45 @@
+// Graceful-degradation alternative: modeling the design the paper rejects.
+//
+// §III-A.2 considers "progressively disabling cache sub-blocks that become
+// unusable" instead of balancing their wear, and dismisses it: the
+// application sees a shrinking cache, and an aging detector is needed.
+// This module quantifies that argument.  Given the per-bank lifetimes of a
+// *static* (non-reindexed) partition, it builds the timeline of bank
+// deaths and re-simulates the workload at each capacity step to obtain the
+// hit-rate trajectory; the paper's scheme instead keeps the full cache at
+// full performance until all banks fail together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulator.h"
+#include "trace/synthetic.h"
+
+namespace pcal {
+
+struct DegradationStage {
+  double start_years = 0.0;  // stage begins when some bank dies
+  double end_years = 0.0;
+  std::uint64_t live_banks = 0;
+  double hit_rate = 0.0;  // measured with the dead banks disabled
+};
+
+struct DegradationTimeline {
+  std::vector<DegradationStage> stages;
+  /// Time until the cache is completely unusable (all banks dead).
+  double total_years = 0.0;
+  /// Hit-rate-weighted useful life: integral of hit_rate over time,
+  /// divided by the full-cache hit rate — "equivalent full-performance
+  /// years".  Comparable against the re-indexed design's uniform lifetime.
+  double equivalent_full_years = 0.0;
+};
+
+/// Simulates the stepwise-disable architecture.  `config` must be a
+/// static-indexing partitioned configuration; accesses that map to a dead
+/// bank are misses served by the next level (the line cannot be cached).
+DegradationTimeline simulate_graceful_degradation(
+    const WorkloadSpec& workload, const SimConfig& config,
+    const AgingLut& lut, std::uint64_t num_accesses);
+
+}  // namespace pcal

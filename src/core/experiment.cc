@@ -1,0 +1,43 @@
+#include "core/experiment.h"
+
+namespace pcal {
+
+AgingContext::AgingContext(AgingParams params) {
+  chr_ = std::make_unique<CellAgingCharacterizer>(params);
+  chr_->calibrate();
+  lut_ = std::make_unique<AgingLut>(AgingLut::build(*chr_));
+}
+
+SimResult run_workload(const WorkloadSpec& workload, const SimConfig& config,
+                       const AgingContext& aging,
+                       std::uint64_t num_accesses) {
+  SyntheticTraceSource source(workload, num_accesses);
+  return Simulator(config).run(source, &aging.lut());
+}
+
+ThreeWayResult run_three_way(const WorkloadSpec& workload,
+                             const SimConfig& config,
+                             const AgingContext& aging,
+                             std::uint64_t num_accesses) {
+  ThreeWayResult r;
+  r.reindexed = run_workload(workload, config, aging, num_accesses);
+  r.static_pm =
+      run_workload(workload, static_variant(config), aging, num_accesses);
+  r.monolithic =
+      run_workload(workload, monolithic_variant(config), aging, num_accesses);
+  return r;
+}
+
+SimConfig paper_config(std::uint64_t size_bytes, std::uint64_t line_bytes,
+                       std::uint64_t num_banks) {
+  SimConfig config;
+  config.cache.size_bytes = size_bytes;
+  config.cache.line_bytes = line_bytes;
+  config.cache.ways = 1;
+  config.partition.num_banks = num_banks;
+  config.indexing = IndexingKind::kProbing;
+  config.reindex_updates = 16;
+  return config;
+}
+
+}  // namespace pcal

@@ -1,0 +1,132 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "power/energy_model.h"
+#include "util/error.h"
+
+namespace pcal {
+
+void SimConfig::validate() const {
+  cache.validate();
+  partition.validate(cache);
+}
+
+double SimResult::avg_residency() const {
+  if (banks.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& b : banks) sum += b.sleep_residency;
+  return sum / static_cast<double>(banks.size());
+}
+
+double SimResult::min_residency() const {
+  if (banks.empty()) return 0.0;
+  double lo = banks.front().sleep_residency;
+  for (const auto& b : banks) lo = std::min(lo, b.sleep_residency);
+  return lo;
+}
+
+Simulator::Simulator(SimConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+std::uint64_t Simulator::breakeven_cycles() const {
+  if (config_.breakeven_override != 0) return config_.breakeven_override;
+  const EnergyModel model(config_.tech, config_.cache, config_.partition);
+  return model.breakeven_cycles();
+}
+
+SimResult Simulator::run(TraceSource& source, const AgingLut* lut) const {
+  BankedCacheConfig bc;
+  bc.cache = config_.cache;
+  bc.partition = config_.partition;
+  bc.indexing = config_.indexing;
+  bc.indexing_seed = config_.indexing_seed;
+  bc.breakeven_cycles = breakeven_cycles();
+  BankedCache cache(bc);
+
+  // Spread the requested updates evenly: fire after every `interval`
+  // accesses.  Static indexing never rotates, so skip the (pointless)
+  // flushes there — the conventional cache does not flush for aging.
+  source.reset();
+  const auto hint = source.size_hint();
+  std::uint64_t interval = 0;
+  if (config_.indexing != IndexingKind::kStatic &&
+      config_.partition.num_banks > 1 && config_.reindex_updates > 0 &&
+      hint && *hint > config_.reindex_updates) {
+    interval = *hint / (config_.reindex_updates + 1);
+  }
+
+  std::uint64_t since_update = 0;
+  for (;;) {
+    auto a = source.next();
+    if (!a) break;
+    cache.access(a->address, a->kind == AccessKind::kWrite);
+    if (interval != 0 && ++since_update >= interval &&
+        cache.policy().updates() < config_.reindex_updates) {
+      cache.update_indexing();
+      since_update = 0;
+    }
+  }
+  cache.finish();
+
+  const std::uint64_t cycles = cache.cycles();
+  const std::uint64_t m = config_.partition.num_banks;
+
+  SimResult r;
+  r.workload = source.name();
+  {
+    std::ostringstream os;
+    os << config_.cache.describe() << " M=" << m << " "
+       << to_string(config_.indexing);
+    r.config_label = os.str();
+  }
+  r.accesses = cycles;
+  r.breakeven_cycles = bc.breakeven_cycles;
+  r.reindex_updates_applied = cache.indexing_updates();
+  r.cache_stats = cache.cache().stats();
+
+  const BlockControl& bctl = cache.block_control();
+  std::vector<BankActivity> activity(m);
+  std::vector<double> residency(m);
+  r.banks.resize(m);
+  for (std::uint64_t b = 0; b < m; ++b) {
+    BankResult& br = r.banks[b];
+    br.accesses = bctl.accesses(b);
+    br.sleep_cycles = bctl.sleep_cycles(b);
+    br.sleep_residency = bctl.sleep_residency(b, cycles);
+    br.useful_idleness_count = bctl.useful_idleness_count(b);
+    br.sleep_episodes = bctl.sleep_episodes(b);
+    activity[b] = {br.accesses, br.sleep_cycles, br.sleep_episodes};
+    residency[b] = br.sleep_residency;
+  }
+
+  const EnergyModel model(config_.tech, config_.cache, config_.partition);
+  r.energy = EnergyAccounting(model).price_run(activity, cycles);
+
+  if (lut != nullptr) {
+    const CacheLifetimeEvaluator evaluator(*lut);
+    r.lifetime = evaluator.evaluate(residency);
+    for (std::uint64_t b = 0; b < m; ++b)
+      r.banks[b].lifetime_years = r.lifetime->banks[b].lifetime_years;
+  }
+  return r;
+}
+
+SimConfig monolithic_variant(const SimConfig& config) {
+  SimConfig mono = config;
+  mono.partition.num_banks = 1;
+  mono.indexing = IndexingKind::kStatic;
+  mono.reindex_updates = 0;
+  return mono;
+}
+
+SimConfig static_variant(const SimConfig& config) {
+  SimConfig st = config;
+  st.indexing = IndexingKind::kStatic;
+  st.reindex_updates = 0;
+  return st;
+}
+
+}  // namespace pcal

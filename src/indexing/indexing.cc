@@ -1,0 +1,134 @@
+#include "indexing/index_policy.h"
+
+#include <algorithm>
+
+#include "indexing/probing.h"
+#include "indexing/scrambling.h"
+#include "indexing/static_indexing.h"
+#include "util/bitops.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+void check_banks(std::uint64_t m) {
+  PCAL_CONFIG_CHECK(is_pow2(m), "bank count must be a power of two, got " << m);
+}
+
+}  // namespace
+
+const char* to_string(IndexingKind kind) {
+  switch (kind) {
+    case IndexingKind::kStatic: return "static";
+    case IndexingKind::kProbing: return "probing";
+    case IndexingKind::kScrambling: return "scrambling";
+  }
+  return "?";
+}
+
+std::unique_ptr<IndexingPolicy> make_indexing_policy(IndexingKind kind,
+                                                     std::uint64_t num_banks,
+                                                     std::uint64_t seed) {
+  check_banks(num_banks);
+  switch (kind) {
+    case IndexingKind::kStatic:
+      return std::make_unique<StaticIndexing>(num_banks);
+    case IndexingKind::kProbing:
+      return std::make_unique<ProbingIndexing>(num_banks);
+    case IndexingKind::kScrambling:
+      return std::make_unique<ScramblingIndexing>(num_banks, seed);
+  }
+  throw ConfigError("unknown indexing kind");
+}
+
+// ---- StaticIndexing ----
+
+StaticIndexing::StaticIndexing(std::uint64_t num_banks)
+    : num_banks_(num_banks) {
+  check_banks(num_banks_);
+}
+
+std::uint64_t StaticIndexing::map_bank(std::uint64_t logical_bank) const {
+  PCAL_ASSERT(logical_bank < num_banks_);
+  return logical_bank;
+}
+
+std::unique_ptr<IndexingPolicy> StaticIndexing::clone() const {
+  return std::make_unique<StaticIndexing>(*this);
+}
+
+// ---- ProbingIndexing ----
+
+ProbingIndexing::ProbingIndexing(std::uint64_t num_banks)
+    : num_banks_(num_banks) {
+  check_banks(num_banks_);
+}
+
+std::uint64_t ProbingIndexing::map_bank(std::uint64_t logical_bank) const {
+  PCAL_ASSERT(logical_bank < num_banks_);
+  // Truncation to p bits realizes the mod-M wrap, exactly as the p-bit
+  // adder of Fig. 3a does.
+  return (logical_bank + offset_) & (num_banks_ - 1);
+}
+
+void ProbingIndexing::update() {
+  offset_ = (offset_ + 1) & (num_banks_ - 1);
+  ++updates_;
+}
+
+void ProbingIndexing::reset() {
+  offset_ = 0;
+  updates_ = 0;
+}
+
+std::unique_ptr<IndexingPolicy> ProbingIndexing::clone() const {
+  return std::make_unique<ProbingIndexing>(*this);
+}
+
+// ---- ScramblingIndexing ----
+
+namespace {
+
+// LFSR width for a p-bit XOR pattern.  Deliberately wider than p: a
+// maximal LFSR of width exactly p never visits state 0, so truncating a
+// width-p register would *never* produce the identity pattern and the
+// physical bank equal to each logical bank would be systematically
+// under-rotated (measurably worse idleness balance for small M).  Taking
+// the low p bits of a wider maximal sequence makes all 2^p patterns,
+// including 0, appear near-uniformly.
+unsigned scrambling_lfsr_width(std::uint64_t num_banks) {
+  const unsigned p = log2_exact(num_banks == 1 ? 2 : num_banks);
+  return std::min(24u, std::max(2u, p) + 8u);
+}
+
+}  // namespace
+
+ScramblingIndexing::ScramblingIndexing(std::uint64_t num_banks,
+                                       std::uint64_t seed)
+    : num_banks_(num_banks),
+      seed_(seed),
+      lfsr_(scrambling_lfsr_width(num_banks), seed) {
+  check_banks(num_banks_);
+}
+
+std::uint64_t ScramblingIndexing::map_bank(std::uint64_t logical_bank) const {
+  PCAL_ASSERT(logical_bank < num_banks_);
+  return (logical_bank ^ pattern_) & (num_banks_ - 1);
+}
+
+void ScramblingIndexing::update() {
+  pattern_ = lfsr_.step();
+  ++updates_;
+}
+
+void ScramblingIndexing::reset() {
+  lfsr_ = GaloisLfsr(lfsr_.width(), seed_);
+  pattern_ = 0;
+  updates_ = 0;
+}
+
+std::unique_ptr<IndexingPolicy> ScramblingIndexing::clone() const {
+  return std::make_unique<ScramblingIndexing>(*this);
+}
+
+}  // namespace pcal

@@ -1,0 +1,36 @@
+// Probing indexing (paper Fig. 3a).
+//
+// Mimics linear probing in open-addressed hash tables: logical bank i maps
+// to physical bank (i + c) mod M, where c is a p-bit counter incremented by
+// every update.  In hardware this is a p-bit adder; modulo-M wraps for free
+// by truncation.  The paper notes (via [7]) that an increment of 1 gives a
+// *perfectly uniform* distribution of idleness once at least M updates have
+// been applied — each logical bank visits every physical slot equally.
+#pragma once
+
+#include "indexing/index_policy.h"
+
+namespace pcal {
+
+class ProbingIndexing final : public IndexingPolicy {
+ public:
+  explicit ProbingIndexing(std::uint64_t num_banks);
+
+  std::uint64_t map_bank(std::uint64_t logical_bank) const override;
+  void update() override;
+  void reset() override;
+  std::uint64_t num_banks() const override { return num_banks_; }
+  std::uint64_t updates() const override { return updates_; }
+  std::string name() const override { return "probing"; }
+  std::unique_ptr<IndexingPolicy> clone() const override;
+
+  /// Current rotation offset (the p-bit counter value).
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::uint64_t num_banks_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace pcal

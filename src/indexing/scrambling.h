@@ -1,0 +1,40 @@
+// Scrambling indexing (paper Fig. 3b).
+//
+// XORs the p-bit logical bank number with a pseudo-random pattern drawn
+// from an LFSR that steps on every update — the de-correlation idea of
+// XOR-based placement functions [21] applied at bank granularity.  XOR with
+// a constant is always a permutation of [0, M), so correctness needs no
+// further argument; uniformity is only asymptotic and depends on the LFSR's
+// repetition error (paper §IV-B.2: error ∝ 1/√N over N updates).
+#pragma once
+
+#include "indexing/index_policy.h"
+#include "util/lfsr.h"
+
+namespace pcal {
+
+class ScramblingIndexing final : public IndexingPolicy {
+ public:
+  /// `seed` must be nonzero; it seeds the LFSR.
+  ScramblingIndexing(std::uint64_t num_banks, std::uint64_t seed = 1);
+
+  std::uint64_t map_bank(std::uint64_t logical_bank) const override;
+  void update() override;
+  void reset() override;
+  std::uint64_t num_banks() const override { return num_banks_; }
+  std::uint64_t updates() const override { return updates_; }
+  std::string name() const override { return "scrambling"; }
+  std::unique_ptr<IndexingPolicy> clone() const override;
+
+  /// Current XOR pattern (p bits).
+  std::uint64_t pattern() const { return pattern_; }
+
+ private:
+  std::uint64_t num_banks_;
+  std::uint64_t seed_;
+  GaloisLfsr lfsr_;
+  std::uint64_t pattern_ = 0;  // time-zero mapping is the identity
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace pcal

@@ -1,0 +1,29 @@
+// Identity indexing: the conventional power-managed partitioned cache.
+//
+// This is the paper's baseline "LT0" architecture: banks are power managed
+// but addresses never move, so the least-idle bank ages fastest and caps
+// the whole cache's lifetime.
+#pragma once
+
+#include "indexing/index_policy.h"
+
+namespace pcal {
+
+class StaticIndexing final : public IndexingPolicy {
+ public:
+  explicit StaticIndexing(std::uint64_t num_banks);
+
+  std::uint64_t map_bank(std::uint64_t logical_bank) const override;
+  void update() override { ++updates_; }  // mapping is time invariant
+  void reset() override { updates_ = 0; }
+  std::uint64_t num_banks() const override { return num_banks_; }
+  std::uint64_t updates() const override { return updates_; }
+  std::string name() const override { return "static"; }
+  std::unique_ptr<IndexingPolicy> clone() const override;
+
+ private:
+  std::uint64_t num_banks_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace pcal

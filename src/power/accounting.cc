@@ -1,0 +1,47 @@
+#include "power/accounting.h"
+
+#include "util/error.h"
+
+namespace pcal {
+
+EnergyReport EnergyAccounting::price_run(
+    const std::vector<BankActivity>& activity,
+    std::uint64_t total_cycles) const {
+  const auto& cache = model_.cache();
+  const auto& partition = model_.partition();
+  PCAL_ASSERT_MSG(activity.size() == partition.num_banks,
+                  "activity size " << activity.size() << " != banks "
+                                   << partition.num_banks);
+
+  const double t_ns = static_cast<double>(total_cycles) * model_.tech().clock_ns;
+  const std::uint64_t bank_bytes = partition.bank_bytes(cache);
+  // mW * ns == pJ.
+  const double bank_leak_mw = model_.leakage_mw(bank_bytes);
+  const double bank_ret_mw = model_.retention_leakage_mw(bank_bytes);
+  const double e_access = model_.banked_access_energy_pj();
+  const double e_tr = model_.transition_energy_pj();
+
+  EnergyReport report;
+  std::uint64_t total_accesses = 0;
+  for (const BankActivity& a : activity) {
+    PCAL_ASSERT_MSG(a.sleep_cycles <= total_cycles,
+                    "bank sleeps longer than the run");
+    total_accesses += a.accesses;
+    const double sleep_ns =
+        static_cast<double>(a.sleep_cycles) * model_.tech().clock_ns;
+    report.partitioned.dynamic_pj +=
+        static_cast<double>(a.accesses) * e_access;
+    report.partitioned.leakage_active_pj += bank_leak_mw * (t_ns - sleep_ns);
+    report.partitioned.leakage_retention_pj += bank_ret_mw * sleep_ns;
+    report.partitioned.transition_pj +=
+        static_cast<double>(a.sleep_episodes) * e_tr;
+  }
+
+  report.baseline_pj =
+      static_cast<double>(total_accesses) *
+          model_.monolithic_access_energy_pj() +
+      model_.leakage_mw(cache.size_bytes) * t_ns;
+  return report;
+}
+
+}  // namespace pcal

@@ -1,0 +1,62 @@
+// Energy accounting over one simulation run.
+//
+// Consumes the per-bank activity statistics produced by BlockControl and
+// prices them with the EnergyModel.  The paper's energy-saving figure
+// (Tables II/III) compares the power-managed partitioned cache against a
+// monolithic, never-sleeping cache of the same geometry; both sides are
+// computed here from the same run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "power/energy_model.h"
+
+namespace pcal {
+
+/// Per-bank activity facts (extracted from BlockControl after finish()).
+struct BankActivity {
+  std::uint64_t accesses = 0;
+  std::uint64_t sleep_cycles = 0;
+  std::uint64_t sleep_episodes = 0;
+};
+
+/// Energy breakdown of one run (all in pJ).
+struct EnergyBreakdown {
+  double dynamic_pj = 0.0;      // bank accesses incl. decoder + wiring
+  double leakage_active_pj = 0.0;
+  double leakage_retention_pj = 0.0;
+  double transition_pj = 0.0;
+
+  double total_pj() const {
+    return dynamic_pj + leakage_active_pj + leakage_retention_pj +
+           transition_pj;
+  }
+};
+
+struct EnergyReport {
+  EnergyBreakdown partitioned;
+  double baseline_pj = 0.0;  // monolithic, never sleeping
+  /// Fractional saving vs the monolithic baseline (paper's Esav).
+  double saving() const {
+    return baseline_pj > 0.0 ? 1.0 - partitioned.total_pj() / baseline_pj
+                             : 0.0;
+  }
+};
+
+class EnergyAccounting {
+ public:
+  explicit EnergyAccounting(EnergyModel model) : model_(std::move(model)) {}
+
+  /// Prices a run of `total_cycles` with the given per-bank activity.
+  /// `activity.size()` must equal the partition's bank count.
+  EnergyReport price_run(const std::vector<BankActivity>& activity,
+                         std::uint64_t total_cycles) const;
+
+  const EnergyModel& model() const { return model_; }
+
+ private:
+  EnergyModel model_;
+};
+
+}  // namespace pcal

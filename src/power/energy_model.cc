@@ -1,0 +1,81 @@
+#include "power/energy_model.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pcal {
+
+EnergyModel::EnergyModel(TechnologyParams tech, CacheConfig cache,
+                         PartitionConfig partition)
+    : tech_(tech), cache_(cache), partition_(partition) {
+  cache_.validate();
+  partition_.validate(cache_);
+  PCAL_CONFIG_CHECK(tech_.vdd > tech_.vdd_retention &&
+                        tech_.vdd_retention > 0.0,
+                    "need vdd > vdd_retention > 0");
+  PCAL_CONFIG_CHECK(tech_.retention_leak_fraction > 0.0 &&
+                        tech_.retention_leak_fraction < 1.0,
+                    "retention leakage fraction must be in (0,1)");
+  PCAL_CONFIG_CHECK(tech_.clock_ns > 0.0, "clock period must be positive");
+}
+
+double EnergyModel::tag_bytes(std::uint64_t data_bytes) const {
+  const double lines =
+      static_cast<double>(data_bytes) / static_cast<double>(cache_.line_bytes);
+  return lines * static_cast<double>(cache_.tag_bits()) / 8.0;
+}
+
+double EnergyModel::access_energy_pj(std::uint64_t bytes) const {
+  const double kb = static_cast<double>(bytes) / 1024.0;
+  return tech_.dyn_base_pj + tech_.dyn_sqrt_pj * std::sqrt(kb) +
+         tech_.dyn_line_pj_per_byte * static_cast<double>(cache_.line_bytes);
+}
+
+double EnergyModel::leakage_mw(std::uint64_t bytes) const {
+  const double kb =
+      (static_cast<double>(bytes) + tag_bytes(bytes)) / 1024.0;
+  return tech_.leak_mw_per_kb * kb *
+         std::pow(kb / tech_.leak_ref_kb, tech_.leak_size_exponent);
+}
+
+double EnergyModel::retention_leakage_mw(std::uint64_t bytes) const {
+  return leakage_mw(bytes) * tech_.retention_leak_fraction;
+}
+
+double EnergyModel::transition_energy_pj() const {
+  const double bank_kb =
+      static_cast<double>(partition_.bank_bytes(cache_)) / 1024.0;
+  const double tag_component =
+      tech_.transition_tag_pj_per_bit_byte *
+      static_cast<double>(cache_.tag_bits()) *
+      static_cast<double>(cache_.line_bytes);
+  return tech_.transition_pj_per_kb * bank_kb + tag_component;
+}
+
+double EnergyModel::banked_access_energy_pj() const {
+  const double wiring =
+      1.0 + tech_.wiring_dyn_per_bank *
+                static_cast<double>(partition_.num_banks - 1);
+  return access_energy_pj(partition_.bank_bytes(cache_)) * wiring +
+         tech_.decoder_pj;
+}
+
+double EnergyModel::monolithic_access_energy_pj() const {
+  return access_energy_pj(cache_.size_bytes);
+}
+
+std::uint64_t EnergyModel::breakeven_cycles() const {
+  const double bank_bytes =
+      static_cast<double>(partition_.bank_bytes(cache_));
+  // Power saved while in retention (mW == pJ/ns).
+  const double saved_mw = leakage_mw(static_cast<std::uint64_t>(bank_bytes)) -
+                          retention_leakage_mw(
+                              static_cast<std::uint64_t>(bank_bytes));
+  PCAL_ASSERT(saved_mw > 0.0);
+  const double pj_per_cycle = saved_mw * tech_.clock_ns;
+  const double cycles = transition_energy_pj() / pj_per_cycle;
+  return static_cast<std::uint64_t>(std::ceil(cycles));
+}
+
+}  // namespace pcal

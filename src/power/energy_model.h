@@ -1,0 +1,70 @@
+// Analytical energy model for monolithic and partitioned caches.
+//
+// All quantities derive from TechnologyParams plus cache/partition
+// geometry.  The model answers four questions: what one access costs, what
+// an array leaks (active and in retention), what a Vdd transition costs,
+// and — combining the last two — the breakeven time that Block Control
+// must program into its saturating counters.
+#pragma once
+
+#include <cstdint>
+
+#include "bank/partition_config.h"
+#include "cache/cache_config.h"
+#include "power/tech_params.h"
+
+namespace pcal {
+
+class EnergyModel {
+ public:
+  EnergyModel(TechnologyParams tech, CacheConfig cache,
+              PartitionConfig partition);
+
+  const TechnologyParams& tech() const { return tech_; }
+  const CacheConfig& cache() const { return cache_; }
+  const PartitionConfig& partition() const { return partition_; }
+
+  // ---- building blocks ----
+
+  /// Dynamic energy (pJ) of one access to an array of `bytes` capacity
+  /// with the configured line width (data + tag read).
+  double access_energy_pj(std::uint64_t bytes) const;
+
+  /// Active leakage power (mW) of an array of `bytes` capacity, including
+  /// its tag bits.
+  double leakage_mw(std::uint64_t bytes) const;
+
+  /// Leakage power (mW) of the same array in retention.
+  double retention_leakage_mw(std::uint64_t bytes) const;
+
+  /// Energy (pJ) of one sleep/wake round trip of one bank (data + tag
+  /// reactivation).
+  double transition_energy_pj() const;
+
+  // ---- derived per-configuration quantities ----
+
+  /// Dynamic energy (pJ) of one access to one bank *through the partition*
+  /// (bank array + decoder D + wiring overhead for M banks).
+  double banked_access_energy_pj() const;
+
+  /// Dynamic energy (pJ) of one access to the monolithic baseline.
+  double monolithic_access_energy_pj() const;
+
+  /// Breakeven time in cycles: the idle time whose retention-state leakage
+  /// saving repays one Vdd transition.  Block Control counters saturate at
+  /// this value (paper: a few tens of cycles; 5-6 bit counters).
+  std::uint64_t breakeven_cycles() const;
+
+  /// Bits of tag storage per line for the configured geometry.
+  unsigned tag_bits_per_line() const { return cache_.tag_bits(); }
+
+  /// Tag bytes associated with an array of `bytes` of data.
+  double tag_bytes(std::uint64_t data_bytes) const;
+
+ private:
+  TechnologyParams tech_;
+  CacheConfig cache_;
+  PartitionConfig partition_;
+};
+
+}  // namespace pcal

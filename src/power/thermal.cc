@@ -1,0 +1,48 @@
+#include "power/thermal.h"
+
+#include "util/error.h"
+
+namespace pcal {
+
+std::vector<double> BankThermalModel::temperatures(
+    const std::vector<double>& bank_power_mw) const {
+  PCAL_ASSERT_MSG(!bank_power_mw.empty(), "no banks");
+  const double n = static_cast<double>(bank_power_mw.size());
+  double total = 0.0;
+  for (double p : bank_power_mw) {
+    PCAL_ASSERT_MSG(p >= 0.0, "negative bank power");
+    total += p;
+  }
+  std::vector<double> temps;
+  temps.reserve(bank_power_mw.size());
+  for (double p : bank_power_mw) {
+    const double others = bank_power_mw.size() > 1
+                              ? (total - p) / (n - 1.0)
+                              : 0.0;
+    const double effective = p + params_.neighbor_coupling * others;
+    temps.push_back(params_.ambient_c + params_.r_th_c_per_mw * effective);
+  }
+  return temps;
+}
+
+double BankThermalModel::average_power_mw(const EnergyModel& model,
+                                          const BankActivity& activity,
+                                          std::uint64_t total_cycles) {
+  if (total_cycles == 0) return 0.0;
+  const std::uint64_t bank_bytes =
+      model.partition().bank_bytes(model.cache());
+  const double t_ns =
+      static_cast<double>(total_cycles) * model.tech().clock_ns;
+  const double sleep_ns =
+      static_cast<double>(activity.sleep_cycles) * model.tech().clock_ns;
+  const double energy_pj =
+      static_cast<double>(activity.accesses) *
+          model.banked_access_energy_pj() +
+      model.leakage_mw(bank_bytes) * (t_ns - sleep_ns) +
+      model.retention_leakage_mw(bank_bytes) * sleep_ns +
+      static_cast<double>(activity.sleep_episodes) *
+          model.transition_energy_pj();
+  return energy_pj / t_ns;  // pJ / ns == mW
+}
+
+}  // namespace pcal

@@ -1,0 +1,21 @@
+// Memory-access record: the unit of work for the trace-driven simulator.
+//
+// The paper's evaluation is trace driven ("traces extracted from the
+// simulation of the MediaBench suite with an in-house cache simulator");
+// one access is consumed per simulated cycle.
+#pragma once
+
+#include <cstdint>
+
+namespace pcal {
+
+enum class AccessKind : std::uint8_t { kRead = 0, kWrite = 1 };
+
+struct MemAccess {
+  std::uint64_t address = 0;  // byte address
+  AccessKind kind = AccessKind::kRead;
+
+  friend bool operator==(const MemAccess&, const MemAccess&) = default;
+};
+
+}  // namespace pcal

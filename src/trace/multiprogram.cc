@@ -1,0 +1,61 @@
+#include "trace/multiprogram.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pcal {
+
+void MultiProgramConfig::validate() const {
+  PCAL_CONFIG_CHECK(!programs.empty(), "need at least one program");
+  PCAL_CONFIG_CHECK(quantum_accesses > 0, "quantum must be nonzero");
+  for (const auto& p : programs) p.validate();
+  for (const auto& p : programs) {
+    PCAL_CONFIG_CHECK(p.footprint_bytes <= address_stride,
+                      "program footprint exceeds the address stride; "
+                      "spaces would overlap");
+  }
+}
+
+MultiProgramSource::MultiProgramSource(MultiProgramConfig config,
+                                       std::uint64_t num_accesses)
+    : config_(std::move(config)), num_accesses_(num_accesses) {
+  config_.validate();
+  reset();
+}
+
+void MultiProgramSource::reset() {
+  produced_ = 0;
+  sources_.clear();
+  for (const auto& spec : config_.programs) {
+    // Each program individually produces up to the whole run's accesses;
+    // the scheduler decides how many it actually gets.
+    sources_.push_back(
+        std::make_unique<SyntheticTraceSource>(spec, num_accesses_));
+  }
+}
+
+std::optional<MemAccess> MultiProgramSource::next() {
+  if (produced_ >= num_accesses_) return std::nullopt;
+  const std::uint64_t prog = program_at(produced_);
+  ++produced_;
+  auto a = sources_[prog]->next();
+  // Programs are sized to the whole run, so they cannot run dry before
+  // the scheduler does.
+  PCAL_ASSERT(a.has_value());
+  a->address += prog * config_.address_stride;
+  return a;
+}
+
+std::string MultiProgramSource::name() const {
+  std::ostringstream os;
+  os << "multi[";
+  for (std::size_t i = 0; i < config_.programs.size(); ++i) {
+    if (i) os << '+';
+    os << config_.programs[i].name;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace pcal

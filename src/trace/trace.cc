@@ -1,0 +1,25 @@
+#include "trace/trace.h"
+
+namespace pcal {
+
+std::optional<MemAccess> Trace::next() {
+  if (pos_ >= accesses_.size()) return std::nullopt;
+  return accesses_[pos_++];
+}
+
+Trace Trace::materialize(TraceSource& source, std::uint64_t max_accesses) {
+  source.reset();
+  std::vector<MemAccess> out;
+  if (auto h = source.size_hint())
+    out.reserve(static_cast<std::size_t>(std::min(*h, max_accesses)));
+  std::uint64_t n = 0;
+  while (n < max_accesses) {
+    auto a = source.next();
+    if (!a) break;
+    out.push_back(*a);
+    ++n;
+  }
+  return Trace(source.name(), std::move(out));
+}
+
+}  // namespace pcal

@@ -1,0 +1,97 @@
+// Trace containers and the streaming source interface.
+//
+// Simulations can either consume a materialized Trace (useful for tests and
+// for replaying imported trace files) or pull from a TraceSource (used by
+// the synthetic generators so multi-million-access runs never materialize
+// the whole trace).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/access.h"
+
+namespace pcal {
+
+/// Pull-based access stream.  next() returns nullopt at end of trace.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  virtual std::optional<MemAccess> next() = 0;
+
+  /// Restart the stream from the beginning (must be supported; generators
+  /// reseed, vectors rewind).
+  virtual void reset() = 0;
+
+  /// Total number of accesses this source will produce, if known.
+  virtual std::optional<std::uint64_t> size_hint() const { return {}; }
+
+  /// Human-readable workload name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// A fully materialized trace.
+class Trace final : public TraceSource {
+ public:
+  Trace() = default;
+  Trace(std::string trace_name, std::vector<MemAccess> accesses)
+      : name_(std::move(trace_name)), accesses_(std::move(accesses)) {}
+
+  // TraceSource:
+  std::optional<MemAccess> next() override;
+  void reset() override { pos_ = 0; }
+  std::optional<std::uint64_t> size_hint() const override {
+    return accesses_.size();
+  }
+  std::string name() const override { return name_; }
+
+  // Container access:
+  std::size_t size() const { return accesses_.size(); }
+  bool empty() const { return accesses_.empty(); }
+  const MemAccess& operator[](std::size_t i) const { return accesses_[i]; }
+  void push_back(MemAccess a) { accesses_.push_back(a); }
+  const std::vector<MemAccess>& accesses() const { return accesses_; }
+
+  /// Materializes any source (reads it to exhaustion from its start).
+  static Trace materialize(TraceSource& source,
+                           std::uint64_t max_accesses = UINT64_MAX);
+
+ private:
+  std::string name_ = "trace";
+  std::vector<MemAccess> accesses_;
+  std::size_t pos_ = 0;
+};
+
+/// Wraps a source and truncates it after `limit` accesses.
+class TruncatedSource final : public TraceSource {
+ public:
+  TruncatedSource(TraceSource& inner, std::uint64_t limit)
+      : inner_(&inner), limit_(limit) {}
+
+  std::optional<MemAccess> next() override {
+    if (produced_ >= limit_) return std::nullopt;
+    auto a = inner_->next();
+    if (a) ++produced_;
+    return a;
+  }
+  void reset() override {
+    inner_->reset();
+    produced_ = 0;
+  }
+  std::optional<std::uint64_t> size_hint() const override {
+    auto h = inner_->size_hint();
+    if (!h) return limit_;
+    return std::min(*h, limit_);
+  }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  TraceSource* inner_;
+  std::uint64_t limit_;
+  std::uint64_t produced_ = 0;
+};
+
+}  // namespace pcal

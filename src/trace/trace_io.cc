@@ -1,0 +1,134 @@
+#include "trace/trace_io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace pcal {
+namespace {
+
+constexpr char kBinaryMagic[8] = {'P', 'C', 'A', 'L', 'T', 'R', 'C', '1'};
+
+void put_u64_le(std::ostream& os, std::uint64_t v) {
+  std::array<char, 8> buf;
+  for (int i = 0; i < 8; ++i)
+    buf[static_cast<std::size_t>(i)] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf.data(), 8);
+}
+
+std::uint64_t get_u64_le(std::istream& is) {
+  std::array<char, 8> buf;
+  is.read(buf.data(), 8);
+  if (!is) throw ParseError("truncated binary trace");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) |
+        static_cast<std::uint64_t>(
+            static_cast<unsigned char>(buf[static_cast<std::size_t>(i)]));
+  return v;
+}
+
+}  // namespace
+
+void write_trace_text(const Trace& trace, std::ostream& os) {
+  os << "# pcal trace: " << trace.name() << '\n';
+  os << "# " << trace.size() << " accesses\n";
+  os << std::hex;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const MemAccess& a = trace[i];
+    os << (a.kind == AccessKind::kWrite ? 'W' : 'R') << " 0x" << a.address
+       << '\n';
+  }
+  os << std::dec;
+}
+
+Trace read_trace_text(std::istream& is, const std::string& name) {
+  std::vector<MemAccess> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    if (t.size() < 3 || (t[0] != 'R' && t[0] != 'W' && t[0] != 'r' &&
+                         t[0] != 'w') ||
+        t[1] != ' ') {
+      throw ParseError("trace text line " + std::to_string(lineno) +
+                       ": expected 'R <addr>' or 'W <addr>'");
+    }
+    const std::string addr_str{trim(t.substr(2))};
+    std::uint64_t addr = 0;
+    try {
+      std::size_t consumed = 0;
+      addr = std::stoull(addr_str, &consumed, 0);  // 0 base: 0x / decimal
+      if (consumed != addr_str.size()) throw std::invalid_argument("tail");
+    } catch (const std::exception&) {
+      throw ParseError("trace text line " + std::to_string(lineno) +
+                       ": bad address '" + addr_str + "'");
+    }
+    out.push_back({addr, (t[0] == 'W' || t[0] == 'w') ? AccessKind::kWrite
+                                                      : AccessKind::kRead});
+  }
+  return Trace(name, std::move(out));
+}
+
+void write_trace_binary(const Trace& trace, std::ostream& os) {
+  os.write(kBinaryMagic, sizeof(kBinaryMagic));
+  put_u64_le(os, trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const MemAccess& a = trace[i];
+    put_u64_le(os, a.address);
+    const char k = a.kind == AccessKind::kWrite ? 1 : 0;
+    os.write(&k, 1);
+  }
+}
+
+Trace read_trace_binary(std::istream& is, const std::string& name) {
+  char magic[8];
+  is.read(magic, 8);
+  if (!is || std::memcmp(magic, kBinaryMagic, 8) != 0)
+    throw ParseError("bad binary trace magic");
+  const std::uint64_t count = get_u64_le(is);
+  std::vector<MemAccess> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t addr = get_u64_le(is);
+    char k = 0;
+    is.read(&k, 1);
+    if (!is) throw ParseError("truncated binary trace record");
+    out.push_back(
+        {addr, k ? AccessKind::kWrite : AccessKind::kRead});
+  }
+  return Trace(name, std::move(out));
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw ParseError("cannot open trace file: " + path);
+  char magic[8] = {};
+  f.read(magic, 8);
+  f.clear();
+  f.seekg(0);
+  const std::string base = path.substr(path.find_last_of('/') + 1);
+  if (std::memcmp(magic, kBinaryMagic, 8) == 0)
+    return read_trace_binary(f, base);
+  return read_trace_text(f, base);
+}
+
+void save_trace_file(const Trace& trace, const std::string& path,
+                     bool binary) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw ParseError("cannot open trace file for writing: " + path);
+  if (binary)
+    write_trace_binary(trace, f);
+  else
+    write_trace_text(trace, f);
+}
+
+}  // namespace pcal

@@ -1,0 +1,35 @@
+// Trace file import/export.
+//
+// Two formats:
+//  - Text: one access per line, "R 0x<hex>" or "W 0x<hex>", '#' comments.
+//    Interoperable with common academic trace dumps (Dinero-like).
+//  - Binary: "PCALTRC1" magic, then little-endian u64 count and packed
+//    records (u64 address, u8 kind).  Compact and fast for large traces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace pcal {
+
+/// Writes the text format.
+void write_trace_text(const Trace& trace, std::ostream& os);
+
+/// Parses the text format.  Throws ParseError on malformed lines.
+Trace read_trace_text(std::istream& is, const std::string& name = "trace");
+
+/// Writes the binary format.
+void write_trace_binary(const Trace& trace, std::ostream& os);
+
+/// Parses the binary format.  Throws ParseError on corruption.
+Trace read_trace_binary(std::istream& is, const std::string& name = "trace");
+
+/// Loads a trace from a path, sniffing the format from the magic bytes.
+Trace load_trace_file(const std::string& path);
+
+/// Saves to a path; binary iff `binary`.
+void save_trace_file(const Trace& trace, const std::string& path, bool binary);
+
+}  // namespace pcal

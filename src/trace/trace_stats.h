@@ -1,0 +1,33 @@
+// Trace-level statistics: footprint, read/write mix, spatial reuse.
+//
+// Useful for validating that synthetic workloads look like real programs
+// (nontrivial reuse, bounded footprint) and for the trace_analysis example.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "trace/trace.h"
+
+namespace pcal {
+
+struct TraceStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t distinct_lines = 0;   // at `line_bytes` granularity
+  std::uint64_t footprint_bytes = 0;  // distinct_lines * line_bytes
+  std::uint64_t min_address = 0;
+  std::uint64_t max_address = 0;
+  double write_fraction = 0.0;
+  /// Fraction of accesses whose line was accessed before (any distance).
+  double reuse_fraction = 0.0;
+  /// Average reuse distance in accesses (over re-accessed lines).
+  double mean_reuse_distance = 0.0;
+};
+
+/// Single-pass trace characterization at `line_bytes` granularity.
+TraceStats compute_trace_stats(TraceSource& source,
+                               std::uint64_t line_bytes = 16);
+
+}  // namespace pcal

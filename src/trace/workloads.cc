@@ -1,0 +1,264 @@
+#include "trace/workloads.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+// Per-benchmark flavor: how the program touches memory when it is active.
+struct Flavor {
+  StreamPattern pattern = StreamPattern::kZipf;
+  StreamSchedule schedule = StreamSchedule::kEvenDuty;
+  double zipf_s = 0.9;
+  double write_fraction = 0.25;
+  std::uint64_t walk_bytes = 4;
+  std::uint64_t stride_bytes = 64;
+  std::uint64_t burst_len = 8;
+  // Sub-duty of the gated sibling stream covering the upper half of each
+  // bank image; controls how much *extra* idleness appears at 2x finer bank
+  // granularity (Table IV: M=8 idleness > M=4 idleness).
+  double kappa = 0.44;
+};
+
+struct BenchmarkDef {
+  const char* name;
+  std::array<double, 4> idleness_pct;  // Table I row, in percent
+  Flavor flavor;
+};
+
+// Table I of the paper, verbatim, plus an access-pattern flavor matching
+// each program's character.
+const BenchmarkDef kBenchmarks[] = {
+    {"adpcm.dec",
+     {2.46, 99.98, 99.98, 3.75},
+     {StreamPattern::kSequential, StreamSchedule::kEvenDuty, 0.9, 0.30, 4, 64,
+      8, 0.50}},
+    {"cjpeg",
+     {22.64, 53.24, 59.37, 9.51},
+     {StreamPattern::kSequential, StreamSchedule::kBlocked, 0.9, 0.35, 8, 64,
+      12, 0.45}},
+    {"CRC32",
+     {18.54, 2.19, 44.38, 2.88},
+     {StreamPattern::kSequential, StreamSchedule::kEvenDuty, 0.9, 0.05, 4, 64,
+      8, 0.40}},
+    {"dijkstra",
+     {12.06, 18.55, 50.65, 56.28},
+     {StreamPattern::kZipf, StreamSchedule::kEvenDuty, 1.1, 0.15, 4, 64, 8,
+      0.40}},
+    {"djpeg",
+     {67.66, 29.23, 27.89, 24.97},
+     {StreamPattern::kSequential, StreamSchedule::kBlocked, 0.9, 0.40, 8, 64,
+      10, 0.45}},
+    {"fft_1",
+     {49.35, 48.34, 61.32, 9.12},
+     {StreamPattern::kStrided, StreamSchedule::kEvenDuty, 0.9, 0.30, 4, 128,
+      8, 0.42}},
+    {"fft_2",
+     {54.78, 51.82, 58.03, 6.96},
+     {StreamPattern::kStrided, StreamSchedule::kEvenDuty, 0.9, 0.30, 4, 256,
+      8, 0.42}},
+    {"gsmd",
+     {6.92, 90.81, 92.82, 0.40},
+     {StreamPattern::kSequential, StreamSchedule::kEvenDuty, 0.9, 0.30, 4, 64,
+      8, 0.50}},
+    {"gsme",
+     {49.17, 72.88, 89.34, 0.37},
+     {StreamPattern::kSequential, StreamSchedule::kEvenDuty, 0.9, 0.30, 4, 64,
+      8, 0.50}},
+    {"ispell",
+     {66.36, 55.63, 44.82, 21.04},
+     {StreamPattern::kZipf, StreamSchedule::kEvenDuty, 1.0, 0.10, 4, 64, 8,
+      0.40}},
+    {"lame",
+     {58.78, 32.94, 38.62, 13.74},
+     {StreamPattern::kStrided, StreamSchedule::kBlocked, 0.9, 0.35, 4, 96, 10,
+      0.45}},
+    {"mad",
+     {37.25, 48.74, 34.00, 28.10},
+     {StreamPattern::kSequential, StreamSchedule::kEvenDuty, 0.9, 0.30, 8, 64,
+      8, 0.45}},
+    {"rijndael_i",
+     {82.35, 31.72, 22.61, 3.71},
+     {StreamPattern::kZipf, StreamSchedule::kEvenDuty, 1.2, 0.20, 4, 64, 8,
+      0.35}},
+    {"rijndael_o",
+     {20.59, 19.45, 91.78, 3.63},
+     {StreamPattern::kZipf, StreamSchedule::kEvenDuty, 1.2, 0.20, 4, 64, 8,
+      0.35}},
+    {"say",
+     {88.53, 85.51, 26.59, 12.42},
+     {StreamPattern::kZipf, StreamSchedule::kEvenDuty, 1.0, 0.25, 4, 64, 8,
+      0.45}},
+    {"search",
+     {66.57, 23.43, 48.00, 57.78},
+     {StreamPattern::kZipf, StreamSchedule::kEvenDuty, 1.0, 0.10, 4, 64, 8,
+      0.40}},
+    {"sha",
+     {4.91, 98.62, 94.09, 3.13},
+     {StreamPattern::kSequential, StreamSchedule::kEvenDuty, 0.9, 0.15, 4, 64,
+      8, 0.45}},
+    {"tiff2bw",
+     {33.88, 17.43, 67.38, 70.49},
+     {StreamPattern::kSequential, StreamSchedule::kBlocked, 0.9, 0.45, 8, 64,
+      12, 0.45}},
+};
+
+constexpr std::uint64_t kFootprint = 64 * 1024;  // 8 images of the 8kB cache
+constexpr std::uint64_t kBankImage = 2048;       // one M=4 bank of the 8kB ref
+constexpr std::uint64_t kHalfBank = kBankImage / 2;
+
+WorkloadSpec build(const BenchmarkDef& def, std::size_t bench_index) {
+  WorkloadSpec spec;
+  spec.name = def.name;
+  spec.footprint_bytes = kFootprint;
+  spec.window_len = 2000;
+  spec.write_fraction = def.flavor.write_fraction;
+  spec.seed = 0x5CA1AB1Eu + bench_index * 0x9E37u;
+
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    const double idleness = def.idleness_pct[b] / 100.0;
+    const double duty = std::clamp(1.0 - idleness, 0.0, 1.0);
+    // Place bank b's image at a benchmark-dependent footprint repeat so
+    // different cache sizes see well-spread (not aliased) placements, while
+    // (offset mod 8kB) / 2kB == b keeps the reference-config mapping exact.
+    const std::uint64_t repeat = (3 * b + bench_index) % 8;
+    const std::uint64_t base = repeat * 8192 + b * kBankImage;
+
+    StreamSpec parent;
+    parent.range_begin = base;
+    parent.range_end = base + kHalfBank;
+    parent.duty = duty;
+    parent.weight = 1.0;
+    parent.pattern = def.flavor.pattern;
+    parent.schedule = def.flavor.schedule;
+    parent.burst_len = def.flavor.burst_len;
+    parent.phase = 37 * b + 11 * bench_index;
+    parent.stride_bytes = def.flavor.stride_bytes;
+    parent.walk_bytes = def.flavor.walk_bytes;
+    parent.zipf_s = def.flavor.zipf_s;
+    const int parent_idx = static_cast<int>(spec.streams.size());
+    spec.streams.push_back(parent);
+
+    // Gated sibling: upper half of the bank image, active in a kappa
+    // sub-fraction of the parent's windows.  The union duty stays exactly
+    // `duty` (Table I is preserved) while the upper half-bank idles more,
+    // creating the extra idleness finer partitions can harvest (Table IV).
+    StreamSpec child = parent;
+    child.range_begin = base + kHalfBank;
+    child.range_end = base + kBankImage;
+    child.duty = def.flavor.kappa;
+    child.weight = 0.6;
+    child.gate = parent_idx;
+    child.phase = 0;
+    // Vary the sibling's texture a little: decoders re-walk, others stay.
+    if (child.pattern == StreamPattern::kStrided)
+      child.pattern = StreamPattern::kSequential;
+    spec.streams.push_back(child);
+  }
+  return spec;
+}
+
+}  // namespace
+
+double BenchmarkSignature::min() const {
+  return *std::min_element(bank_idleness.begin(), bank_idleness.end());
+}
+
+double BenchmarkSignature::max() const {
+  return *std::max_element(bank_idleness.begin(), bank_idleness.end());
+}
+
+const std::vector<BenchmarkSignature>& mediabench_signatures() {
+  static const std::vector<BenchmarkSignature> sigs = [] {
+    std::vector<BenchmarkSignature> out;
+    for (const auto& def : kBenchmarks) {
+      BenchmarkSignature s;
+      s.name = def.name;
+      for (int b = 0; b < 4; ++b)
+        s.bank_idleness[static_cast<std::size_t>(b)] =
+            def.idleness_pct[static_cast<std::size_t>(b)] / 100.0;
+      out.push_back(std::move(s));
+    }
+    return out;
+  }();
+  return sigs;
+}
+
+WorkloadSpec make_mediabench_workload(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kBenchmarks); ++i) {
+    if (name == kBenchmarks[i].name) return build(kBenchmarks[i], i);
+  }
+  throw ConfigError("unknown MediaBench workload: " + name);
+}
+
+std::vector<WorkloadSpec> all_mediabench_workloads() {
+  std::vector<WorkloadSpec> out;
+  out.reserve(std::size(kBenchmarks));
+  for (std::size_t i = 0; i < std::size(kBenchmarks); ++i)
+    out.push_back(build(kBenchmarks[i], i));
+  return out;
+}
+
+WorkloadSpec make_uniform_workload(std::uint64_t footprint_bytes,
+                                   std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "uniform";
+  spec.footprint_bytes = footprint_bytes;
+  spec.window_len = 2000;
+  spec.write_fraction = 0.3;
+  spec.seed = seed;
+  StreamSpec s;
+  s.range_begin = 0;
+  s.range_end = footprint_bytes;
+  s.duty = 1.0;
+  s.schedule = StreamSchedule::kAlways;
+  s.pattern = StreamPattern::kUniformRandom;
+  spec.streams.push_back(s);
+  return spec;
+}
+
+WorkloadSpec make_streaming_workload(std::uint64_t footprint_bytes,
+                                     std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "streaming";
+  spec.footprint_bytes = footprint_bytes;
+  spec.window_len = 2000;
+  spec.write_fraction = 0.1;
+  spec.seed = seed;
+  StreamSpec s;
+  s.range_begin = 0;
+  s.range_end = footprint_bytes;
+  s.duty = 1.0;
+  s.schedule = StreamSchedule::kAlways;
+  s.pattern = StreamPattern::kSequential;
+  s.walk_bytes = 8;
+  spec.streams.push_back(s);
+  return spec;
+}
+
+WorkloadSpec make_hotspot_workload(std::uint64_t footprint_bytes,
+                                   double hot_duty, double cold_duty,
+                                   std::uint64_t seed) {
+  PCAL_CONFIG_CHECK(footprint_bytes >= 8192,
+                    "hotspot workload needs >= 8kB footprint");
+  WorkloadSpec spec;
+  spec.name = "hotspot";
+  spec.footprint_bytes = footprint_bytes;
+  spec.window_len = 2000;
+  spec.write_fraction = 0.25;
+  spec.seed = seed;
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    StreamSpec s;
+    s.range_begin = b * kBankImage;
+    s.range_end = (b + 1) * kBankImage;
+    s.duty = (b == 0) ? hot_duty : cold_duty;
+    s.pattern = StreamPattern::kZipf;
+    s.phase = 17 * b;
+    spec.streams.push_back(s);
+  }
+  return spec;
+}
+
+}  // namespace pcal

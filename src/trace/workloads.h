@@ -1,0 +1,70 @@
+// The paper's benchmark suite, rebuilt as synthetic workload specs.
+//
+// The DATE'11 evaluation uses 18 MediaBench/MiBench programs.  We cannot
+// redistribute their traces, so each program is modeled as a WorkloadSpec
+// whose per-bank useful-idleness signature on the reference configuration
+// (8kB direct-mapped cache, 16B lines, M = 4 banks) reproduces the
+// corresponding row of the paper's Table I.  Access patterns are chosen to
+// match each program's character (streaming decoders walk sequentially,
+// crypto kernels hammer Zipf-hot lookup tables, FFTs stride, ...), which
+// gives realistic hit rates and, through spatial concentration, the
+// idleness growth at finer bank granularity the paper reports in Table IV.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.h"
+
+namespace pcal {
+
+/// Table I reference idleness signature (fractions, not percent) of one
+/// benchmark on the 8kB / 16B-line / 4-bank reference configuration.
+struct BenchmarkSignature {
+  std::string name;
+  std::array<double, 4> bank_idleness;  // I0..I3 of Table I
+
+  double average() const {
+    return (bank_idleness[0] + bank_idleness[1] + bank_idleness[2] +
+            bank_idleness[3]) /
+           4.0;
+  }
+  double min() const;
+  double max() const;
+};
+
+/// All 18 benchmark signatures, in the paper's (alphabetical) order.
+const std::vector<BenchmarkSignature>& mediabench_signatures();
+
+/// Builds the synthetic workload spec for one benchmark by name.
+/// Throws ConfigError for unknown names.
+WorkloadSpec make_mediabench_workload(const std::string& name);
+
+/// All 18 workload specs, in the paper's order.
+std::vector<WorkloadSpec> all_mediabench_workloads();
+
+/// The number of accesses per workload used by the paper-table benches.
+/// Chosen so the trace spans many scheduling windows (stable idleness
+/// statistics) and many re-indexing updates (measured, not assumed,
+/// uniformity).
+constexpr std::uint64_t kDefaultTraceAccesses = 2'000'000;
+
+// ---- generic workloads (examples/tests) ----
+
+/// Uniform random accesses over a footprint: near-zero useful idleness.
+WorkloadSpec make_uniform_workload(std::uint64_t footprint_bytes,
+                                   std::uint64_t seed = 7);
+
+/// A pure streaming workload (sequential walk over the footprint).
+WorkloadSpec make_streaming_workload(std::uint64_t footprint_bytes,
+                                     std::uint64_t seed = 7);
+
+/// A workload with one hot bank and three cold ones: the adversarial case
+/// for non-reindexed power management (worst-case aging).
+WorkloadSpec make_hotspot_workload(std::uint64_t footprint_bytes,
+                                   double hot_duty = 1.0,
+                                   double cold_duty = 0.05,
+                                   std::uint64_t seed = 7);
+
+}  // namespace pcal

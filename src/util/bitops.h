@@ -1,0 +1,58 @@
+// Bit-manipulation helpers used by cache geometry and the bank decoder.
+//
+// Cache indexing is all powers of two; these helpers make the intent
+// explicit and validated instead of scattering shifts and masks around.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace pcal {
+
+/// True iff `v` is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two. Throws if `v` is not a power of two.
+inline unsigned log2_exact(std::uint64_t v) {
+  PCAL_ASSERT_MSG(is_pow2(v), "log2_exact requires a power of two, got " << v);
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Ceiling log2 (log2_ceil(1) == 0). Throws on zero.
+inline unsigned log2_ceil(std::uint64_t v) {
+  PCAL_ASSERT(v != 0);
+  return static_cast<unsigned>(64 - std::countl_zero(v - 1));
+}
+
+/// A mask with the low `bits` bits set. `bits` may be 0..64.
+constexpr std::uint64_t low_mask(unsigned bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/// Extract `count` bits of `v` starting at bit `lsb` (LSB-numbered).
+constexpr std::uint64_t extract_bits(std::uint64_t v, unsigned lsb,
+                                     unsigned count) {
+  return (v >> lsb) & low_mask(count);
+}
+
+/// Replace `count` bits of `v` at `lsb` with the low bits of `field`.
+constexpr std::uint64_t deposit_bits(std::uint64_t v, unsigned lsb,
+                                     unsigned count, std::uint64_t field) {
+  const std::uint64_t m = low_mask(count) << lsb;
+  return (v & ~m) | ((field << lsb) & m);
+}
+
+/// Population count convenience wrapper.
+constexpr unsigned popcount64(std::uint64_t v) {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+/// Round `v` up to the next power of two (identity on powers of two).
+inline std::uint64_t next_pow2(std::uint64_t v) {
+  if (v <= 1) return 1;
+  return std::uint64_t{1} << log2_ceil(v);
+}
+
+}  // namespace pcal

@@ -1,0 +1,105 @@
+#include "util/interp.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+void check_axis(const std::vector<double>& xs, const char* name) {
+  PCAL_ASSERT_MSG(!xs.empty(), "empty axis " << name);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    PCAL_ASSERT_MSG(xs[i] > xs[i - 1],
+                    "axis " << name << " not strictly increasing at " << i);
+  }
+}
+
+/// Returns the left index i of the segment containing x, clamped so that
+/// both i and i+1 are valid (for a size-1 axis returns 0 with weight 0).
+std::pair<std::size_t, double> segment(const std::vector<double>& xs,
+                                       double x) {
+  if (xs.size() == 1 || x <= xs.front()) return {0, 0.0};
+  if (x >= xs.back()) return {xs.size() - 2, 1.0};
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - xs.begin()) - 1;
+  const double t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+  return {i, t};
+}
+
+}  // namespace
+
+LinearTable1D::LinearTable1D(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  check_axis(xs_, "x");
+  PCAL_ASSERT_MSG(xs_.size() == ys_.size(), "axis/value size mismatch");
+}
+
+double LinearTable1D::operator()(double x) const {
+  PCAL_ASSERT(!xs_.empty());
+  if (xs_.size() == 1) return ys_[0];
+  const auto [i, t] = segment(xs_, x);
+  return ys_[i] + t * (ys_[i + 1] - ys_[i]);
+}
+
+BilinearTable2D::BilinearTable2D(std::vector<double> xs,
+                                 std::vector<double> ys,
+                                 std::vector<double> values_row_major)
+    : xs_(std::move(xs)),
+      ys_(std::move(ys)),
+      values_(std::move(values_row_major)) {
+  check_axis(xs_, "x");
+  check_axis(ys_, "y");
+  PCAL_ASSERT_MSG(values_.size() == xs_.size() * ys_.size(),
+                  "value grid size mismatch: " << values_.size() << " != "
+                                               << xs_.size() * ys_.size());
+}
+
+double BilinearTable2D::at(std::size_t i, std::size_t j) const {
+  PCAL_ASSERT(i < xs_.size() && j < ys_.size());
+  return values_[i * ys_.size() + j];
+}
+
+double BilinearTable2D::operator()(double x, double y) const {
+  PCAL_ASSERT(!values_.empty());
+  const auto [i, tx] = segment(xs_, x);
+  const auto [j, ty] = segment(ys_, y);
+  if (xs_.size() == 1 && ys_.size() == 1) return at(0, 0);
+  if (xs_.size() == 1) return at(0, j) + ty * (at(0, j + 1) - at(0, j));
+  if (ys_.size() == 1) return at(i, 0) + tx * (at(i + 1, 0) - at(i, 0));
+  const double z00 = at(i, j), z01 = at(i, j + 1);
+  const double z10 = at(i + 1, j), z11 = at(i + 1, j + 1);
+  const double z0 = z00 + ty * (z01 - z00);
+  const double z1 = z10 + ty * (z11 - z10);
+  return z0 + tx * (z1 - z0);
+}
+
+void BilinearTable2D::serialize(std::ostream& os) const {
+  os.precision(17);
+  os << "pcal-bilinear-v1\n" << xs_.size() << ' ' << ys_.size() << '\n';
+  for (double v : xs_) os << v << ' ';
+  os << '\n';
+  for (double v : ys_) os << v << ' ';
+  os << '\n';
+  for (double v : values_) os << v << ' ';
+  os << '\n';
+}
+
+BilinearTable2D BilinearTable2D::deserialize(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  if (magic != "pcal-bilinear-v1") throw ParseError("bad table magic");
+  std::size_t nx = 0, ny = 0;
+  is >> nx >> ny;
+  if (!is || nx == 0 || ny == 0) throw ParseError("bad table dimensions");
+  std::vector<double> xs(nx), ys(ny), vals(nx * ny);
+  for (auto& v : xs) is >> v;
+  for (auto& v : ys) is >> v;
+  for (auto& v : vals) is >> v;
+  if (!is) throw ParseError("truncated table data");
+  return BilinearTable2D(std::move(xs), std::move(ys), std::move(vals));
+}
+
+}  // namespace pcal

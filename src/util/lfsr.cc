@@ -1,0 +1,60 @@
+#include "util/lfsr.h"
+
+#include "util/bitops.h"
+
+namespace pcal {
+
+std::uint64_t GaloisLfsr::taps_for_width(unsigned width) {
+  // Maximal-length feedback polynomials (tap masks, LSB-first convention:
+  // bit i set means x^(i+1) term feeds back).  Standard tables, e.g.
+  // Xilinx XAPP052 / Numerical Recipes.
+  switch (width) {
+    case 2:  return 0x3;        // x^2 + x + 1
+    case 3:  return 0x6;        // x^3 + x^2 + 1
+    case 4:  return 0xC;        // x^4 + x^3 + 1
+    case 5:  return 0x14;       // x^5 + x^3 + 1
+    case 6:  return 0x30;       // x^6 + x^5 + 1
+    case 7:  return 0x60;       // x^7 + x^6 + 1
+    case 8:  return 0xB8;       // x^8 + x^6 + x^5 + x^4 + 1
+    case 9:  return 0x110;      // x^9 + x^5 + 1
+    case 10: return 0x240;      // x^10 + x^7 + 1
+    case 11: return 0x500;      // x^11 + x^9 + 1
+    case 12: return 0xE08;      // x^12 + x^11 + x^10 + x^4 + 1
+    case 13: return 0x1C80;     // x^13 + x^12 + x^11 + x^8 + 1
+    case 14: return 0x3802;     // x^14 + x^13 + x^12 + x^2 + 1
+    case 15: return 0x6000;     // x^15 + x^14 + 1
+    case 16: return 0xD008;     // x^16 + x^15 + x^13 + x^4 + 1
+    case 17: return 0x12000;    // x^17 + x^14 + 1
+    case 18: return 0x20400;    // x^18 + x^11 + 1
+    case 19: return 0x72000;    // x^19 + x^18 + x^17 + x^14 + 1
+    case 20: return 0x90000;    // x^20 + x^17 + 1
+    case 21: return 0x140000;   // x^21 + x^19 + 1
+    case 22: return 0x300000;   // x^22 + x^21 + 1
+    case 23: return 0x420000;   // x^23 + x^18 + 1
+    case 24: return 0xE10000;   // x^24 + x^23 + x^22 + x^17 + 1
+    default:
+      PCAL_ASSERT_MSG(false, "no LFSR taps for width " << width);
+  }
+}
+
+GaloisLfsr::GaloisLfsr(unsigned w, std::uint64_t seed)
+    : width_(w),
+      taps_(taps_for_width(w)),
+      mask_(low_mask(w)),
+      state_(seed & mask_) {
+  PCAL_ASSERT_MSG(state_ != 0, "LFSR seed must be nonzero modulo 2^width");
+}
+
+std::uint64_t GaloisLfsr::step() {
+  // Canonical right-shift Galois update: the tap mask has bit j set iff the
+  // polynomial has an x^(j+1) term, so bit width-1 (the x^width term) is
+  // always set and re-injects the shifted-out bit.
+  const bool lsb = (state_ & 1) != 0;
+  state_ >>= 1;
+  if (lsb) state_ ^= taps_;
+  state_ &= mask_;
+  PCAL_ASSERT(state_ != 0);
+  return state_;
+}
+
+}  // namespace pcal

@@ -1,0 +1,48 @@
+// Linear-feedback shift registers.
+//
+// The paper's Scrambling indexing scheme (Fig. 3b) XORs the p-bit bank
+// address with the output of an LFSR that advances on every `update` event.
+// We model a Galois LFSR with maximal-length taps for widths 2..24, which is
+// exactly what a hardware implementation would synthesize (a p-bit register
+// plus a handful of XOR gates).
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace pcal {
+
+/// Galois LFSR over GF(2) with maximal-length feedback polynomial.
+///
+/// A width-`w` maximal LFSR cycles through all 2^w - 1 nonzero states.  The
+/// Scrambling indexer uses `state() & mask` as its XOR pattern, giving a
+/// quasi-uniform sequence of bank permutations.
+class GaloisLfsr {
+ public:
+  /// `width` in [2, 24]; `seed` must be nonzero in the low `width` bits
+  /// (a zero state is the LFSR's fixed point and is rejected).
+  GaloisLfsr(unsigned width, std::uint64_t seed = 1);
+
+  /// Advance one step and return the new state.
+  std::uint64_t step();
+
+  /// Current state (never zero).
+  std::uint64_t state() const { return state_; }
+
+  unsigned width() const { return width_; }
+
+  /// Period of a maximal-length LFSR of this width: 2^width - 1.
+  std::uint64_t period() const { return (std::uint64_t{1} << width_) - 1; }
+
+  /// The feedback polynomial tap mask used for `width` (for tests/docs).
+  static std::uint64_t taps_for_width(unsigned width);
+
+ private:
+  unsigned width_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+}  // namespace pcal

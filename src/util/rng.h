@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generators.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we do
+// not use std::mt19937 distributions (their outputs are implementation
+// defined for some distributions).  SplitMix64 seeds; Xoshiro256** is the
+// workhorse generator used by the synthetic trace generators.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pcal {
+
+/// SplitMix64: tiny, high-quality seeding generator (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, well-distributed 64-bit generator (Blackman/Vigna).
+class Xoshiro256 {
+ public:
+  /// Seeds all 256 bits of state from a 64-bit seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) using rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool next_bool(double p);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Precomputed-CDF Zipf sampler: O(log n) per sample via binary search.
+/// Ranks 0..n-1 with probability proportional to 1/(rank+1)^s; s = 0 gives
+/// the uniform distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  std::uint64_t sample(Xoshiro256& rng) const;
+
+  std::uint64_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pcal

@@ -1,0 +1,148 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pcal {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += o.m2_ + delta * delta * na * nb / nt;
+  n_ += o.n_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  PCAL_ASSERT_MSG(hi > lo && buckets > 0, "invalid histogram bounds");
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / width_);
+    i = std::min(i, counts_.size() - 1);  // guard FP edge at hi_
+    ++counts_[i];
+  }
+}
+
+std::pair<double, double> Histogram::bucket_bounds(std::size_t i) const {
+  PCAL_ASSERT(i < counts_.size());
+  return {lo_ + width_ * static_cast<double>(i),
+          lo_ + width_ * static_cast<double>(i + 1)};
+}
+
+double Histogram::quantile(double q) const {
+  PCAL_ASSERT(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (seen >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (seen + c >= target && c > 0) {
+      const double frac = (target - seen) / c;
+      return lo_ + width_ * (static_cast<double>(i) + frac);
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
+void IntervalAccumulator::add_interval(std::uint64_t cycles) {
+  if (cycles == 0) return;
+  ++by_length_[cycles];
+  ++count_;
+  total_idle_ += cycles;
+  longest_ = std::max(longest_, cycles);
+}
+
+std::uint64_t IntervalAccumulator::idle_cycles_above(
+    std::uint64_t breakeven) const {
+  std::uint64_t sum = 0;
+  for (auto it = by_length_.upper_bound(breakeven); it != by_length_.end();
+       ++it) {
+    sum += it->first * it->second;
+  }
+  return sum;
+}
+
+std::uint64_t IntervalAccumulator::intervals_above(
+    std::uint64_t breakeven) const {
+  std::uint64_t n = 0;
+  for (auto it = by_length_.upper_bound(breakeven); it != by_length_.end();
+       ++it) {
+    n += it->second;
+  }
+  return n;
+}
+
+std::uint64_t IntervalAccumulator::sleep_cycles(std::uint64_t breakeven) const {
+  std::uint64_t sum = 0;
+  for (auto it = by_length_.upper_bound(breakeven); it != by_length_.end();
+       ++it) {
+    sum += (it->first - breakeven) * it->second;
+  }
+  return sum;
+}
+
+double IntervalAccumulator::useful_idleness_time(
+    std::uint64_t breakeven, std::uint64_t total_cycles) const {
+  if (total_cycles == 0) return 0.0;
+  return static_cast<double>(sleep_cycles(breakeven)) /
+         static_cast<double>(total_cycles);
+}
+
+double IntervalAccumulator::useful_idleness_count(
+    std::uint64_t breakeven) const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(intervals_above(breakeven)) /
+         static_cast<double>(count_);
+}
+
+void IntervalAccumulator::merge(const IntervalAccumulator& o) {
+  for (const auto& [len, n] : o.by_length_) by_length_[len] += n;
+  count_ += o.count_;
+  total_idle_ += o.total_idle_;
+  longest_ = std::max(longest_, o.longest_);
+}
+
+}  // namespace pcal

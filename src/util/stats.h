@@ -1,0 +1,111 @@
+// Streaming statistics used throughout the simulator.
+//
+// IntervalAccumulator is the load-bearing piece: the paper's "useful
+// idleness" of a bank is the share of its idle intervals that exceed the
+// breakeven time, i.e. the idleness that power management can actually
+// convert into sleep residency.  We track every idle interval length and can
+// answer both the time-weighted definition (used for energy and aging) and
+// the count-weighted one (reported for comparison).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace pcal {
+
+/// Welford-style running mean/variance with min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one.
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); outliers go to under/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  /// [lo, hi) bounds of bucket i.
+  std::pair<double, double> bucket_bounds(std::size_t i) const;
+  /// Approximate quantile (linear within buckets). q in [0,1].
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Records idle-interval lengths (in cycles) for one power-managed block and
+/// computes the paper's "useful idleness" metrics against a breakeven time.
+class IntervalAccumulator {
+ public:
+  /// Record one completed idle interval of `cycles` length (may be 0 = no
+  /// idle gap; zero-length intervals are ignored).
+  void add_interval(std::uint64_t cycles);
+
+  std::uint64_t interval_count() const { return count_; }
+  std::uint64_t total_idle_cycles() const { return total_idle_; }
+  std::uint64_t longest() const { return longest_; }
+
+  /// Sum of cycles in intervals strictly longer than `breakeven`.
+  std::uint64_t idle_cycles_above(std::uint64_t breakeven) const;
+
+  /// Number of intervals strictly longer than `breakeven`.
+  std::uint64_t intervals_above(std::uint64_t breakeven) const;
+
+  /// Time-weighted useful idleness: sleep residency divided by
+  /// `total_cycles` of observation.  A block only enters the low-power state
+  /// after its breakeven counter saturates, so an interval of length `len`
+  /// contributes `len - breakeven` cycles of actual sleep.  This is the
+  /// quantity that drives both leakage savings and NBTI relief.
+  double useful_idleness_time(std::uint64_t breakeven,
+                              std::uint64_t total_cycles) const;
+
+  /// Count-weighted useful idleness: share of idle intervals longer than the
+  /// breakeven time.
+  double useful_idleness_count(std::uint64_t breakeven) const;
+
+  /// Sleep residency in cycles: sum over qualifying intervals of
+  /// (len - breakeven).
+  std::uint64_t sleep_cycles(std::uint64_t breakeven) const;
+
+  void merge(const IntervalAccumulator& other);
+
+ private:
+  // Interval length -> occurrence count.  Idle interval lengths in a cache
+  // trace are heavily repeated (loop periods), so a map is compact.
+  std::map<std::uint64_t, std::uint64_t> by_length_;
+  std::uint64_t count_ = 0;
+  std::uint64_t total_idle_ = 0;
+  std::uint64_t longest_ = 0;
+};
+
+}  // namespace pcal

@@ -1,0 +1,50 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace pcal {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string s) {
+  for (char& c : s)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string format_size(std::uint64_t bytes) {
+  std::ostringstream os;
+  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
+    os << bytes / (1024 * 1024) << "MB";
+  else if (bytes >= 1024 && bytes % 1024 == 0)
+    os << bytes / 1024 << "kB";
+  else
+    os << bytes << "B";
+  return os.str();
+}
+
+}  // namespace pcal

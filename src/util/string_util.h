@@ -1,0 +1,26 @@
+// Small string helpers shared by trace I/O and report formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pcal {
+
+/// Splits on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII in place and returns the string.
+std::string to_lower(std::string s);
+
+/// Formats a byte count as "8kB" / "512B" style (exact divisions only).
+std::string format_size(std::uint64_t bytes);
+
+}  // namespace pcal

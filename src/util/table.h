@@ -1,0 +1,42 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables; TextTable keeps
+// the output aligned and also emits CSV so results can be post-processed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pcal {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  /// Percentage with `precision` decimals (value 0.423 -> "42.3").
+  static std::string pct(double v, int precision = 1);
+
+  /// Renders with column alignment and a header rule.
+  void render(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-ish: quotes cells containing commas).
+  void render_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcal

@@ -1,0 +1,59 @@
+// Lightweight physical-unit helpers.
+//
+// The aging model mixes seconds (device physics), years (reported
+// lifetimes) and cycles (simulation time); the power model mixes joules,
+// watts and volts.  We keep plain doubles for arithmetic-heavy inner loops
+// but provide named conversion helpers and a couple of strong wrapper types
+// for API boundaries where unit confusion is most dangerous.
+#pragma once
+
+#include <cstdint>
+
+namespace pcal {
+namespace units {
+
+inline constexpr double kSecondsPerYear = 365.25 * 24.0 * 3600.0;
+
+constexpr double years_to_seconds(double years) {
+  return years * kSecondsPerYear;
+}
+constexpr double seconds_to_years(double seconds) {
+  return seconds / kSecondsPerYear;
+}
+
+inline constexpr double kKiB = 1024.0;
+constexpr std::uint64_t KiB(std::uint64_t n) { return n * 1024; }
+
+constexpr double nano(double v) { return v * 1e-9; }
+constexpr double micro(double v) { return v * 1e-6; }
+constexpr double milli(double v) { return v * 1e-3; }
+constexpr double pico(double v) { return v * 1e-12; }
+constexpr double femto(double v) { return v * 1e-15; }
+
+}  // namespace units
+
+/// Strong type for lifetimes so simulator outputs cannot be silently mixed
+/// with raw cycle counts.  Stored in years (the paper's reporting unit).
+class Lifetime {
+ public:
+  Lifetime() = default;
+  static Lifetime from_years(double y) { return Lifetime(y); }
+  static Lifetime from_seconds(double s) {
+    return Lifetime(units::seconds_to_years(s));
+  }
+
+  double years() const { return years_; }
+  double seconds() const { return units::years_to_seconds(years_); }
+
+  friend bool operator<(Lifetime a, Lifetime b) { return a.years_ < b.years_; }
+  friend bool operator>(Lifetime a, Lifetime b) { return b < a; }
+  friend bool operator==(Lifetime a, Lifetime b) {
+    return a.years_ == b.years_;
+  }
+
+ private:
+  explicit Lifetime(double y) : years_(y) {}
+  double years_ = 0.0;
+};
+
+}  // namespace pcal

@@ -1,0 +1,82 @@
+#include "power/accounting.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+EnergyAccounting make_accounting() {
+  CacheConfig cache;
+  cache.size_bytes = 8192;
+  cache.line_bytes = 16;
+  PartitionConfig part;
+  part.num_banks = 4;
+  return EnergyAccounting(
+      EnergyModel(TechnologyParams::st45(), cache, part));
+}
+
+TEST(Accounting, RejectsWrongBankCount) {
+  const EnergyAccounting acc = make_accounting();
+  EXPECT_THROW(acc.price_run(std::vector<BankActivity>(3), 100), Error);
+}
+
+TEST(Accounting, RejectsImpossibleSleep) {
+  const EnergyAccounting acc = make_accounting();
+  std::vector<BankActivity> act(4);
+  act[0].sleep_cycles = 101;
+  EXPECT_THROW(acc.price_run(act, 100), Error);
+}
+
+TEST(Accounting, HandComputedScenario) {
+  const EnergyAccounting acc = make_accounting();
+  const EnergyModel& m = acc.model();
+  const double t_ns = 1000.0;  // 1000 cycles at 1ns
+
+  std::vector<BankActivity> act(4);
+  act[0] = {1000, 0, 0};    // the hot bank takes all accesses
+  act[1] = {0, 900, 1};     // sleeps 90% with one episode
+  act[2] = {0, 900, 1};
+  act[3] = {0, 0, 0};       // idle but never long enough to sleep
+
+  const EnergyReport r = acc.price_run(act, 1000);
+  const double bank_leak = m.leakage_mw(2048);
+  const double expect_dyn = 1000.0 * m.banked_access_energy_pj();
+  const double expect_active =
+      bank_leak * (t_ns + 100.0 + 100.0 + t_ns);  // banks 0,3 full time
+  const double expect_ret = m.retention_leakage_mw(2048) * 1800.0;
+  const double expect_tr = 2.0 * m.transition_energy_pj();
+  EXPECT_NEAR(r.partitioned.dynamic_pj, expect_dyn, 1e-6);
+  EXPECT_NEAR(r.partitioned.leakage_active_pj, expect_active, 1e-6);
+  EXPECT_NEAR(r.partitioned.leakage_retention_pj, expect_ret, 1e-6);
+  EXPECT_NEAR(r.partitioned.transition_pj, expect_tr, 1e-6);
+  EXPECT_NEAR(r.partitioned.total_pj(),
+              expect_dyn + expect_active + expect_ret + expect_tr, 1e-6);
+
+  const double expect_base =
+      1000.0 * m.monolithic_access_energy_pj() + m.leakage_mw(8192) * t_ns;
+  EXPECT_NEAR(r.baseline_pj, expect_base, 1e-6);
+  EXPECT_NEAR(r.saving(), 1.0 - r.partitioned.total_pj() / expect_base,
+              1e-12);
+}
+
+TEST(Accounting, SleepingSavesEnergy) {
+  const EnergyAccounting acc = make_accounting();
+  std::vector<BankActivity> never(4), often(4);
+  for (int b = 0; b < 4; ++b) {
+    never[b] = {250, 0, 0};
+    often[b] = {250, 800, 2};
+  }
+  const double e_never = acc.price_run(never, 1000).partitioned.total_pj();
+  const double e_often = acc.price_run(often, 1000).partitioned.total_pj();
+  EXPECT_LT(e_often, e_never);
+}
+
+TEST(Accounting, SavingIsZeroWithoutBaseline) {
+  EnergyReport r;
+  EXPECT_EQ(r.saving(), 0.0);
+}
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,81 @@
+#include "aging/aging_lut.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pcal {
+namespace {
+
+const CellAgingCharacterizer& calibrated() {
+  static CellAgingCharacterizer* chr = [] {
+    auto* c = new CellAgingCharacterizer(AgingParams::st45());
+    c->calibrate();
+    return c;
+  }();
+  return *chr;
+}
+
+const AgingLut& default_lut() {
+  static AgingLut* lut = new AgingLut(AgingLut::build(calibrated()));
+  return *lut;
+}
+
+TEST(AgingLut, ExactAtGridPoints) {
+  const auto& lut = default_lut();
+  for (double p0 : {0.0, 0.3, 0.5, 0.9}) {
+    for (double s : {0.0, 0.4, 0.85, 1.0}) {
+      EXPECT_NEAR(lut.lifetime_years(p0, s),
+                  calibrated().lifetime_years(p0, s), 1e-6)
+          << "p0=" << p0 << " s=" << s;
+    }
+  }
+}
+
+// Interpolation error between grid points stays small — this is what makes
+// LUT-based bank evaluation safe.
+class LutInterpolation : public ::testing::TestWithParam<double> {};
+
+TEST_P(LutInterpolation, CloseToDirectCharacterization) {
+  const double s = GetParam();
+  const double direct = calibrated().lifetime_years(0.5, s);
+  const double via_lut = default_lut().lifetime_years(0.5, s);
+  EXPECT_NEAR(via_lut, direct, direct * 0.02) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(OffGridSleeps, LutInterpolation,
+                         ::testing::Values(0.05, 0.17, 0.33, 0.55, 0.77,
+                                           0.87, 0.94, 0.97));
+
+TEST(AgingLut, ClampsArguments) {
+  const auto& lut = default_lut();
+  EXPECT_DOUBLE_EQ(lut.lifetime_years(-1.0, -1.0),
+                   lut.lifetime_years(0.0, 0.0));
+  EXPECT_DOUBLE_EQ(lut.lifetime_years(2.0, 2.0),
+                   lut.lifetime_years(1.0, 1.0));
+}
+
+TEST(AgingLut, SerializationRoundTrip) {
+  const auto& lut = default_lut();
+  std::stringstream ss;
+  lut.serialize(ss);
+  const AgingLut restored = AgingLut::deserialize(ss);
+  for (double p0 : {0.2, 0.5})
+    for (double s : {0.1, 0.63, 0.99})
+      EXPECT_DOUBLE_EQ(restored.lifetime_years(p0, s),
+                       lut.lifetime_years(p0, s));
+}
+
+TEST(AgingLut, CustomAxes) {
+  const AgingLut lut =
+      AgingLut::build(calibrated(), {0.5}, {0.0, 0.5, 1.0});
+  EXPECT_NEAR(lut.lifetime_years(0.5, 0.0), 2.93, 0.01);
+  // Bilinear between 0 and 0.5 on a sparse axis is only an approximation;
+  // it must still be monotone and bounded by the endpoints.
+  const double mid = lut.lifetime_years(0.5, 0.25);
+  EXPECT_GT(mid, lut.lifetime_years(0.5, 0.0));
+  EXPECT_LT(mid, lut.lifetime_years(0.5, 0.5));
+}
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,48 @@
+#include "bank/bank_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+TEST(BankSelector, StartsNominal) {
+  BankSelector sel(4);
+  EXPECT_EQ(sel.num_banks(), 4u);
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(sel.state(b), VddState::kNominal);
+    EXPECT_FALSE(sel.is_retention(b));
+    EXPECT_EQ(sel.transitions(b), 0u);
+  }
+  EXPECT_EQ(sel.retention_count(), 0u);
+}
+
+TEST(BankSelector, TransitionCounting) {
+  BankSelector sel(2);
+  EXPECT_TRUE(sel.set_state(0, VddState::kRetention));
+  EXPECT_FALSE(sel.set_state(0, VddState::kRetention));  // no-op
+  EXPECT_TRUE(sel.set_state(0, VddState::kNominal));
+  EXPECT_EQ(sel.transitions(0), 2u);
+  EXPECT_EQ(sel.transitions(1), 0u);
+}
+
+TEST(BankSelector, RetentionCount) {
+  BankSelector sel(4);
+  sel.set_state(1, VddState::kRetention);
+  sel.set_state(3, VddState::kRetention);
+  EXPECT_EQ(sel.retention_count(), 2u);
+  EXPECT_TRUE(sel.is_retention(1));
+  EXPECT_FALSE(sel.is_retention(0));
+}
+
+TEST(BankSelector, BoundsChecked) {
+  BankSelector sel(2);
+  EXPECT_THROW(sel.state(2), Error);
+  EXPECT_THROW(sel.set_state(2, VddState::kNominal), Error);
+  EXPECT_THROW(sel.transitions(5), Error);
+  EXPECT_THROW(BankSelector(0), Error);
+}
+
+}  // namespace
+}  // namespace pcal

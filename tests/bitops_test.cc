@@ -1,0 +1,89 @@
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+TEST(Bitops, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(Bitops, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+  EXPECT_EQ(log2_exact(1ull << 40), 40u);
+  EXPECT_THROW(log2_exact(0), Error);
+  EXPECT_THROW(log2_exact(3), Error);
+  EXPECT_THROW(log2_exact(12), Error);
+}
+
+TEST(Bitops, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(4), 2u);
+  EXPECT_EQ(log2_ceil(5), 3u);
+  EXPECT_EQ(log2_ceil(1025), 11u);
+  EXPECT_THROW(log2_ceil(0), Error);
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(4), 0xFu);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, ExtractBits) {
+  EXPECT_EQ(extract_bits(0xABCD, 0, 4), 0xDu);
+  EXPECT_EQ(extract_bits(0xABCD, 4, 4), 0xCu);
+  EXPECT_EQ(extract_bits(0xABCD, 8, 8), 0xABu);
+  EXPECT_EQ(extract_bits(0xFFFF, 4, 0), 0u);
+}
+
+TEST(Bitops, DepositBits) {
+  EXPECT_EQ(deposit_bits(0x0000, 4, 4, 0xC), 0xC0u);
+  EXPECT_EQ(deposit_bits(0xFFFF, 4, 4, 0x0), 0xFF0Fu);
+  // Field wider than `count` is truncated.
+  EXPECT_EQ(deposit_bits(0, 0, 4, 0x123), 0x3u);
+}
+
+TEST(Bitops, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+class ExtractDepositRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExtractDepositRoundTrip, DepositThenExtractRecovers) {
+  const unsigned lsb = GetParam();
+  const std::uint64_t base = 0xDEADBEEFCAFEBABEull;
+  for (unsigned count : {1u, 3u, 8u, 16u}) {
+    if (lsb + count > 64) continue;
+    const std::uint64_t field = 0x5Au & low_mask(count);
+    const std::uint64_t v = deposit_bits(base, lsb, count, field);
+    EXPECT_EQ(extract_bits(v, lsb, count), field)
+        << "lsb=" << lsb << " count=" << count;
+    // Bits outside the field are untouched.
+    const std::uint64_t mask = ~(low_mask(count) << lsb);
+    EXPECT_EQ(v & mask, base & mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, ExtractDepositRoundTrip,
+                         ::testing::Values(0u, 1u, 7u, 15u, 31u, 40u, 56u));
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,166 @@
+#include "cache/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+CacheConfig small_dm() {
+  CacheConfig c;
+  c.size_bytes = 1024;
+  c.line_bytes = 16;
+  c.ways = 1;
+  return c;
+}
+
+TEST(CacheConfig, DerivedGeometry) {
+  CacheConfig c = small_dm();
+  EXPECT_EQ(c.num_lines(), 64u);
+  EXPECT_EQ(c.num_sets(), 64u);
+  EXPECT_EQ(c.index_bits(), 6u);
+  EXPECT_EQ(c.offset_bits(), 4u);
+  EXPECT_EQ(c.tag_bits(), 32u - 6u - 4u);
+  EXPECT_EQ(c.set_index_of(0x3F0), 0x3Fu);
+  EXPECT_EQ(c.set_index_of(0x400), 0u);
+  EXPECT_EQ(c.tag_of(0x400), 1u);
+}
+
+TEST(CacheConfig, TagBitsGrowWithLineSizeAndWays) {
+  CacheConfig a = small_dm();
+  CacheConfig b = a;
+  b.line_bytes = 32;  // fewer lines, bigger offset: tag unchanged net?
+  // index 5, offset 5: tag = 22 == 32-10; a: 32-10=22 as well.
+  EXPECT_EQ(a.tag_bits(), 22u);
+  EXPECT_EQ(b.tag_bits(), 22u);
+  CacheConfig c = a;
+  c.ways = 2;  // sets halve -> one more tag bit
+  EXPECT_EQ(c.tag_bits(), 23u);
+}
+
+TEST(CacheConfig, ValidationRejectsBadGeometry) {
+  CacheConfig c = small_dm();
+  c.size_bytes = 1000;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = small_dm();
+  c.line_bytes = 2;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = small_dm();
+  c.ways = 3;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = small_dm();
+  c.size_bytes = 8;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = small_dm();
+  c.address_bits = 8;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(CacheConfig, Describe) {
+  EXPECT_EQ(small_dm().describe(), "1kB/16B/DM");
+  CacheConfig c = small_dm();
+  c.ways = 4;
+  EXPECT_EQ(c.describe(), "1kB/16B/4way");
+}
+
+TEST(Cache, ColdMissThenHit) {
+  CacheModel cache(small_dm());
+  EXPECT_FALSE(cache.access_address(0x100, false).hit);
+  EXPECT_TRUE(cache.access_address(0x100, false).hit);
+  EXPECT_TRUE(cache.access_address(0x108, false).hit);  // same line
+  EXPECT_EQ(cache.stats().accesses, 3u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, DirectMappedConflictEviction) {
+  CacheModel cache(small_dm());
+  // 0x0 and 0x400 conflict (1kB apart).
+  EXPECT_FALSE(cache.access_address(0x0, false).hit);
+  EXPECT_FALSE(cache.access_address(0x400, false).hit);
+  EXPECT_FALSE(cache.access_address(0x0, false).hit);  // evicted
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  CacheModel cache(small_dm());
+  cache.access_address(0x0, true);  // dirty
+  const auto r = cache.access_address(0x400, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  // Clean eviction: no writeback.
+  const auto r2 = cache.access_address(0x0, false);
+  EXPECT_FALSE(r2.writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  CacheModel cache(small_dm());
+  cache.access_address(0x0, false);  // clean fill
+  cache.access_address(0x0, true);   // dirty it
+  const auto r = cache.access_address(0x400, false);
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, FlushInvalidatesAndCountsDirty) {
+  CacheModel cache(small_dm());
+  cache.access_address(0x0, true);
+  cache.access_address(0x100, false);
+  EXPECT_EQ(cache.valid_lines(), 2u);
+  EXPECT_EQ(cache.flush(), 1u);  // one dirty line
+  EXPECT_EQ(cache.valid_lines(), 0u);
+  EXPECT_FALSE(cache.access_address(0x0, false).hit);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+  EXPECT_EQ(cache.stats().flushed_dirty, 1u);
+}
+
+TEST(Cache, Contains) {
+  CacheModel cache(small_dm());
+  const CacheConfig& c = cache.config();
+  cache.access_address(0x1230, false);
+  EXPECT_TRUE(cache.contains(c.tag_of(0x1230), c.set_index_of(0x1230)));
+  EXPECT_FALSE(cache.contains(c.tag_of(0x9990), c.set_index_of(0x9990)));
+}
+
+TEST(Cache, SetAssociativeLruReplacement) {
+  CacheConfig c = small_dm();
+  c.ways = 2;
+  CacheModel cache(c);
+  // Three conflicting addresses in a 2-way set: 0x0, 0x400, 0x800.
+  cache.access_address(0x0, false);
+  cache.access_address(0x400, false);
+  cache.access_address(0x0, false);    // touch 0x0: LRU is now 0x400
+  cache.access_address(0x800, false);  // evicts 0x400
+  EXPECT_TRUE(cache.access_address(0x0, false).hit);
+  EXPECT_TRUE(cache.access_address(0x800, false).hit);
+  EXPECT_FALSE(cache.access_address(0x400, false).hit);
+}
+
+TEST(Cache, AssociativityRemovesConflicts) {
+  CacheConfig c = small_dm();
+  c.ways = 2;
+  CacheModel cache(c);
+  cache.access_address(0x0, false);
+  cache.access_address(0x400, false);
+  EXPECT_TRUE(cache.access_address(0x0, false).hit);
+  EXPECT_TRUE(cache.access_address(0x400, false).hit);
+}
+
+TEST(Cache, RejectsOutOfRangeSet) {
+  CacheModel cache(small_dm());
+  EXPECT_THROW(cache.access(0, 64, false), Error);
+  EXPECT_THROW(cache.contains(0, 64), Error);
+}
+
+TEST(Cache, HitRateStats) {
+  CacheModel cache(small_dm());
+  for (int i = 0; i < 10; ++i) cache.access_address(0x0, false);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.9);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.1);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace pcal

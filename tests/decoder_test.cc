@@ -1,0 +1,110 @@
+#include "bank/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+CacheConfig cache_8k() {
+  CacheConfig c;
+  c.size_bytes = 8192;
+  c.line_bytes = 16;
+  return c;  // 512 lines, n = 9
+}
+
+BankDecoder make_decoder(IndexingKind kind, std::uint64_t banks = 4) {
+  PartitionConfig part;
+  part.num_banks = banks;
+  return BankDecoder(cache_8k(), part,
+                     make_indexing_policy(kind, banks, /*seed=*/1));
+}
+
+TEST(Decoder, SplitsIndexBits) {
+  BankDecoder d = make_decoder(IndexingKind::kStatic);
+  EXPECT_EQ(d.index_bits(), 9u);
+  EXPECT_EQ(d.bank_bits(), 2u);
+  // Index 0b10_1100101: bank = 0b10 = 2, line = 0b1100101 = 101.
+  const DecodedIndex r = d.decode((2u << 7) | 101u);
+  EXPECT_EQ(r.logical_bank, 2u);
+  EXPECT_EQ(r.physical_bank, 2u);
+  EXPECT_EQ(r.line, 101u);
+  EXPECT_EQ(r.physical_set, (2u << 7) | 101u);
+  EXPECT_EQ(r.select_mask, 0b0100u);
+}
+
+TEST(Decoder, ProbingMovesBanksButNotLines) {
+  BankDecoder d = make_decoder(IndexingKind::kProbing);
+  d.update();
+  const DecodedIndex r = d.decode((2u << 7) | 101u);
+  EXPECT_EQ(r.logical_bank, 2u);
+  EXPECT_EQ(r.physical_bank, 3u);
+  EXPECT_EQ(r.line, 101u);  // the n-p LSBs never change
+  EXPECT_EQ(r.physical_set, (3u << 7) | 101u);
+  EXPECT_EQ(r.select_mask, 0b1000u);
+}
+
+TEST(Decoder, PhysicalSetsStayDisjointAfterUpdates) {
+  // Decoding all 512 indices must produce all 512 physical sets (a
+  // bijection) no matter how many updates were applied.
+  for (auto kind : {IndexingKind::kProbing, IndexingKind::kScrambling}) {
+    BankDecoder d = make_decoder(kind);
+    for (int u = 0; u < 5; ++u) {
+      std::vector<bool> seen(512, false);
+      for (std::uint64_t idx = 0; idx < 512; ++idx) {
+        const DecodedIndex r = d.decode(idx);
+        EXPECT_LT(r.physical_set, 512u);
+        EXPECT_FALSE(seen[r.physical_set]) << "collision at update " << u;
+        seen[r.physical_set] = true;
+      }
+      d.update();
+    }
+  }
+}
+
+TEST(Decoder, MonolithicSingleBank) {
+  BankDecoder d = make_decoder(IndexingKind::kStatic, 1);
+  const DecodedIndex r = d.decode(300);
+  EXPECT_EQ(r.logical_bank, 0u);
+  EXPECT_EQ(r.physical_bank, 0u);
+  EXPECT_EQ(r.line, 300u);
+  EXPECT_EQ(r.physical_set, 300u);
+  EXPECT_EQ(r.select_mask, 1u);
+}
+
+TEST(Decoder, RejectsOutOfRangeIndex) {
+  BankDecoder d = make_decoder(IndexingKind::kStatic);
+  EXPECT_THROW(d.decode(512), Error);
+}
+
+TEST(Decoder, RejectsPolicyBankMismatch) {
+  PartitionConfig part;
+  part.num_banks = 4;
+  EXPECT_THROW(BankDecoder(cache_8k(), part,
+                           make_indexing_policy(IndexingKind::kProbing, 8)),
+               ConfigError);
+  EXPECT_THROW(BankDecoder(cache_8k(), part, nullptr), ConfigError);
+}
+
+TEST(PartitionConfig, Validation) {
+  PartitionConfig p;
+  p.num_banks = 3;
+  EXPECT_THROW(p.validate(cache_8k()), ConfigError);
+  p.num_banks = 32;  // beyond the paper's M=16 feasibility bound
+  EXPECT_THROW(p.validate(cache_8k()), ConfigError);
+  p.num_banks = 16;
+  EXPECT_NO_THROW(p.validate(cache_8k()));
+}
+
+TEST(PartitionConfig, DerivedQuantities) {
+  PartitionConfig p;
+  p.num_banks = 4;
+  const CacheConfig c = cache_8k();
+  EXPECT_EQ(p.bank_bits(), 2u);
+  EXPECT_EQ(p.lines_per_bank(c), 128u);
+  EXPECT_EQ(p.bank_bytes(c), 2048u);
+}
+
+}  // namespace
+}  // namespace pcal

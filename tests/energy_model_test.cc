@@ -1,0 +1,111 @@
+#include "power/energy_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+EnergyModel make_model(std::uint64_t size_kb, std::uint64_t line = 16,
+                       std::uint64_t banks = 4) {
+  CacheConfig cache;
+  cache.size_bytes = size_kb * 1024;
+  cache.line_bytes = line;
+  PartitionConfig part;
+  part.num_banks = banks;
+  return EnergyModel(TechnologyParams::st45(), cache, part);
+}
+
+TEST(EnergyModel, BreakevenIsAFewTensOfCycles) {
+  // The paper: breakeven times "in the order of a few tens of cycles",
+  // representable with 5-6 bit Block Control counters (its configurations
+  // use M = 4).  The smallest banks (1kB at 8kB/M=8) leak so little that
+  // their breakeven stretches to a 7-bit counter — still "a few tens".
+  for (std::uint64_t size : {8u, 16u, 32u}) {
+    for (std::uint64_t m : {2u, 4u, 8u}) {
+      const std::uint64_t be = make_model(size, 16, m).breakeven_cycles();
+      EXPECT_GE(be, 8u) << size << "kB M=" << m;
+      EXPECT_LE(be, 128u) << size << "kB M=" << m;
+      if (m == 4) EXPECT_LE(be, 64u) << size << "kB M=" << m;
+    }
+  }
+}
+
+TEST(EnergyModel, LeakageGrowsSuperlinearly) {
+  const EnergyModel m = make_model(16);
+  const double l8 = m.leakage_mw(8 * 1024);
+  const double l16 = m.leakage_mw(16 * 1024);
+  const double l32 = m.leakage_mw(32 * 1024);
+  EXPECT_GT(l16, 2.0 * l8 * 0.99);   // at least ~linear
+  EXPECT_GT(l32 / l16, l16 / l8 * 0.999);  // ratio non-decreasing
+  EXPECT_GT(l32, 2.0 * l16);         // strictly superlinear
+}
+
+TEST(EnergyModel, RetentionLeakageIsSmallFraction) {
+  const EnergyModel m = make_model(16);
+  const double frac = m.retention_leakage_mw(4096) / m.leakage_mw(4096);
+  EXPECT_NEAR(frac, TechnologyParams::st45().retention_leak_fraction, 1e-12);
+  EXPECT_LT(frac, 0.2);
+}
+
+TEST(EnergyModel, AccessEnergyGrowsWithSizeAndLine) {
+  const EnergyModel m16 = make_model(16, 16);
+  EXPECT_GT(m16.access_energy_pj(8192), m16.access_energy_pj(2048));
+  const EnergyModel m32line = make_model(16, 32);
+  EXPECT_GT(m32line.access_energy_pj(4096), m16.access_energy_pj(4096));
+}
+
+TEST(EnergyModel, BankedAccessCheaperThanMonolithic) {
+  // The whole point of partitioned access: activating one 4kB bank costs
+  // less than driving the full 16kB array, decoder overhead included.
+  const EnergyModel m = make_model(16);
+  EXPECT_LT(m.banked_access_energy_pj(), m.monolithic_access_energy_pj());
+}
+
+TEST(EnergyModel, WiringOverheadGrowsWithBanks) {
+  const double e2 = make_model(16, 16, 2).banked_access_energy_pj();
+  const double e2_ref = make_model(16, 16, 2).access_energy_pj(8 * 1024);
+  const double e16 = make_model(16, 16, 16).banked_access_energy_pj();
+  const double e16_ref = make_model(16, 16, 16).access_energy_pj(1024);
+  // Overhead factor = banked / plain bank access; grows with M.
+  EXPECT_GT(e16 / e16_ref, e2 / e2_ref);
+}
+
+TEST(EnergyModel, TransitionEnergyGrowsWithLineWidth) {
+  // Larger lines -> larger per-line tag reactivation cost (Table III's
+  // mechanism): the 32B-line transition costs more than the 16B one even
+  // though the bank capacity is identical.
+  const double t16 = make_model(16, 16).transition_energy_pj();
+  const double t32 = make_model(16, 32).transition_energy_pj();
+  EXPECT_GT(t32, t16);
+}
+
+TEST(EnergyModel, LineSizeLengthensBreakeven) {
+  EXPECT_GT(make_model(16, 32).breakeven_cycles(),
+            make_model(16, 16).breakeven_cycles());
+}
+
+TEST(EnergyModel, TagBytes) {
+  const EnergyModel m = make_model(16);  // 16kB/16B: 1024 lines, 18 tag bits
+  EXPECT_NEAR(m.tag_bytes(16 * 1024), 1024.0 * 18.0 / 8.0, 1e-9);
+}
+
+TEST(EnergyModel, RejectsBadTech) {
+  CacheConfig cache;
+  cache.size_bytes = 8192;
+  cache.line_bytes = 16;
+  PartitionConfig part;
+  TechnologyParams tech = TechnologyParams::st45();
+  tech.vdd_retention = tech.vdd + 0.1;
+  EXPECT_THROW(EnergyModel(tech, cache, part), ConfigError);
+  tech = TechnologyParams::st45();
+  tech.retention_leak_fraction = 1.5;
+  EXPECT_THROW(EnergyModel(tech, cache, part), ConfigError);
+  tech = TechnologyParams::st45();
+  tech.clock_ns = 0.0;
+  EXPECT_THROW(EnergyModel(tech, cache, part), ConfigError);
+}
+
+}  // namespace
+}  // namespace pcal

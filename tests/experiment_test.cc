@@ -1,0 +1,67 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace pcal {
+namespace {
+
+const AgingContext& aging() {
+  static AgingContext* ctx = new AgingContext();
+  return *ctx;
+}
+
+TEST(AgingContext, NominalLifetimeIsPaperValue) {
+  EXPECT_NEAR(aging().nominal_lifetime_years(), 2.93, 0.01);
+  EXPECT_NEAR(aging().sleep_stress_factor(), 0.226, 0.002);
+}
+
+TEST(PaperConfig, Defaults) {
+  const SimConfig cfg = paper_config(16 * 1024, 32, 8);
+  EXPECT_EQ(cfg.cache.size_bytes, 16 * 1024u);
+  EXPECT_EQ(cfg.cache.line_bytes, 32u);
+  EXPECT_EQ(cfg.cache.ways, 1u);
+  EXPECT_EQ(cfg.partition.num_banks, 8u);
+  EXPECT_EQ(cfg.indexing, IndexingKind::kProbing);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ThreeWay, ArchitectureOrderingOnHotspot) {
+  // The paper's qualitative result: reindexed > static-PM > ~monolithic.
+  auto spec = make_hotspot_workload(64 * 1024, 1.0, 0.08);
+  const auto r =
+      run_three_way(spec, paper_config(8192, 16, 4), aging(), 400'000);
+  EXPECT_GT(r.reindexed.lifetime_years(),
+            r.static_pm.lifetime_years() * 1.3);
+  EXPECT_GE(r.static_pm.lifetime_years(),
+            r.monolithic.lifetime_years() * 0.99);
+  EXPECT_NEAR(r.monolithic.lifetime_years(), 2.93, 0.05);
+  EXPECT_GT(r.extension_vs_monolithic(), 1.3);
+  EXPECT_GE(r.extension_vs_monolithic(),
+            r.static_extension_vs_monolithic());
+}
+
+TEST(ThreeWay, EnergySavingComesFromPartitioningNotReindexing) {
+  // The paper: "energy savings are independent of the re-indexing
+  // strategy".  Static and reindexed partitions save within a whisker of
+  // each other; the monolithic variant saves ~nothing.
+  auto spec = make_mediabench_workload("cjpeg");
+  const auto r =
+      run_three_way(spec, paper_config(8192, 16, 4), aging(), 600'000);
+  EXPECT_NEAR(r.reindexed.energy_saving(), r.static_pm.energy_saving(),
+              0.02);
+  EXPECT_GT(r.static_pm.energy_saving(), 0.15);
+  EXPECT_LT(std::abs(r.monolithic.energy_saving()), 0.05);
+}
+
+TEST(RunWorkload, DeterministicAcrossCalls) {
+  auto spec = make_mediabench_workload("sha");
+  const SimConfig cfg = paper_config(8192, 16, 4);
+  const SimResult a = run_workload(spec, cfg, aging(), 200'000);
+  const SimResult b = run_workload(spec, cfg, aging(), 200'000);
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+  EXPECT_DOUBLE_EQ(a.lifetime_years(), b.lifetime_years());
+  EXPECT_DOUBLE_EQ(a.energy_saving(), b.energy_saving());
+}
+
+}  // namespace
+}  // namespace pcal

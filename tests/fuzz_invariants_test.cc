@@ -1,0 +1,134 @@
+// Randomized invariant checks: for arbitrary (seeded) workload specs and
+// architecture configurations, the simulator's outputs must satisfy the
+// model's structural laws.  These catch the bugs example-based tests
+// cannot: accounting that goes negative, residencies above 1, lifetimes
+// below the never-sleeping floor, banks losing accesses.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "util/rng.h"
+
+namespace pcal {
+namespace {
+
+const AgingContext& aging() {
+  static AgingContext* ctx = new AgingContext();
+  return *ctx;
+}
+
+WorkloadSpec random_spec(Xoshiro256& rng) {
+  WorkloadSpec spec;
+  spec.name = "fuzz";
+  spec.footprint_bytes = 8192u << rng.next_below(4);  // 8k .. 64k
+  spec.window_len = 200 + rng.next_below(3000);
+  spec.write_fraction = rng.next_double() * 0.6;
+  spec.seed = rng.next();
+  const std::uint64_t streams = 1 + rng.next_below(6);
+  for (std::uint64_t i = 0; i < streams; ++i) {
+    StreamSpec s;
+    const std::uint64_t granule = spec.footprint_bytes / 16;
+    const std::uint64_t begin = rng.next_below(15) * granule;
+    s.range_begin = begin;
+    s.range_end = begin + granule * (1 + rng.next_below(3));
+    if (s.range_end > spec.footprint_bytes)
+      s.range_end = spec.footprint_bytes;
+    s.duty = 0.02 + rng.next_double() * 0.98;
+    s.weight = 0.2 + rng.next_double() * 2.0;
+    s.pattern = static_cast<StreamPattern>(rng.next_below(4));
+    s.schedule = static_cast<StreamSchedule>(rng.next_below(3));
+    s.burst_len = 1 + rng.next_below(20);
+    s.phase = rng.next_below(100);
+    s.stride_bytes = 16u << rng.next_below(4);
+    s.walk_bytes = 4u << rng.next_below(3);
+    s.zipf_s = rng.next_double() * 1.5;
+    spec.streams.push_back(s);
+  }
+  return spec;
+}
+
+SimConfig random_config(Xoshiro256& rng) {
+  SimConfig cfg;
+  cfg.cache.size_bytes = 4096u << rng.next_below(4);  // 4k .. 32k
+  cfg.cache.line_bytes = 16u << rng.next_below(2);
+  cfg.cache.ways = 1u << rng.next_below(2);
+  cfg.partition.num_banks = 1u << rng.next_below(5);  // 1 .. 16
+  cfg.indexing = static_cast<IndexingKind>(rng.next_below(3));
+  cfg.reindex_updates = rng.next_below(40);
+  return cfg;
+}
+
+class FuzzInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzInvariants, SimulatorOutputsAreStructurallySound) {
+  Xoshiro256 rng(GetParam());
+  const WorkloadSpec spec = random_spec(rng);
+  const SimConfig cfg = random_config(rng);
+  constexpr std::uint64_t kAccesses = 120'000;
+
+  SyntheticTraceSource src(spec, kAccesses);
+  const SimResult r = Simulator(cfg).run(src, &aging().lut());
+
+  // Conservation: every access lands in exactly one bank, one cycle each.
+  EXPECT_EQ(r.accesses, kAccesses);
+  std::uint64_t bank_accesses = 0;
+  for (const auto& b : r.banks) bank_accesses += b.accesses;
+  EXPECT_EQ(bank_accesses, kAccesses);
+  EXPECT_EQ(r.cache_stats.accesses, kAccesses);
+  EXPECT_EQ(r.cache_stats.hits + r.cache_stats.misses, kAccesses);
+
+  // Residencies and idleness metrics are probabilities.
+  for (const auto& b : r.banks) {
+    EXPECT_GE(b.sleep_residency, 0.0);
+    EXPECT_LE(b.sleep_residency, 1.0);
+    EXPECT_GE(b.useful_idleness_count, 0.0);
+    EXPECT_LE(b.useful_idleness_count, 1.0);
+    EXPECT_LE(b.sleep_cycles, kAccesses);
+  }
+  EXPECT_LE(r.min_residency(), r.avg_residency() + 1e-12);
+
+  // Lifetime floor: sleeping can only help; the never-sleeping nominal
+  // cell is the worst case (p0 = 0.5 fixed in this model).
+  ASSERT_TRUE(r.lifetime.has_value());
+  EXPECT_GE(r.lifetime_years(), 2.93 * 0.999);
+  for (const auto& b : r.lifetime->banks)
+    EXPECT_GE(b.lifetime_years, r.lifetime_years() - 1e-9);
+
+  // Energy: all components non-negative; partitioned never beats an
+  // impossible bound (zero) and the saving is < 1.
+  const EnergyBreakdown& e = r.energy.partitioned;
+  EXPECT_GE(e.dynamic_pj, 0.0);
+  EXPECT_GE(e.leakage_active_pj, 0.0);
+  EXPECT_GE(e.leakage_retention_pj, 0.0);
+  EXPECT_GE(e.transition_pj, 0.0);
+  EXPECT_GT(r.energy.baseline_pj, 0.0);
+  EXPECT_LT(r.energy_saving(), 1.0);
+
+  // Update bookkeeping: applied updates never exceed the request, and
+  // static indexing never flushes.
+  EXPECT_LE(r.reindex_updates_applied, cfg.reindex_updates);
+  if (cfg.indexing == IndexingKind::kStatic)
+    EXPECT_EQ(r.cache_stats.flushes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzInvariants,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(FuzzDeterminism, SameSeedSameResult) {
+  for (std::uint64_t seed : {3u, 11u}) {
+    Xoshiro256 rng_a(seed), rng_b(seed);
+    const WorkloadSpec spec_a = random_spec(rng_a);
+    const WorkloadSpec spec_b = random_spec(rng_b);
+    const SimConfig cfg_a = random_config(rng_a);
+    const SimConfig cfg_b = random_config(rng_b);
+    SyntheticTraceSource sa(spec_a, 60'000), sb(spec_b, 60'000);
+    const SimResult a = Simulator(cfg_a).run(sa, &aging().lut());
+    const SimResult b = Simulator(cfg_b).run(sb, &aging().lut());
+    EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+    EXPECT_DOUBLE_EQ(a.lifetime_years(), b.lifetime_years());
+    EXPECT_DOUBLE_EQ(a.energy.partitioned.total_pj(),
+                     b.energy.partitioned.total_pj());
+  }
+}
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,83 @@
+#include "util/lfsr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+TEST(Lfsr, RejectsZeroSeed) {
+  EXPECT_THROW(GaloisLfsr(4, 0), Error);
+  // Seed reduced modulo 2^width must also be nonzero.
+  EXPECT_THROW(GaloisLfsr(4, 0x10), Error);
+}
+
+TEST(Lfsr, RejectsUnsupportedWidths) {
+  EXPECT_THROW(GaloisLfsr(1, 1), Error);
+  EXPECT_THROW(GaloisLfsr(25, 1), Error);
+}
+
+TEST(Lfsr, StateStaysInRangeAndNonzero) {
+  GaloisLfsr l(5, 1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t s = l.step();
+    EXPECT_NE(s, 0u);
+    EXPECT_LT(s, 32u);
+  }
+}
+
+TEST(Lfsr, DeterministicForSeed) {
+  GaloisLfsr a(8, 0x5A), b(8, 0x5A);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.step(), b.step());
+}
+
+// The defining property of the tap table: a maximal-length LFSR of width w
+// visits all 2^w - 1 nonzero states before repeating.
+class LfsrPeriod : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrPeriod, IsMaximalLength) {
+  const unsigned width = GetParam();
+  GaloisLfsr l(width, 1);
+  const std::uint64_t expected = (std::uint64_t{1} << width) - 1;
+  std::set<std::uint64_t> seen;
+  seen.insert(l.state());
+  for (std::uint64_t i = 1; i < expected; ++i) {
+    const std::uint64_t s = l.step();
+    EXPECT_TRUE(seen.insert(s).second)
+        << "state " << s << " repeated after " << i << " steps (width "
+        << width << ")";
+  }
+  // One more step must return to the start state.
+  EXPECT_EQ(l.step(), 1u);
+  EXPECT_EQ(seen.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths2To16, LfsrPeriod,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u, 13u, 14u, 15u,
+                                           16u));
+
+TEST(Lfsr, PeriodAccessor) {
+  EXPECT_EQ(GaloisLfsr(4, 1).period(), 15u);
+  EXPECT_EQ(GaloisLfsr(10, 1).period(), 1023u);
+}
+
+// Larger widths: spot-check no short cycle (cheaper than full period).
+class LfsrNoShortCycle : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrNoShortCycle, EarlyStatesDoNotRepeatSeed) {
+  GaloisLfsr l(GetParam(), 1);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_NE(l.step(), 1u) << "cycled after " << i + 1 << " steps";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths17To24, LfsrNoShortCycle,
+                         ::testing::Values(17u, 18u, 19u, 20u, 21u, 22u, 23u,
+                                           24u));
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,72 @@
+#include "aging/lifetime.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+const AgingLut& default_lut() {
+  static AgingLut* lut = [] {
+    CellAgingCharacterizer chr(AgingParams::st45());
+    chr.calibrate();
+    return new AgingLut(AgingLut::build(chr));
+  }();
+  return *lut;
+}
+
+TEST(Lifetime, MinOverBanksWins) {
+  const CacheLifetimeEvaluator eval(default_lut());
+  const CacheLifetimeResult r = eval.evaluate({0.9, 0.1, 0.5, 0.7});
+  ASSERT_EQ(r.banks.size(), 4u);
+  EXPECT_EQ(r.limiting_bank, 1u);  // least idle bank dies first
+  EXPECT_DOUBLE_EQ(r.lifetime_years, r.banks[1].lifetime_years);
+  for (const auto& b : r.banks)
+    EXPECT_GE(b.lifetime_years, r.lifetime_years);
+}
+
+TEST(Lifetime, UniformResidencyIsBalanced) {
+  const CacheLifetimeEvaluator eval(default_lut());
+  const CacheLifetimeResult r = eval.evaluate({0.4, 0.4, 0.4, 0.4});
+  EXPECT_NEAR(r.imbalance(), 1.0, 1e-9);
+  EXPECT_NEAR(r.mean_bank_lifetime(), r.lifetime_years, 1e-9);
+}
+
+TEST(Lifetime, ImbalanceDiagnostic) {
+  const CacheLifetimeEvaluator eval(default_lut());
+  const CacheLifetimeResult skewed = eval.evaluate({0.0, 0.9});
+  EXPECT_GT(skewed.imbalance(), 1.5);
+}
+
+TEST(Lifetime, ReindexingBenefitIsVisibleHere) {
+  // The paper's core claim in miniature: the same total idleness is worth
+  // more when spread evenly, because the minimum governs.
+  const CacheLifetimeEvaluator eval(default_lut());
+  const auto skewed = eval.evaluate({0.999, 0.999, 0.001, 0.001});
+  const auto even = eval.evaluate({0.5, 0.5, 0.5, 0.5});
+  EXPECT_GT(even.lifetime_years, skewed.lifetime_years);
+}
+
+TEST(Lifetime, P0IsPropagated) {
+  const CacheLifetimeEvaluator eval(default_lut());
+  const auto balanced = eval.evaluate({0.5}, 0.5);
+  const auto skewed = eval.evaluate({0.5}, 0.95);
+  EXPECT_EQ(balanced.banks[0].p0, 0.5);
+  EXPECT_EQ(skewed.banks[0].p0, 0.95);
+  EXPECT_GT(balanced.lifetime_years, skewed.lifetime_years);
+}
+
+TEST(Lifetime, RejectsEmpty) {
+  const CacheLifetimeEvaluator eval(default_lut());
+  EXPECT_THROW(eval.evaluate({}), Error);
+}
+
+TEST(Lifetime, EmptyResultAggregates) {
+  CacheLifetimeResult r;
+  EXPECT_EQ(r.mean_bank_lifetime(), 0.0);
+  EXPECT_EQ(r.imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,92 @@
+#include "trace/multiprogram.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/workloads.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+MultiProgramConfig two_programs() {
+  MultiProgramConfig cfg;
+  cfg.programs = {make_mediabench_workload("sha"),
+                  make_mediabench_workload("cjpeg")};
+  cfg.quantum_accesses = 1000;
+  cfg.address_stride = 1 << 20;
+  return cfg;
+}
+
+TEST(MultiProgram, RoundRobinQuanta) {
+  MultiProgramSource src(two_programs(), 10'000);
+  EXPECT_EQ(src.num_programs(), 2u);
+  EXPECT_EQ(src.quantum(), 1000u);
+  for (std::uint64_t pos = 0; pos < 10'000; pos += 500) {
+    EXPECT_EQ(src.program_at(pos), (pos / 1000) % 2);
+  }
+  EXPECT_FALSE(src.switch_before(0));
+  EXPECT_TRUE(src.switch_before(1000));
+  EXPECT_FALSE(src.switch_before(1500));
+  EXPECT_TRUE(src.switch_before(2000));
+}
+
+TEST(MultiProgram, AddressSpacesAreDisjoint) {
+  MultiProgramSource src(two_programs(), 20'000);
+  std::uint64_t pos = 0;
+  while (auto a = src.next()) {
+    const std::uint64_t prog = src.program_at(pos++);
+    EXPECT_EQ(a->address >> 20, prog) << "at position " << pos;
+  }
+  EXPECT_EQ(pos, 20'000u);
+}
+
+TEST(MultiProgram, DeterministicAcrossResets) {
+  MultiProgramSource src(two_programs(), 5'000);
+  std::vector<MemAccess> first;
+  while (auto a = src.next()) first.push_back(*a);
+  src.reset();
+  std::vector<MemAccess> second;
+  while (auto a = src.next()) second.push_back(*a);
+  EXPECT_EQ(first, second);
+}
+
+TEST(MultiProgram, EachProgramProgressesAcrossQuanta) {
+  // The same program must *continue* (not restart) at its next quantum:
+  // its sequential cursors keep advancing.
+  MultiProgramConfig cfg = two_programs();
+  cfg.quantum_accesses = 100;
+  MultiProgramSource src(cfg, 1'000);
+  std::vector<std::uint64_t> q0, q2;  // program 0's first two quanta
+  std::uint64_t pos = 0;
+  while (auto a = src.next()) {
+    if (pos < 100) q0.push_back(a->address);
+    if (pos >= 200 && pos < 300) q2.push_back(a->address);
+    ++pos;
+  }
+  EXPECT_NE(q0, q2);  // not a replay of the same window
+}
+
+TEST(MultiProgram, NameListsPrograms) {
+  MultiProgramSource src(two_programs(), 100);
+  EXPECT_EQ(src.name(), "multi[sha+cjpeg]");
+}
+
+TEST(MultiProgram, Validation) {
+  MultiProgramConfig cfg;
+  EXPECT_THROW(MultiProgramSource(cfg, 100), ConfigError);  // no programs
+  cfg = two_programs();
+  cfg.quantum_accesses = 0;
+  EXPECT_THROW(MultiProgramSource(cfg, 100), ConfigError);
+  cfg = two_programs();
+  cfg.address_stride = 1024;  // smaller than the program footprints
+  EXPECT_THROW(MultiProgramSource(cfg, 100), ConfigError);
+}
+
+TEST(MultiProgram, SizeHint) {
+  MultiProgramSource src(two_programs(), 777);
+  ASSERT_TRUE(src.size_hint().has_value());
+  EXPECT_EQ(*src.size_hint(), 777u);
+}
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,153 @@
+#include "aging/nbti.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace pcal {
+namespace {
+
+NbtiModel default_model() { return NbtiModel(NbtiParams{}); }
+
+TEST(Nbti, PowerLawExponent) {
+  // With n = 1/6, multiplying time by 64 doubles the shift.
+  const NbtiModel m = default_model();
+  const double d1 = m.delta_vth(1e6, 0.5, 1.1, 80.0);
+  const double d64 = m.delta_vth(64e6, 0.5, 1.1, 80.0);
+  EXPECT_NEAR(d64 / d1, 2.0, 1e-9);
+}
+
+TEST(Nbti, ZeroStressZeroShift) {
+  const NbtiModel m = default_model();
+  EXPECT_EQ(m.delta_vth(0.0, 0.5, 1.1, 80.0), 0.0);
+  EXPECT_EQ(m.delta_vth(1e6, 0.0, 1.1, 80.0), 0.0);
+}
+
+TEST(Nbti, DutyInsideThePowerLaw) {
+  // (alpha * t)^n: halving the duty is the same as halving time.
+  const NbtiModel m = default_model();
+  EXPECT_NEAR(m.delta_vth(2e6, 0.25, 1.1, 80.0),
+              m.delta_vth(1e6, 0.5, 1.1, 80.0), 1e-15);
+}
+
+TEST(Nbti, VoltageAcceleration) {
+  const NbtiModel m = default_model();
+  EXPECT_GT(m.prefactor(1.2, 80.0), m.prefactor(1.1, 80.0));
+  EXPECT_LT(m.prefactor(0.75, 80.0), m.prefactor(1.1, 80.0));
+  // At the reference point the prefactor equals kdc.
+  EXPECT_NEAR(m.prefactor(1.1, 80.0), m.params().kdc, 1e-15);
+}
+
+TEST(Nbti, TemperatureAcceleration) {
+  const NbtiModel m = default_model();
+  EXPECT_GT(m.prefactor(1.1, 110.0), m.prefactor(1.1, 80.0));
+  EXPECT_LT(m.prefactor(1.1, 25.0), m.prefactor(1.1, 80.0));
+}
+
+TEST(Nbti, GammaMatchesPaperCalibration) {
+  // The design targets gamma ~= 0.226 for the 1.1V -> 0.75V drowsy state
+  // (DESIGN.md §3).
+  const NbtiModel m = default_model();
+  EXPECT_NEAR(m.gamma(0.75, 1.1, 80.0), 0.226, 0.002);
+  EXPECT_DOUBLE_EQ(m.gamma(1.1, 1.1, 80.0), 1.0);
+  EXPECT_LT(m.gamma(0.6, 1.1, 80.0), m.gamma(0.9, 1.1, 80.0));
+}
+
+TEST(Nbti, EffectiveDuty) {
+  EXPECT_DOUBLE_EQ(NbtiModel::effective_duty(0.5, 0.0, 0.226), 0.5);
+  EXPECT_DOUBLE_EQ(NbtiModel::effective_duty(0.5, 1.0, 0.226), 0.5 * 0.226);
+  EXPECT_DOUBLE_EQ(NbtiModel::effective_duty(1.0, 0.5, 0.2), 0.6);
+  EXPECT_THROW(NbtiModel::effective_duty(1.5, 0.0, 0.2), Error);
+}
+
+class TimeToReachInverse : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimeToReachInverse, InvertsDeltaVth) {
+  const NbtiModel m = default_model();
+  const double alpha = GetParam();
+  const double dv = m.delta_vth(5e7, alpha, 1.1, 80.0);
+  EXPECT_NEAR(m.time_to_reach(dv, alpha, 1.1, 80.0), 5e7, 5e7 * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Duties, TimeToReachInverse,
+                         ::testing::Values(0.05, 0.25, 0.5, 0.9, 1.0));
+
+TEST(Nbti, TimeToReachInfiniteAtZeroStress) {
+  const NbtiModel m = default_model();
+  EXPECT_TRUE(std::isinf(m.time_to_reach(0.05, 0.0, 1.1, 80.0)));
+}
+
+TEST(Nbti, ScalePrefactor) {
+  NbtiModel m = default_model();
+  const double before = m.delta_vth(1e6, 0.5, 1.1, 80.0);
+  m.scale_prefactor(2.0);
+  EXPECT_NEAR(m.delta_vth(1e6, 0.5, 1.1, 80.0), 2.0 * before, 1e-15);
+  EXPECT_THROW(m.scale_prefactor(0.0), Error);
+}
+
+TEST(Nbti, RejectsBadParams) {
+  NbtiParams p;
+  p.n = 0.0;
+  EXPECT_THROW(NbtiModel{p}, ConfigError);
+  p = NbtiParams{};
+  p.kdc = -1.0;
+  EXPECT_THROW(NbtiModel{p}, ConfigError);
+}
+
+// The stepped stress/recovery integrator must converge to the closed-form
+// duty model: that is what justifies the closed form for year-scale
+// extrapolation.
+class SteppedConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(SteppedConvergence, PermanentComponentMatchesClosedForm) {
+  const double duty = GetParam();
+  const NbtiModel m = default_model();
+  SteppedNbtiIntegrator integ(m, 1.1, 80.0);
+  const double period = 1000.0;  // seconds
+  const int cycles = 2000;
+  for (int i = 0; i < cycles; ++i) {
+    integ.stress(duty * period, 1.1);
+    integ.recover((1.0 - duty) * period);
+  }
+  const double t_total = cycles * period;
+  const double closed = m.delta_vth(t_total, duty, 1.1, 80.0);
+  EXPECT_NEAR(integ.delta_vth_permanent(), closed, closed * 1e-9);
+  // The total (with the fast component) sits above the permanent level but
+  // within the recoverable fraction.
+  EXPECT_GE(integ.delta_vth(), integ.delta_vth_permanent());
+  EXPECT_LE(integ.delta_vth(),
+            integ.delta_vth_permanent() *
+                (1.0 + m.params().recoverable_fraction) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Duties, SteppedConvergence,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.8, 1.0));
+
+TEST(Stepped, ReducedVoltageStressAgesSlower) {
+  const NbtiModel m = default_model();
+  SteppedNbtiIntegrator full(m, 1.1, 80.0), drowsy(m, 1.1, 80.0);
+  full.stress(1e6, 1.1);
+  drowsy.stress(1e6, 0.75);
+  EXPECT_LT(drowsy.delta_vth_permanent(), full.delta_vth_permanent());
+  // Equivalent-time bookkeeping: 1e6 s at 0.75V == gamma * 1e6 s at 1.1V.
+  EXPECT_NEAR(drowsy.equivalent_stress_seconds(),
+              m.gamma(0.75, 1.1, 80.0) * 1e6, 1.0);
+}
+
+TEST(Stepped, RecoveryDecaysFastComponentOnly) {
+  const NbtiModel m = default_model();
+  SteppedNbtiIntegrator integ(m, 1.1, 80.0);
+  integ.stress(1e5, 1.1);
+  const double perm = integ.delta_vth_permanent();
+  const double before = integ.delta_vth();
+  integ.recover(1e6);  // long recovery: fast component gone
+  EXPECT_NEAR(integ.delta_vth(), perm, perm * 1e-6);
+  EXPECT_LT(integ.delta_vth(), before);
+  EXPECT_DOUBLE_EQ(integ.delta_vth_permanent(), perm);
+}
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,49 @@
+#include "bank/one_hot.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+TEST(OneHot, EncodeKnownValues) {
+  // Paper: bank 0 -> 0...01, bank M-1 -> 10...0.
+  EXPECT_EQ(one_hot_encode(0, 4), 0b0001u);
+  EXPECT_EQ(one_hot_encode(3, 4), 0b1000u);
+  EXPECT_EQ(one_hot_encode(7, 8), 0b10000000u);
+}
+
+TEST(OneHot, EncodeRejectsOutOfRange) {
+  EXPECT_THROW(one_hot_encode(4, 4), Error);
+  EXPECT_THROW(one_hot_encode(0, 3), Error);  // non-pow2 bank count
+}
+
+TEST(OneHot, DecodeRejectsNonOneHot) {
+  EXPECT_THROW(one_hot_decode(0b0011, 4), Error);
+  EXPECT_THROW(one_hot_decode(0, 4), Error);
+}
+
+TEST(OneHot, IsOneHot) {
+  EXPECT_TRUE(is_one_hot(0b0100, 4));
+  EXPECT_FALSE(is_one_hot(0b0101, 4));
+  EXPECT_FALSE(is_one_hot(0, 4));
+  EXPECT_FALSE(is_one_hot(0b10000, 4));  // bit outside M banks
+}
+
+class OneHotRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OneHotRoundTrip, EncodeDecodeIdentity) {
+  const std::uint64_t m = GetParam();
+  for (std::uint64_t b = 0; b < m; ++b) {
+    const std::uint64_t mask = one_hot_encode(b, m);
+    EXPECT_TRUE(is_one_hot(mask, m));
+    EXPECT_EQ(one_hot_decode(mask, m), b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BankCounts, OneHotRoundTrip,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 64u));
+
+}  // namespace
+}  // namespace pcal

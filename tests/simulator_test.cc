@@ -1,0 +1,116 @@
+#include "core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "trace/workloads.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+const AgingContext& aging() {
+  static AgingContext* ctx = new AgingContext();
+  return *ctx;
+}
+
+SimConfig base_config() { return paper_config(8192, 16, 4); }
+
+TEST(Simulator, MonolithicUniformWorkloadLivesNominalLifetime) {
+  // A monolithic cache under constant traffic has no useful idleness and
+  // ages like the standard cell: 2.93 years.
+  auto spec = make_uniform_workload(32 * 1024);
+  SyntheticTraceSource src(spec, 300'000);
+  const SimResult r =
+      Simulator(monolithic_variant(base_config())).run(src, &aging().lut());
+  ASSERT_EQ(r.banks.size(), 1u);
+  EXPECT_LT(r.banks[0].sleep_residency, 0.01);
+  EXPECT_NEAR(r.lifetime_years(), 2.93, 0.05);
+}
+
+TEST(Simulator, ReindexingEqualizesHotspotResidency) {
+  auto spec = make_hotspot_workload(64 * 1024, 1.0, 0.05);
+  SyntheticTraceSource src(spec, 500'000);
+  const SimResult reidx = Simulator(base_config()).run(src, &aging().lut());
+  const SimResult stat =
+      Simulator(static_variant(base_config())).run(src, &aging().lut());
+
+  // Static: the hot bank never sleeps, capping lifetime at ~2.93y.
+  EXPECT_LT(stat.min_residency(), 0.02);
+  EXPECT_NEAR(stat.lifetime_years(), 2.93, 0.1);
+  // Probing: every physical bank gets its share of the hot set.
+  EXPECT_GT(reidx.min_residency(), stat.min_residency() + 0.3);
+  EXPECT_GT(reidx.lifetime_years(), 1.4 * stat.lifetime_years());
+  ASSERT_TRUE(reidx.lifetime.has_value());
+  EXPECT_LT(reidx.lifetime->imbalance(), 1.25);
+}
+
+TEST(Simulator, UpdateCountHonored) {
+  auto spec = make_uniform_workload(32 * 1024);
+  SyntheticTraceSource src(spec, 100'000);
+  SimConfig cfg = base_config();
+  cfg.reindex_updates = 7;
+  const SimResult r = Simulator(cfg).run(src);
+  EXPECT_EQ(r.reindex_updates_applied, 7u);
+  EXPECT_EQ(r.cache_stats.flushes, 7u);
+}
+
+TEST(Simulator, StaticConfigNeverFlushes) {
+  auto spec = make_uniform_workload(32 * 1024);
+  SyntheticTraceSource src(spec, 100'000);
+  const SimResult r = Simulator(static_variant(base_config())).run(src);
+  EXPECT_EQ(r.reindex_updates_applied, 0u);
+  EXPECT_EQ(r.cache_stats.flushes, 0u);
+}
+
+TEST(Simulator, BreakevenOverride) {
+  SimConfig cfg = base_config();
+  cfg.breakeven_override = 5;
+  EXPECT_EQ(Simulator(cfg).breakeven_cycles(), 5u);
+  cfg.breakeven_override = 0;
+  const std::uint64_t be = Simulator(cfg).breakeven_cycles();
+  EXPECT_GE(be, 8u);
+  EXPECT_LE(be, 64u);
+}
+
+TEST(Simulator, ResultBookkeeping) {
+  auto spec = make_uniform_workload(32 * 1024);
+  SyntheticTraceSource src(spec, 50'000);
+  const SimResult r = Simulator(base_config()).run(src, &aging().lut());
+  EXPECT_EQ(r.workload, "uniform");
+  EXPECT_EQ(r.config_label, "8kB/16B/DM M=4 probing");
+  EXPECT_EQ(r.accesses, 50'000u);
+  ASSERT_EQ(r.banks.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& b : r.banks) total += b.accesses;
+  EXPECT_EQ(total, 50'000u);
+  EXPECT_GT(r.energy.baseline_pj, 0.0);
+  EXPECT_GT(r.energy.partitioned.total_pj(), 0.0);
+  EXPECT_GT(r.lifetime_years(), 0.0);
+}
+
+TEST(Simulator, RunWithoutLutSkipsLifetime) {
+  auto spec = make_uniform_workload(32 * 1024);
+  SyntheticTraceSource src(spec, 10'000);
+  const SimResult r = Simulator(base_config()).run(src);
+  EXPECT_FALSE(r.lifetime.has_value());
+  EXPECT_EQ(r.lifetime_years(), 0.0);
+}
+
+TEST(Simulator, VariantHelpers) {
+  const SimConfig mono = monolithic_variant(base_config());
+  EXPECT_EQ(mono.partition.num_banks, 1u);
+  EXPECT_EQ(mono.indexing, IndexingKind::kStatic);
+  const SimConfig st = static_variant(base_config());
+  EXPECT_EQ(st.partition.num_banks, 4u);
+  EXPECT_EQ(st.indexing, IndexingKind::kStatic);
+}
+
+TEST(Simulator, RejectsInvalidConfig) {
+  SimConfig cfg = base_config();
+  cfg.partition.num_banks = 3;
+  EXPECT_THROW(Simulator{cfg}, ConfigError);
+}
+
+}  // namespace
+}  // namespace pcal

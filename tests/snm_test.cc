@@ -1,0 +1,79 @@
+#include "aging/snm.h"
+
+#include <gtest/gtest.h>
+
+namespace pcal {
+namespace {
+
+SramCell default_cell() { return SramCell(SramCellParams{}); }
+
+TEST(Snm, FreshCellHasHealthyMargin) {
+  const SnmResult r = read_snm(default_cell(), 0.0, 0.0);
+  // Read SNM of a 45nm-class cell: a decent fraction of vdd.
+  EXPECT_GT(r.snm, 0.10);
+  EXPECT_LT(r.snm, 0.40);
+}
+
+TEST(Snm, SymmetricCellHasEqualLobes) {
+  const SnmResult r = read_snm(default_cell(), 0.0, 0.0);
+  EXPECT_NEAR(r.lobe0, r.lobe1, 0.002);
+  const SnmResult aged = read_snm(default_cell(), 0.08, 0.08);
+  EXPECT_NEAR(aged.lobe0, aged.lobe1, 0.002);
+}
+
+TEST(Snm, MonotoneDecreasingInSymmetricShift) {
+  const SramCell cell = default_cell();
+  double prev = 1.0;
+  for (double dv : {0.0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3}) {
+    const double s = read_snm(cell, dv, dv).snm;
+    EXPECT_LT(s, prev + 1e-9) << "dv " << dv;
+    prev = s;
+  }
+}
+
+TEST(Snm, TwentyPercentDegradationIsReachable) {
+  // The lifetime criterion must be attainable within the model's range —
+  // the property that originally motivated the cell sizing.
+  const SramCell cell = default_cell();
+  const double snm0 = read_snm(cell, 0.0, 0.0).snm;
+  const double aged = read_snm(cell, 2.0, 2.0).snm;
+  EXPECT_LT(aged, 0.8 * snm0);
+}
+
+TEST(Snm, AsymmetricAgingShrinksOneLobe) {
+  const SramCell cell = default_cell();
+  const SnmResult r = read_snm(cell, 0.15, 0.0);
+  EXPECT_GT(std::abs(r.lobe0 - r.lobe1), 0.005);
+  // The overall SNM is the weaker lobe.
+  EXPECT_DOUBLE_EQ(r.snm, std::min(r.lobe0, r.lobe1));
+}
+
+TEST(Snm, SwapSymmetry) {
+  // Swapping the two loads mirrors the butterfly: same cell SNM.
+  const SramCell cell = default_cell();
+  const SnmResult a = read_snm(cell, 0.12, 0.03);
+  const SnmResult b = read_snm(cell, 0.03, 0.12);
+  EXPECT_NEAR(a.snm, b.snm, 0.002);
+  EXPECT_NEAR(a.lobe0, b.lobe1, 0.002);
+  EXPECT_NEAR(a.lobe1, b.lobe0, 0.002);
+}
+
+TEST(Snm, BalancedAgingBeatsConcentratedAging) {
+  // Kumar et al. (paper ref [11]): equal degradation of both pMOS (p0=0.5)
+  // is the *best* case for a given total stress.  Check the SNM analogue:
+  // splitting a shift budget equally hurts less than concentrating it.
+  const SramCell cell = default_cell();
+  const double balanced = read_snm(cell, 0.1, 0.1).snm;
+  const double concentrated = read_snm(cell, 0.2, 0.0).snm;
+  EXPECT_GT(balanced, concentrated);
+}
+
+TEST(Snm, SamplingDensityConverged) {
+  const SramCell cell = default_cell();
+  const double coarse = read_snm(cell, 0.07, 0.02, 200).snm;
+  const double fine = read_snm(cell, 0.07, 0.02, 800).snm;
+  EXPECT_NEAR(coarse, fine, 0.003);
+}
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,67 @@
+#include "aging/sram_cell.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+TEST(SramCell, RailsAtExtremes) {
+  SramCell cell(SramCellParams{});
+  const double vdd = cell.params().vdd;
+  // Input low: output pulled fully high.
+  EXPECT_NEAR(cell.inverter_vtc(0.0, 0.0), vdd, 1e-6);
+  // Input high: output sits at the read-disturb level, not 0 — the access
+  // transistor fights the driver during a read.
+  const double v_read = cell.inverter_vtc(vdd, 0.0);
+  EXPECT_GT(v_read, 0.02);
+  EXPECT_LT(v_read, 0.35);
+  EXPECT_DOUBLE_EQ(cell.read_disturb_voltage(0.0), v_read);
+}
+
+TEST(SramCell, VtcMonotoneDecreasing) {
+  SramCell cell(SramCellParams{});
+  double prev = 2.0;
+  for (int i = 0; i <= 50; ++i) {
+    const double vin = cell.params().vdd * i / 50.0;
+    const double v = cell.inverter_vtc(vin, 0.0);
+    EXPECT_LE(v, prev + 1e-9) << "vin " << vin;
+    prev = v;
+  }
+}
+
+TEST(SramCell, AgedLoadWeakensHighOutput) {
+  SramCell cell(SramCellParams{});
+  // Around the switching region the aged pMOS pulls less: output drops.
+  const double mid = 0.52;
+  EXPECT_LT(cell.inverter_vtc(mid, 0.10), cell.inverter_vtc(mid, 0.0));
+  // Monotone in the shift.
+  EXPECT_LT(cell.inverter_vtc(mid, 0.20), cell.inverter_vtc(mid, 0.10));
+}
+
+TEST(SramCell, ReadDisturbInsensitiveToLoadAging) {
+  // At vin = vdd the pMOS is off anyway; the disturb level is set by the
+  // driver/access ratio.
+  SramCell cell(SramCellParams{});
+  EXPECT_NEAR(cell.read_disturb_voltage(0.3),
+              cell.read_disturb_voltage(0.0), 1e-9);
+}
+
+TEST(SramCell, SampleVtc) {
+  SramCell cell(SramCellParams{});
+  const auto vtc = cell.sample_vtc(0.0, 11);
+  ASSERT_EQ(vtc.size(), 11u);
+  EXPECT_NEAR(vtc.front(), cell.params().vdd, 1e-6);
+  EXPECT_NEAR(vtc.back(), cell.read_disturb_voltage(0.0), 1e-6);
+  EXPECT_THROW(cell.sample_vtc(0.0, 1), Error);
+}
+
+TEST(SramCell, RejectsDegenerateSupply) {
+  SramCellParams p;
+  p.vdd = 0.3;  // below the driver threshold
+  EXPECT_THROW(SramCell{p}, ConfigError);
+}
+
+}  // namespace
+}  // namespace pcal

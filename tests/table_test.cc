@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaderAndArityMismatch) {
+  EXPECT_THROW(TextTable({}), Error);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::pct(0.4231, 1), "42.3");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100");
+}
+
+TEST(TextTable, RenderAlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"a", "1.0"});
+  t.add_row({"longer", "22.5"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  // Header present, separator present, both rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Numbers are right-aligned: "22.5" ends at same column as "1.0".
+  std::istringstream is(out);
+  std::string l_header, l_rule, l_a, l_longer;
+  std::getline(is, l_header);
+  std::getline(is, l_rule);
+  std::getline(is, l_a);
+  std::getline(is, l_longer);
+  EXPECT_EQ(l_a.size(), l_longer.size());
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"name", "note"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"q", "has \"quote\""});
+  std::ostringstream os;
+  t.render_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has \"\"quote\"\"\""), std::string::npos);
+  EXPECT_NE(out.find("name,note"), std::string::npos);
+}
+
+TEST(TextTable, RowAccess) {
+  TextTable t({"a"});
+  t.add_row({"r0"});
+  EXPECT_EQ(t.row(0)[0], "r0");
+}
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,99 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+Trace sample_trace() {
+  return Trace("sample", {{0x1000, AccessKind::kRead},
+                          {0xDEADBEEF, AccessKind::kWrite},
+                          {0, AccessKind::kRead},
+                          {0xFFFFFFFFFFFFull, AccessKind::kWrite}});
+}
+
+TEST(TraceText, RoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_trace_text(t, ss);
+  const Trace u = read_trace_text(ss, "sample");
+  ASSERT_EQ(u.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(u[i], t[i]) << "record " << i;
+  }
+}
+
+TEST(TraceText, ParsesCommentsBlanksAndBases) {
+  std::stringstream ss("# comment\n\nR 0x10\nw 16\nr 0X20\n");
+  const Trace t = read_trace_text(ss);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].address, 0x10u);
+  EXPECT_EQ(t[0].kind, AccessKind::kRead);
+  EXPECT_EQ(t[1].address, 16u);
+  EXPECT_EQ(t[1].kind, AccessKind::kWrite);
+  EXPECT_EQ(t[2].address, 0x20u);
+}
+
+TEST(TraceText, RejectsMalformedLines) {
+  std::stringstream bad1("X 0x10\n");
+  EXPECT_THROW(read_trace_text(bad1), ParseError);
+  std::stringstream bad2("R zzz\n");
+  EXPECT_THROW(read_trace_text(bad2), ParseError);
+  std::stringstream bad3("R 0x10 junk\n");
+  EXPECT_THROW(read_trace_text(bad3), ParseError);
+  std::stringstream bad4("R\n");
+  EXPECT_THROW(read_trace_text(bad4), ParseError);
+}
+
+TEST(TraceBinary, RoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_trace_binary(t, ss);
+  const Trace u = read_trace_binary(ss, "sample");
+  ASSERT_EQ(u.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(u[i], t[i]);
+}
+
+TEST(TraceBinary, RejectsBadMagicAndTruncation) {
+  std::stringstream bad1("WRONGMAG....");
+  EXPECT_THROW(read_trace_binary(bad1), ParseError);
+
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_trace_binary(t, ss);
+  std::string data = ss.str();
+  data.resize(data.size() - 3);  // chop a record
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_trace_binary(truncated), ParseError);
+}
+
+TEST(TraceFile, SaveLoadSniffsFormat) {
+  const Trace t = sample_trace();
+  const std::string text_path = ::testing::TempDir() + "/pcal_trace.txt";
+  const std::string bin_path = ::testing::TempDir() + "/pcal_trace.bin";
+  save_trace_file(t, text_path, /*binary=*/false);
+  save_trace_file(t, bin_path, /*binary=*/true);
+  const Trace from_text = load_trace_file(text_path);
+  const Trace from_bin = load_trace_file(bin_path);
+  ASSERT_EQ(from_text.size(), t.size());
+  ASSERT_EQ(from_bin.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(from_text[i], t[i]);
+    EXPECT_EQ(from_bin[i], t[i]);
+  }
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(TraceFile, MissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/path/trace.bin"), ParseError);
+}
+
+}  // namespace
+}  // namespace pcal

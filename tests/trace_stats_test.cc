@@ -1,0 +1,66 @@
+#include "trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/workloads.h"
+
+namespace pcal {
+namespace {
+
+TEST(TraceStats, EmptyTrace) {
+  Trace t;
+  const TraceStats st = compute_trace_stats(t);
+  EXPECT_EQ(st.accesses, 0u);
+  EXPECT_EQ(st.distinct_lines, 0u);
+  EXPECT_EQ(st.reuse_fraction, 0.0);
+}
+
+TEST(TraceStats, CountsAndFootprint) {
+  Trace t("t", {{0, AccessKind::kRead},
+                {8, AccessKind::kWrite},    // same 16B line as 0
+                {16, AccessKind::kRead},
+                {4096, AccessKind::kWrite}});
+  const TraceStats st = compute_trace_stats(t, 16);
+  EXPECT_EQ(st.accesses, 4u);
+  EXPECT_EQ(st.reads, 2u);
+  EXPECT_EQ(st.writes, 2u);
+  EXPECT_EQ(st.distinct_lines, 3u);
+  EXPECT_EQ(st.footprint_bytes, 48u);
+  EXPECT_EQ(st.min_address, 0u);
+  EXPECT_EQ(st.max_address, 4096u);
+  EXPECT_DOUBLE_EQ(st.write_fraction, 0.5);
+  // One reuse (address 8 hits line of address 0) out of 4 accesses.
+  EXPECT_DOUBLE_EQ(st.reuse_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(st.mean_reuse_distance, 1.0);
+}
+
+TEST(TraceStats, ReuseDistance) {
+  Trace t("t", {{0, AccessKind::kRead},
+                {100, AccessKind::kRead},
+                {200, AccessKind::kRead},
+                {0, AccessKind::kRead}});  // distance 3
+  const TraceStats st = compute_trace_stats(t, 16);
+  EXPECT_DOUBLE_EQ(st.mean_reuse_distance, 3.0);
+  EXPECT_DOUBLE_EQ(st.reuse_fraction, 0.25);
+}
+
+TEST(TraceStats, LineGranularityMatters) {
+  Trace t("t", {{0, AccessKind::kRead}, {31, AccessKind::kRead}});
+  EXPECT_EQ(compute_trace_stats(t, 32).distinct_lines, 1u);
+  EXPECT_EQ(compute_trace_stats(t, 16).distinct_lines, 2u);
+}
+
+TEST(TraceStats, SyntheticWorkloadsShowReuse) {
+  // MediaBench-like workloads must look like real programs: substantial
+  // line reuse and a footprint bounded by the spec.
+  auto spec = make_mediabench_workload("rijndael_i");
+  SyntheticTraceSource src(spec, 100'000);
+  const TraceStats st = compute_trace_stats(src, 16);
+  EXPECT_EQ(st.accesses, 100'000u);
+  EXPECT_GT(st.reuse_fraction, 0.9);
+  EXPECT_LE(st.footprint_bytes, spec.footprint_bytes);
+  EXPECT_NEAR(st.write_fraction, spec.write_fraction, 0.02);
+}
+
+}  // namespace
+}  // namespace pcal

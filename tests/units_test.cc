@@ -1,0 +1,39 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace pcal {
+namespace {
+
+TEST(Units, YearSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::seconds_to_years(units::years_to_seconds(2.93)),
+                   2.93);
+  EXPECT_DOUBLE_EQ(units::years_to_seconds(1.0), 365.25 * 24 * 3600);
+}
+
+TEST(Units, Prefixes) {
+  EXPECT_DOUBLE_EQ(units::nano(3.0), 3e-9);
+  EXPECT_DOUBLE_EQ(units::micro(3.0), 3e-6);
+  EXPECT_DOUBLE_EQ(units::milli(3.0), 3e-3);
+  EXPECT_DOUBLE_EQ(units::pico(3.0), 3e-12);
+  EXPECT_DOUBLE_EQ(units::femto(3.0), 3e-15);
+}
+
+TEST(Units, KiB) {
+  EXPECT_EQ(units::KiB(8), 8192u);
+  EXPECT_EQ(units::KiB(0), 0u);
+}
+
+TEST(Lifetime, ConstructionAndComparison) {
+  const Lifetime a = Lifetime::from_years(2.0);
+  const Lifetime b = Lifetime::from_seconds(units::years_to_seconds(3.0));
+  EXPECT_DOUBLE_EQ(a.years(), 2.0);
+  EXPECT_DOUBLE_EQ(b.years(), 3.0);
+  EXPECT_DOUBLE_EQ(a.seconds(), units::years_to_seconds(2.0));
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a == Lifetime::from_years(2.0));
+}
+
+}  // namespace
+}  // namespace pcal

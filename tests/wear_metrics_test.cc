@@ -1,0 +1,68 @@
+#include "aging/wear_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+TEST(Gini, PerfectEqualityIsZero) {
+  EXPECT_NEAR(gini_coefficient({1.0, 1.0, 1.0, 1.0}), 0.0, 1e-12);
+  EXPECT_EQ(gini_coefficient({}), 0.0);
+  EXPECT_EQ(gini_coefficient({0.0, 0.0}), 0.0);
+}
+
+TEST(Gini, ConcentrationApproachesOne) {
+  // All mass on one of n units: G = (n-1)/n.
+  EXPECT_NEAR(gini_coefficient({0.0, 0.0, 0.0, 10.0}), 0.75, 1e-12);
+  EXPECT_NEAR(gini_coefficient({0.0, 5.0}), 0.5, 1e-12);
+}
+
+TEST(Gini, KnownIntermediateValue) {
+  // {1, 2, 3, 4}: G = 0.25 (textbook).
+  EXPECT_NEAR(gini_coefficient({4.0, 1.0, 3.0, 2.0}), 0.25, 1e-12);
+}
+
+TEST(Gini, RejectsNegative) {
+  EXPECT_THROW(gini_coefficient({1.0, -0.1}), Error);
+}
+
+TEST(Cov, Basics) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_NEAR(coefficient_of_variation({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                        9.0}),
+              2.0 / 5.0, 1e-12);
+  EXPECT_EQ(coefficient_of_variation({}), 0.0);
+}
+
+TEST(MaxMin, RatioAndEdgeCases) {
+  EXPECT_DOUBLE_EQ(max_min_ratio({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio({3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio({}), 1.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio({0.0, 0.0}), 1.0);
+  EXPECT_EQ(max_min_ratio({0.0, 1.0}), 1e9);  // clamped infinity
+}
+
+TEST(Leveling, EfficiencyIsMinOverMean) {
+  EXPECT_DOUBLE_EQ(leveling_efficiency({0.4, 0.4, 0.4, 0.4}), 1.0);
+  // The paper's adpcm.dec signature: min 2.46, mean 51.54 -> ~0.048.
+  EXPECT_NEAR(leveling_efficiency({0.0246, 0.9998, 0.9998, 0.0375}),
+              0.0246 / 0.515425, 1e-9);
+  EXPECT_DOUBLE_EQ(leveling_efficiency({}), 1.0);
+  EXPECT_DOUBLE_EQ(leveling_efficiency({0.0, 0.0}), 1.0);
+}
+
+TEST(Metrics, AgreeOnOrdering) {
+  // All four metrics must agree that distribution A is more even than B.
+  const std::vector<double> even = {0.4, 0.45, 0.5, 0.42};
+  const std::vector<double> skewed = {0.02, 0.9, 0.95, 0.05};
+  EXPECT_LT(gini_coefficient(even), gini_coefficient(skewed));
+  EXPECT_LT(coefficient_of_variation(even),
+            coefficient_of_variation(skewed));
+  EXPECT_LT(max_min_ratio(even), max_min_ratio(skewed));
+  EXPECT_GT(leveling_efficiency(even), leveling_efficiency(skewed));
+}
+
+}  // namespace
+}  // namespace pcal
