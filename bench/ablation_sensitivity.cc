@@ -31,12 +31,12 @@ int main() {
     cfg.breakeven_override = be;
     const SimResult r = run_workload(spec, cfg, aging(), accesses());
     std::uint64_t eps = 0;
-    for (const auto& b : r.banks) eps += b.sleep_episodes;
+    for (const auto& b : r.units) eps += b.sleep_episodes;
     be_table.add_row({std::to_string(be),
                       TextTable::pct(r.avg_residency(), 1),
                       TextTable::num(r.lifetime_years(), 3),
                       TextTable::pct(r.energy_saving(), 1),
-                      std::to_string(eps / r.banks.size())});
+                      std::to_string(eps / r.units.size())});
   }
   print_table(be_table);
 

@@ -7,55 +7,31 @@
 // benefit using standard memory-compiler macros.  We report lifetime,
 // harvested idleness and wear-leveling metrics for: monolithic, banked
 // M = 4/8/16 (probing), and line-grain probing.
+//
+// All five architectures run through the one polymorphic Simulator engine
+// — the configs differ only in their CacheTopology.
 #include "bench_common.h"
 
 #include "aging/wear_metrics.h"
-#include "bank/line_managed_cache.h"
 
 namespace {
 
 using namespace pcal;
 using namespace pcal::bench;
 
-struct FineResult {
-  double avg_residency = 0.0;
-  double min_residency = 0.0;
-  double lifetime_years = 0.0;
-  double gini = 0.0;
-};
+std::vector<double> unit_residencies(const SimResult& r) {
+  std::vector<double> res;
+  res.reserve(r.units.size());
+  for (const auto& u : r.units) res.push_back(u.sleep_residency);
+  return res;
+}
 
-FineResult run_fine(const WorkloadSpec& spec, std::uint64_t accesses,
-                    std::uint64_t updates) {
-  LineManagedConfig cfg;
-  cfg.cache.size_bytes = 8192;
-  cfg.cache.line_bytes = 16;
-  cfg.indexing = IndexingKind::kProbing;
-  LineManagedCache lm(cfg);
-  SyntheticTraceSource src(spec, accesses);
-  const std::uint64_t interval = accesses / (updates + 1);
-  std::uint64_t since = 0, applied = 0;
-  while (auto a = src.next()) {
-    lm.access(a->address, a->kind == AccessKind::kWrite);
-    if (++since >= interval && applied < updates) {
-      lm.update_indexing();
-      since = 0;
-      ++applied;
-    }
-  }
-  lm.finish();
-  FineResult r;
-  std::vector<double> residency(lm.num_units());
-  for (std::uint64_t i = 0; i < lm.num_units(); ++i)
-    residency[i] = lm.line_residency(i);
-  r.avg_residency = lm.avg_residency();
-  r.min_residency = lm.min_residency();
-  r.gini = gini_coefficient(residency);
-  // Lifetime: minimum over lines of the LUT lifetime.
-  double lt = 1e18;
-  for (double s : residency)
-    lt = std::min(lt, aging().lut().lifetime_years(0.5, s));
-  r.lifetime_years = lt;
-  return r;
+SimConfig fine_config() {
+  SimConfig cfg = line_grain_variant(paper_config(8192, 16, 4));
+  // Line grain needs >= L updates for perfect uniformity; 64 rotations
+  // over the run is already deep into diminishing returns.
+  cfg.reindex_updates = 64;
+  return cfg;
 }
 
 }  // namespace
@@ -79,33 +55,29 @@ int main() {
       const SimResult r = run_workload(spec, paper_config(8192, 16, m),
                                        aging(), accesses());
       lts[i + 1] = r.lifetime_years();
-      if (m == 4) {
-        std::vector<double> res;
-        for (const auto& b : r.banks) res.push_back(b.sleep_residency);
-        m4_gini = gini_coefficient(res);
-      }
+      if (m == 4) m4_gini = gini_coefficient(unit_residencies(r));
     }
     const SimResult mono =
         run_workload(spec, monolithic_variant(paper_config(8192, 16, 4)),
                      aging(), accesses());
     lts[0] = mono.lifetime_years();
-    // Line grain needs >= L updates for perfect uniformity; 64 rotations
-    // over the run is already deep into diminishing returns.
-    const FineResult fine = run_fine(spec, accesses(), 64);
+    const SimResult fine = run_workload(spec, fine_config(), aging(),
+                                        accesses());
     row.push_back(TextTable::num(lts[0], 2));
     row.push_back(TextTable::num(lts[1], 2));
     row.push_back(TextTable::num(lts[2], 2));
     row.push_back(TextTable::num(lts[3], 2));
-    row.push_back(TextTable::num(fine.lifetime_years, 2));
-    row.push_back(TextTable::pct(fine.avg_residency, 1));
+    row.push_back(TextTable::num(fine.lifetime_years(), 2));
+    row.push_back(TextTable::pct(fine.avg_residency(), 1));
     row.push_back(TextTable::num(m4_gini, 3));
-    row.push_back(TextTable::num(fine.gini, 3));
+    row.push_back(TextTable::num(gini_coefficient(unit_residencies(fine)),
+                                 3));
     table.add_row(std::move(row));
     avg[0] += lts[0];
     avg[1] += lts[1];
     avg[2] += lts[2];
     avg[3] += lts[3];
-    avg[4] += fine.lifetime_years;
+    avg[4] += fine.lifetime_years();
   }
   const double n = static_cast<double>(sigs.size());
   table.add_row({"Average", TextTable::num(avg[0] / n, 2),

@@ -25,7 +25,7 @@ int main() {
     std::vector<std::string> row{sig.name};
     for (int b = 0; b < 4; ++b) {
       row.push_back(TextTable::pct(
-          r.banks[static_cast<std::size_t>(b)].sleep_residency, 2));
+          r.units[static_cast<std::size_t>(b)].sleep_residency, 2));
       row.push_back(TextTable::pct(
           sig.bank_idleness[static_cast<std::size_t>(b)], 2));
     }

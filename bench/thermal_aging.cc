@@ -25,7 +25,7 @@ ThermalOutcome evaluate(const SimResult& r, const SimConfig& cfg) {
   const EnergyModel model(cfg.tech, cfg.cache, cfg.partition);
   const BankThermalModel thermal;
   std::vector<double> power, residency;
-  for (const auto& b : r.banks) {
+  for (const auto& b : r.units) {
     power.push_back(BankThermalModel::average_power_mw(
         model, {b.accesses, b.sleep_cycles, b.sleep_episodes}, r.accesses));
     residency.push_back(b.sleep_residency);

@@ -18,9 +18,11 @@
 //   line = 16
 //   ways = 1
 //   [partition]
+//   granularity = bank       # monolithic | bank | line
 //   banks = 4
 //   indexing = probing       # static | probing | scrambling
 //   updates = 16
+#include <algorithm>
 #include <iostream>
 
 #include "core/experiment.h"
@@ -45,17 +47,11 @@ line = 16
 ways = 1
 
 [partition]
+granularity = bank
 banks = 4
 indexing = probing
 updates = 16
 )";
-
-IndexingKind parse_indexing(const std::string& s) {
-  if (s == "static") return IndexingKind::kStatic;
-  if (s == "probing") return IndexingKind::kProbing;
-  if (s == "scrambling") return IndexingKind::kScrambling;
-  throw ConfigError("unknown indexing kind: " + s);
-}
 
 std::unique_ptr<TraceSource> make_source(const ConfigFile& cfg,
                                          std::uint64_t accesses) {
@@ -97,13 +93,18 @@ int main(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) cfg.apply_override(argv[i]);
 
     SimConfig sim;
+    sim.granularity = granularity_from_string(
+        cfg.get_string("partition", "granularity", "bank"));
     sim.cache.size_bytes = cfg.get_u64("cache", "size", 8192);
     sim.cache.line_bytes = cfg.get_u64("cache", "line", 16);
     sim.cache.ways = cfg.get_u64("cache", "ways", 1);
     sim.partition.num_banks = cfg.get_u64("partition", "banks", 4);
-    sim.indexing =
-        parse_indexing(cfg.get_string("partition", "indexing", "probing"));
+    sim.indexing = indexing_kind_from_string(
+        cfg.get_string("partition", "indexing", "probing"));
     sim.reindex_updates = cfg.get_u64("partition", "updates", 16);
+    // 0 = derive the breakeven from the energy model; line-grain sleep
+    // hardware usually wants an explicit value (e.g. 28).
+    sim.breakeven_override = cfg.get_u64("partition", "breakeven", 0);
     sim.validate();
 
     const std::uint64_t accesses =
@@ -120,18 +121,22 @@ int main(int argc, char** argv) {
               << ", re-indexing updates: " << r.reindex_updates_applied
               << "\n\n";
 
-    TextTable banks({"bank", "accesses", "sleep residency",
+    // At line granularity there are hundreds of units; cap the table.
+    const std::size_t shown = std::min<std::size_t>(r.units.size(), 32);
+    TextTable units({"unit", "accesses", "sleep residency",
                      "idle intervals > BE", "sleep episodes",
                      "lifetime (y)"});
-    for (std::size_t b = 0; b < r.banks.size(); ++b) {
-      const BankResult& br = r.banks[b];
-      banks.add_row({std::to_string(b), std::to_string(br.accesses),
-                     TextTable::pct(br.sleep_residency, 2),
-                     TextTable::pct(br.useful_idleness_count, 2),
-                     std::to_string(br.sleep_episodes),
-                     TextTable::num(br.lifetime_years, 3)});
+    for (std::size_t u = 0; u < shown; ++u) {
+      const UnitResult& ur = r.units[u];
+      units.add_row({std::to_string(u), std::to_string(ur.accesses),
+                     TextTable::pct(ur.sleep_residency, 2),
+                     TextTable::pct(ur.useful_idleness_count, 2),
+                     std::to_string(ur.sleep_episodes),
+                     TextTable::num(ur.lifetime_years, 3)});
     }
-    banks.render(std::cout);
+    units.render(std::cout);
+    if (shown < r.units.size())
+      std::cout << "... (" << r.units.size() - shown << " more units)\n";
 
     std::cout << "\ncache: hit rate "
               << TextTable::num(r.cache_stats.hit_rate(), 4) << " ("

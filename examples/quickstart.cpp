@@ -51,10 +51,10 @@ int main() {
   // 5. Per-bank detail: with re-indexing the idleness is uniform, so all
   //    banks age at the same rate — that is the whole trick.
   std::cout << "\nper-bank sleep residency (reindexed): ";
-  for (const auto& b : r.reindexed.banks)
+  for (const auto& b : r.reindexed.units)
     std::cout << b.sleep_residency << " ";
   std::cout << "\nper-bank sleep residency (static):    ";
-  for (const auto& b : r.static_pm.banks)
+  for (const auto& b : r.static_pm.units)
     std::cout << b.sleep_residency << " ";
   std::cout << "\n";
   return 0;

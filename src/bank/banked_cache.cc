@@ -50,4 +50,20 @@ double BankedCache::bank_residency(std::uint64_t bank) const {
   return block_control_.sleep_residency(bank, cycle_);
 }
 
+AccessOutcome BankedCache::do_access(std::uint64_t address, bool is_write) {
+  const BankedAccessOutcome b = access(address, is_write);
+  AccessOutcome out;
+  out.hit = b.hit;
+  out.writeback = b.writeback;
+  out.logical_unit = b.logical_bank;
+  out.physical_unit = b.physical_bank;
+  out.woke_unit = b.woke_bank;
+  return out;
+}
+
+UnitActivity BankedCache::unit_activity(std::uint64_t unit) const {
+  PCAL_ASSERT_MSG(finished_, "call finish() first");
+  return unit_activity_from(block_control_, unit);
+}
+
 }  // namespace pcal

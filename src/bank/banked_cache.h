@@ -15,6 +15,7 @@
 #include "bank/block_control.h"
 #include "bank/decoder.h"
 #include "cache/cache.h"
+#include "core/managed_cache.h"
 
 namespace pcal {
 
@@ -44,19 +45,21 @@ struct BankedAccessOutcome {
   bool woke_bank = false;
 };
 
-class BankedCache {
+class BankedCache : public ManagedCache {
  public:
   explicit BankedCache(const BankedCacheConfig& config);
 
   /// Simulates one access at the next cycle.  Returns the outcome.
+  /// (Native entry point; hides ManagedCache::access, which forwards here
+  /// and converts the outcome to the unified struct.)
   BankedAccessOutcome access(std::uint64_t address, bool is_write);
 
   /// Fires the update signal: advances f() and flushes the cache.
   /// Returns the number of dirty lines the flush wrote back.
-  std::uint64_t update_indexing();
+  std::uint64_t update_indexing() override;
 
   /// Finalizes idle-interval bookkeeping; call when the trace ends.
-  void finish();
+  void finish() override;
 
   // ---- component access ----
   const BankedCacheConfig& config() const { return config_; }
@@ -66,13 +69,27 @@ class BankedCache {
   const IndexingPolicy& policy() const { return decoder_.policy(); }
 
   /// Cycles simulated so far (== accesses consumed).
-  std::uint64_t cycles() const { return cycle_; }
-  std::uint64_t indexing_updates() const { return policy().updates(); }
+  std::uint64_t cycles() const override { return cycle_; }
+  std::uint64_t indexing_updates() const override {
+    return policy().updates();
+  }
 
   /// Sleep residency of a physical bank over the whole simulated time.
   double bank_residency(std::uint64_t bank) const;
 
+  // ManagedCache (units are banks):
+  std::uint64_t num_units() const override {
+    return config_.partition.num_banks;
+  }
+  double unit_residency(std::uint64_t unit) const override {
+    return bank_residency(unit);
+  }
+  const CacheStats& stats() const override { return cache_.stats(); }
+  UnitActivity unit_activity(std::uint64_t unit) const override;
+
  private:
+  AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+
   BankedCacheConfig config_;
   CacheModel cache_;
   BankDecoder decoder_;

@@ -75,17 +75,21 @@ double LineManagedCache::line_residency(std::uint64_t line) const {
   return control_.sleep_residency(line, cycle_);
 }
 
-double LineManagedCache::avg_residency() const {
-  double sum = 0.0;
-  for (std::uint64_t i = 0; i < num_sets_; ++i) sum += line_residency(i);
-  return sum / static_cast<double>(num_sets_);
+AccessOutcome LineManagedCache::do_access(std::uint64_t address,
+                                          bool is_write) {
+  const LineAccessOutcome l = access(address, is_write);
+  AccessOutcome out;
+  out.hit = l.hit;
+  out.writeback = l.writeback;
+  out.logical_unit = l.logical_set;
+  out.physical_unit = l.physical_set;
+  out.woke_unit = l.woke_line;
+  return out;
 }
 
-double LineManagedCache::min_residency() const {
-  double lo = line_residency(0);
-  for (std::uint64_t i = 1; i < num_sets_; ++i)
-    lo = std::min(lo, line_residency(i));
-  return lo;
+UnitActivity LineManagedCache::unit_activity(std::uint64_t unit) const {
+  PCAL_ASSERT_MSG(finished_, "call finish() first");
+  return unit_activity_from(control_, unit);
 }
 
 }  // namespace pcal

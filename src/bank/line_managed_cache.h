@@ -17,6 +17,7 @@
 
 #include "bank/block_control.h"
 #include "cache/cache.h"
+#include "core/managed_cache.h"
 #include "indexing/index_policy.h"
 #include "util/lfsr.h"
 
@@ -45,29 +46,39 @@ struct LineAccessOutcome {
   bool woke_line = false;
 };
 
-class LineManagedCache {
+class LineManagedCache : public ManagedCache {
  public:
   explicit LineManagedCache(const LineManagedConfig& config);
 
+  /// Native entry point (hides ManagedCache::access, which forwards here).
   LineAccessOutcome access(std::uint64_t address, bool is_write);
 
   /// Advances the full-index rotation and flushes.  Returns dirty lines.
-  std::uint64_t update_indexing();
+  std::uint64_t update_indexing() override;
 
-  void finish();
+  void finish() override;
 
   const LineManagedConfig& config() const { return config_; }
   const CacheModel& cache() const { return cache_; }
   const BlockControl& line_control() const { return control_; }
-  std::uint64_t cycles() const { return cycle_; }
-  std::uint64_t num_units() const { return num_sets_; }
+  std::uint64_t cycles() const override { return cycle_; }
+  std::uint64_t num_units() const override { return num_sets_; }
 
   /// Sleep residency of one physical line over the simulated time.
+  /// (avg/min_residency come from the ManagedCache defaults.)
   double line_residency(std::uint64_t line) const;
-  double avg_residency() const;
-  double min_residency() const;
+
+  // ManagedCache (units are lines):
+  double unit_residency(std::uint64_t unit) const override {
+    return line_residency(unit);
+  }
+  const CacheStats& stats() const override { return cache_.stats(); }
+  std::uint64_t indexing_updates() const override { return updates_; }
+  UnitActivity unit_activity(std::uint64_t unit) const override;
 
  private:
+  AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+
   std::uint64_t map_set(std::uint64_t logical_set) const;
 
   LineManagedConfig config_;

@@ -19,6 +19,8 @@ ThreeWayResult run_three_way(const WorkloadSpec& workload,
                              const SimConfig& config,
                              const AgingContext& aging,
                              std::uint64_t num_accesses) {
+  // One engine, three topologies: the configs differ only in granularity
+  // and indexing; make_managed_cache picks the backend.
   ThreeWayResult r;
   r.reindexed = run_workload(workload, config, aging, num_accesses);
   r.static_pm =
@@ -31,6 +33,7 @@ ThreeWayResult run_three_way(const WorkloadSpec& workload,
 SimConfig paper_config(std::uint64_t size_bytes, std::uint64_t line_bytes,
                        std::uint64_t num_banks) {
   SimConfig config;
+  config.granularity = Granularity::kBank;
   config.cache.size_bytes = size_bytes;
   config.cache.line_bytes = line_bytes;
   config.cache.ways = 1;

@@ -1,0 +1,118 @@
+#include "core/managed_cache.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "bank/banked_cache.h"
+#include "bank/block_control.h"
+#include "bank/line_managed_cache.h"
+#include "core/monolithic_cache.h"
+#include "util/error.h"
+
+namespace pcal {
+
+const char* to_string(Granularity granularity) {
+  switch (granularity) {
+    case Granularity::kMonolithic: return "monolithic";
+    case Granularity::kBank: return "bank";
+    case Granularity::kLine: return "line";
+  }
+  return "?";
+}
+
+Granularity granularity_from_string(const std::string& s) {
+  if (s == "monolithic") return Granularity::kMonolithic;
+  if (s == "bank") return Granularity::kBank;
+  if (s == "line") return Granularity::kLine;
+  throw ConfigError("unknown granularity: \"" + s +
+                    "\" (expected monolithic | bank | line)");
+}
+
+std::uint64_t CacheTopology::num_units() const {
+  switch (granularity) {
+    case Granularity::kMonolithic: return 1;
+    case Granularity::kBank: return partition.num_banks;
+    case Granularity::kLine: return cache.num_sets();
+  }
+  return 1;
+}
+
+void CacheTopology::validate() const {
+  cache.validate();
+  if (granularity == Granularity::kBank) partition.validate(cache);
+  PCAL_CONFIG_CHECK(breakeven_cycles > 0, "breakeven time must be positive");
+}
+
+std::string CacheTopology::describe() const {
+  std::ostringstream os;
+  os << cache.describe() << " ";
+  switch (granularity) {
+    case Granularity::kMonolithic:
+      os << "M=1";
+      break;
+    case Granularity::kBank:
+      os << "M=" << partition.num_banks;
+      break;
+    case Granularity::kLine:
+      os << "line-grain";
+      break;
+  }
+  os << " " << to_string(indexing);
+  return os.str();
+}
+
+double ManagedCache::avg_residency() const {
+  const std::uint64_t n = num_units();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) sum += unit_residency(i);
+  return sum / static_cast<double>(n);
+}
+
+double ManagedCache::min_residency() const {
+  const std::uint64_t n = num_units();
+  if (n == 0) return 0.0;
+  double lo = unit_residency(0);
+  for (std::uint64_t i = 1; i < n; ++i)
+    lo = std::min(lo, unit_residency(i));
+  return lo;
+}
+
+UnitActivity unit_activity_from(const BlockControl& control,
+                                std::uint64_t unit) {
+  UnitActivity a;
+  a.accesses = control.accesses(unit);
+  a.sleep_cycles = control.sleep_cycles(unit);
+  a.sleep_episodes = control.sleep_episodes(unit);
+  a.useful_idleness_count = control.useful_idleness_count(unit);
+  return a;
+}
+
+std::unique_ptr<ManagedCache> make_managed_cache(
+    const CacheTopology& topology) {
+  topology.validate();
+  switch (topology.granularity) {
+    case Granularity::kMonolithic:
+      return std::make_unique<MonolithicCache>(topology);
+    case Granularity::kBank: {
+      BankedCacheConfig bc;
+      bc.cache = topology.cache;
+      bc.partition = topology.partition;
+      bc.indexing = topology.indexing;
+      bc.indexing_seed = topology.indexing_seed;
+      bc.breakeven_cycles = topology.breakeven_cycles;
+      return std::make_unique<BankedCache>(bc);
+    }
+    case Granularity::kLine: {
+      LineManagedConfig lc;
+      lc.cache = topology.cache;
+      lc.indexing = topology.indexing;
+      lc.indexing_seed = topology.indexing_seed;
+      lc.breakeven_cycles = topology.breakeven_cycles;
+      return std::make_unique<LineManagedCache>(lc);
+    }
+  }
+  throw ConfigError("unknown granularity");
+}
+
+}  // namespace pcal

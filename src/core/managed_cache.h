@@ -1,0 +1,145 @@
+// The polymorphic power-managed-cache API.
+//
+// The paper's evaluation is a comparison across architectures that differ
+// only in the *granularity* at which idleness is harvested and re-indexed:
+// the monolithic cache (no management), the paper's uniformly partitioned
+// banks, and the per-line scheme of its reference [7].  ManagedCache is the
+// one interface all of them implement, so a single driver (core/simulator)
+// can run any of them from a CacheTopology description — the same shape as
+// make_indexing_policy, one level up.
+//
+// A "unit" is the architecture's power-management granule: the whole cache
+// (monolithic), one bank, or one line.  All residency / activity queries
+// are per-unit; aggregate helpers are derived from them.
+//
+// Concrete backends keep their richer native APIs (BankedCache exposes its
+// decoder, LineManagedCache its rotation state); the interface uses the
+// non-virtual-interface pattern for access() so those native entry points
+// — which predate this API and return backend-specific outcome structs —
+// stay intact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bank/partition_config.h"
+#include "cache/cache.h"
+#include "cache/cache_config.h"
+#include "indexing/index_policy.h"
+
+namespace pcal {
+
+/// Power-management granularity of a cache architecture.
+enum class Granularity : std::uint8_t {
+  kMonolithic = 0,  // one unit: the whole cache (no partitioning)
+  kBank = 1,        // the paper's M uniform banks
+  kLine = 2,        // per-line management, reference [7]'s upper bound
+};
+
+const char* to_string(Granularity granularity);
+
+/// Parses "monolithic" | "bank" | "line"; throws ConfigError otherwise.
+Granularity granularity_from_string(const std::string& s);
+
+/// Outcome of one access through the unified interface.  `unit` is the
+/// power-management granule index (bank number, line number, or 0).
+struct AccessOutcome {
+  bool hit = false;
+  bool writeback = false;  // a dirty victim was evicted
+  std::uint64_t logical_unit = 0;
+  std::uint64_t physical_unit = 0;
+  /// The access had to wake its unit from retention (costs a transition).
+  bool woke_unit = false;
+};
+
+/// Per-unit activity facts, valid after finish().
+struct UnitActivity {
+  std::uint64_t accesses = 0;
+  std::uint64_t sleep_cycles = 0;
+  std::uint64_t sleep_episodes = 0;
+  double useful_idleness_count = 0.0;  // share of idle intervals > breakeven
+};
+
+/// Complete description of one cache architecture: what every backend
+/// needs to construct itself.  `partition` is consulted only at kBank
+/// granularity; `indexing` selects the time-varying mapping f() (kStatic
+/// disables rotation at any granularity).
+struct CacheTopology {
+  Granularity granularity = Granularity::kBank;
+  CacheConfig cache;
+  PartitionConfig partition;
+  IndexingKind indexing = IndexingKind::kProbing;
+  std::uint64_t indexing_seed = 1;
+  /// Idle cycles before a unit enters the drowsy state.
+  std::uint64_t breakeven_cycles = 32;
+
+  /// Number of power-management units this topology yields.
+  std::uint64_t num_units() const;
+
+  void validate() const;
+
+  /// Human-readable label, e.g. "8kB/16B/DM M=4 probing".
+  std::string describe() const;
+};
+
+/// Abstract power-managed cache: one access consumed per cycle, explicit
+/// re-indexing updates, per-unit idleness bookkeeping.
+class ManagedCache {
+ public:
+  virtual ~ManagedCache() = default;
+
+  /// Simulates one access at the next cycle (non-virtual interface; the
+  /// backends' native access methods remain available on the concrete
+  /// types).
+  AccessOutcome access(std::uint64_t address, bool is_write) {
+    return do_access(address, is_write);
+  }
+
+  /// Fires the update signal: advances the time-varying indexing and
+  /// flushes the cache.  Returns the number of dirty lines written back.
+  virtual std::uint64_t update_indexing() = 0;
+
+  /// Finalizes idle-interval bookkeeping; call when the trace ends.
+  /// Residency/activity queries are only valid afterwards.
+  virtual void finish() = 0;
+
+  /// Cycles simulated so far (== accesses consumed).
+  virtual std::uint64_t cycles() const = 0;
+
+  /// Number of independently power-managed units.
+  virtual std::uint64_t num_units() const = 0;
+
+  /// Sleep residency of one physical unit over the simulated time.
+  virtual double unit_residency(std::uint64_t unit) const = 0;
+
+  /// Mean / worst-case unit residency (worst case limits lifetime).
+  virtual double avg_residency() const;
+  virtual double min_residency() const;
+
+  /// Tag-store statistics (hits, misses, writebacks, flushes).
+  virtual const CacheStats& stats() const = 0;
+
+  /// Number of re-indexing updates applied so far.
+  virtual std::uint64_t indexing_updates() const = 0;
+
+  /// Per-unit activity for energy accounting; valid after finish().
+  virtual UnitActivity unit_activity(std::uint64_t unit) const = 0;
+
+ private:
+  virtual AccessOutcome do_access(std::uint64_t address, bool is_write) = 0;
+};
+
+/// Builds the backend for a topology: MonolithicCache, BankedCache or
+/// LineManagedCache.  Throws ConfigError on invalid topologies.
+std::unique_ptr<ManagedCache> make_managed_cache(
+    const CacheTopology& topology);
+
+class BlockControl;
+
+/// Extracts one unit's activity from a BlockControl.  Every backend
+/// tracks idleness with one; this is the shared unit_activity() body.
+UnitActivity unit_activity_from(const BlockControl& control,
+                                std::uint64_t unit);
+
+}  // namespace pcal

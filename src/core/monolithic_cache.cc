@@ -1,0 +1,47 @@
+#include "core/monolithic_cache.h"
+
+#include "util/error.h"
+
+namespace pcal {
+
+// CacheModel validates the geometry and BlockControl the breakeven, both
+// before first use; no further checks needed here.
+MonolithicCache::MonolithicCache(const CacheTopology& topology)
+    : cache_(topology.cache), control_(1, topology.breakeven_cycles) {}
+
+AccessOutcome MonolithicCache::do_access(std::uint64_t address,
+                                         bool is_write) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  AccessOutcome out;
+  out.woke_unit = control_.is_sleeping(0, cycle_);
+  const CacheAccessResult r = cache_.access_address(address, is_write);
+  out.hit = r.hit;
+  out.writeback = r.writeback;
+  control_.on_access(0, cycle_);
+  ++cycle_;
+  return out;
+}
+
+std::uint64_t MonolithicCache::update_indexing() {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  ++updates_;
+  return cache_.flush();
+}
+
+void MonolithicCache::finish() {
+  if (finished_) return;
+  control_.finish(cycle_);
+  finished_ = true;
+}
+
+double MonolithicCache::unit_residency(std::uint64_t unit) const {
+  PCAL_ASSERT_MSG(finished_, "call finish() first");
+  return control_.sleep_residency(unit, cycle_);
+}
+
+UnitActivity MonolithicCache::unit_activity(std::uint64_t unit) const {
+  PCAL_ASSERT_MSG(finished_, "call finish() first");
+  return unit_activity_from(control_, unit);
+}
+
+}  // namespace pcal

@@ -1,0 +1,45 @@
+// The unmanaged baseline as a ManagedCache backend.
+//
+// A monolithic cache is one power-management unit: the whole array.  It
+// never re-maps addresses (update_indexing is a plain flush with an
+// identity mapping), and its single Block Control counter almost never
+// saturates under real traffic — which is exactly the paper's reference
+// point: no useful idleness, nominal aging, zero savings.
+#pragma once
+
+#include <cstdint>
+
+#include "bank/block_control.h"
+#include "cache/cache.h"
+#include "core/managed_cache.h"
+
+namespace pcal {
+
+class MonolithicCache final : public ManagedCache {
+ public:
+  explicit MonolithicCache(const CacheTopology& topology);
+
+  // ManagedCache:
+  std::uint64_t update_indexing() override;
+  void finish() override;
+  std::uint64_t cycles() const override { return cycle_; }
+  std::uint64_t num_units() const override { return 1; }
+  double unit_residency(std::uint64_t unit) const override;
+  const CacheStats& stats() const override { return cache_.stats(); }
+  std::uint64_t indexing_updates() const override { return updates_; }
+  UnitActivity unit_activity(std::uint64_t unit) const override;
+
+  const CacheModel& cache() const { return cache_; }
+  const BlockControl& block_control() const { return control_; }
+
+ private:
+  AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+
+  CacheModel cache_;
+  BlockControl control_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t updates_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace pcal

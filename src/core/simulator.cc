@@ -1,29 +1,66 @@
 #include "core/simulator.h"
 
 #include <algorithm>
-#include <sstream>
 
 #include "power/energy_model.h"
 #include "util/error.h"
 
 namespace pcal {
+namespace {
+
+/// Accesses fetched per TraceSource::next_batch call in the hot loop.
+constexpr std::size_t kBatchSize = 256;
+
+/// Observer cadence for runs with no re-indexing updates (static /
+/// monolithic configs still stream interval stats).
+constexpr std::uint64_t kDefaultObserverIntervals = 16;
+
+/// The partition the energy model prices.  A monolithic cache is one bank
+/// of the full size regardless of what `partition` says (it is ignored at
+/// that granularity).
+PartitionConfig effective_partition(const SimConfig& config) {
+  if (config.granularity == Granularity::kMonolithic) {
+    PartitionConfig mono;
+    mono.num_banks = 1;
+    return mono;
+  }
+  return config.partition;
+}
+
+}  // namespace
 
 void SimConfig::validate() const {
   cache.validate();
-  partition.validate(cache);
+  // The partition feeds the backend at kBank, and the breakeven energy
+  // model at kLine whenever no override pins the breakeven.  Monolithic
+  // runs never consult it (effective_partition substitutes M = 1).
+  if (granularity == Granularity::kBank ||
+      (granularity == Granularity::kLine && breakeven_override == 0))
+    partition.validate(cache);
+}
+
+CacheTopology SimConfig::topology(std::uint64_t breakeven_cycles) const {
+  CacheTopology topo;
+  topo.granularity = granularity;
+  topo.cache = cache;
+  topo.partition = effective_partition(*this);
+  topo.indexing = indexing;
+  topo.indexing_seed = indexing_seed;
+  topo.breakeven_cycles = breakeven_cycles;
+  return topo;
 }
 
 double SimResult::avg_residency() const {
-  if (banks.empty()) return 0.0;
+  if (units.empty()) return 0.0;
   double sum = 0.0;
-  for (const auto& b : banks) sum += b.sleep_residency;
-  return sum / static_cast<double>(banks.size());
+  for (const auto& u : units) sum += u.sleep_residency;
+  return sum / static_cast<double>(units.size());
 }
 
 double SimResult::min_residency() const {
-  if (banks.empty()) return 0.0;
-  double lo = banks.front().sleep_residency;
-  for (const auto& b : banks) lo = std::min(lo, b.sleep_residency);
+  if (units.empty()) return 0.0;
+  double lo = units.front().sleep_residency;
+  for (const auto& u : units) lo = std::min(lo, u.sleep_residency);
   return lo;
 }
 
@@ -33,89 +70,124 @@ Simulator::Simulator(SimConfig config) : config_(std::move(config)) {
 
 std::uint64_t Simulator::breakeven_cycles() const {
   if (config_.breakeven_override != 0) return config_.breakeven_override;
-  const EnergyModel model(config_.tech, config_.cache, config_.partition);
+  const EnergyModel model(config_.tech, config_.cache,
+                          effective_partition(config_));
   return model.breakeven_cycles();
 }
 
-SimResult Simulator::run(TraceSource& source, const AgingLut* lut) const {
-  BankedCacheConfig bc;
-  bc.cache = config_.cache;
-  bc.partition = config_.partition;
-  bc.indexing = config_.indexing;
-  bc.indexing_seed = config_.indexing_seed;
-  bc.breakeven_cycles = breakeven_cycles();
-  BankedCache cache(bc);
+SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
+                         const IntervalObserver& observer) const {
+  const CacheTopology topo = config_.topology(breakeven_cycles());
+  const std::unique_ptr<ManagedCache> cache = make_managed_cache(topo);
 
   // Spread the requested updates evenly: fire after every `interval`
   // accesses.  Static indexing never rotates, so skip the (pointless)
-  // flushes there — the conventional cache does not flush for aging.
+  // flushes there — the conventional cache does not flush for aging — and
+  // a single unit has nothing to rotate over.
   source.reset();
   const auto hint = source.size_hint();
-  std::uint64_t interval = 0;
-  if (config_.indexing != IndexingKind::kStatic &&
-      config_.partition.num_banks > 1 && config_.reindex_updates > 0 &&
-      hint && *hint > config_.reindex_updates) {
-    interval = *hint / (config_.reindex_updates + 1);
-  }
+  const bool updates_enabled = config_.indexing != IndexingKind::kStatic &&
+                               config_.reindex_updates > 0 &&
+                               topo.num_units() > 1;
+  std::uint64_t update_interval = 0;
+  if (updates_enabled && hint && *hint > config_.reindex_updates)
+    update_interval = *hint / (config_.reindex_updates + 1);
+  std::uint64_t interval = update_interval;
+  if (interval == 0 && observer && hint)
+    interval = std::max<std::uint64_t>(1, *hint / kDefaultObserverIntervals);
 
-  std::uint64_t since_update = 0;
+  MemAccess batch[kBatchSize];
+  std::uint64_t since_boundary = 0;
+  std::uint64_t boundary_index = 0;
   for (;;) {
-    auto a = source.next();
-    if (!a) break;
-    cache.access(a->address, a->kind == AccessKind::kWrite);
-    if (interval != 0 && ++since_update >= interval &&
-        cache.policy().updates() < config_.reindex_updates) {
-      cache.update_indexing();
-      since_update = 0;
+    const std::size_t n = source.next_batch(batch, kBatchSize);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      cache->access(batch[i].address,
+                    batch[i].kind == AccessKind::kWrite);
+      if (interval != 0 && ++since_boundary >= interval) {
+        since_boundary = 0;
+        ++boundary_index;
+        bool fired = false;
+        if (update_interval != 0 &&
+            cache->indexing_updates() < config_.reindex_updates) {
+          cache->update_indexing();
+          fired = true;
+        }
+        if (observer) {
+          IntervalSnapshot snap;
+          snap.interval = boundary_index;
+          snap.cycles = cache->cycles();
+          snap.updates_applied = cache->indexing_updates();
+          snap.fired_update = fired;
+          snap.stats = &cache->stats();
+          snap.cache = cache.get();
+          observer(snap);
+        }
+      }
     }
   }
-  cache.finish();
+  cache->finish();
 
-  const std::uint64_t cycles = cache.cycles();
-  const std::uint64_t m = config_.partition.num_banks;
+  const std::uint64_t cycles = cache->cycles();
+  const std::uint64_t num_units = cache->num_units();
 
   SimResult r;
   r.workload = source.name();
-  {
-    std::ostringstream os;
-    os << config_.cache.describe() << " M=" << m << " "
-       << to_string(config_.indexing);
-    r.config_label = os.str();
-  }
+  r.config_label = topo.describe();
+  r.granularity = config_.granularity;
   r.accesses = cycles;
-  r.breakeven_cycles = bc.breakeven_cycles;
-  r.reindex_updates_applied = cache.indexing_updates();
-  r.cache_stats = cache.cache().stats();
+  r.breakeven_cycles = topo.breakeven_cycles;
+  r.reindex_updates_applied = cache->indexing_updates();
+  r.cache_stats = cache->stats();
 
-  const BlockControl& bctl = cache.block_control();
-  std::vector<BankActivity> activity(m);
-  std::vector<double> residency(m);
-  r.banks.resize(m);
-  for (std::uint64_t b = 0; b < m; ++b) {
-    BankResult& br = r.banks[b];
-    br.accesses = bctl.accesses(b);
-    br.sleep_cycles = bctl.sleep_cycles(b);
-    br.sleep_residency = bctl.sleep_residency(b, cycles);
-    br.useful_idleness_count = bctl.useful_idleness_count(b);
-    br.sleep_episodes = bctl.sleep_episodes(b);
-    activity[b] = {br.accesses, br.sleep_cycles, br.sleep_episodes};
-    residency[b] = br.sleep_residency;
+  std::vector<BankActivity> activity(num_units);
+  std::vector<double> residency(num_units);
+  r.units.resize(num_units);
+  for (std::uint64_t u = 0; u < num_units; ++u) {
+    UnitResult& ur = r.units[u];
+    const UnitActivity a = cache->unit_activity(u);
+    ur.accesses = a.accesses;
+    ur.sleep_cycles = a.sleep_cycles;
+    ur.sleep_residency = cache->unit_residency(u);
+    ur.useful_idleness_count = a.useful_idleness_count;
+    ur.sleep_episodes = a.sleep_episodes;
+    activity[u] = {ur.accesses, ur.sleep_cycles, ur.sleep_episodes};
+    residency[u] = ur.sleep_residency;
   }
 
-  const EnergyModel model(config_.tech, config_.cache, config_.partition);
-  r.energy = EnergyAccounting(model).price_run(activity, cycles);
+  // The energy model prices banks (decoder, wiring, per-bank sleep
+  // transistors); the per-line architecture has no equivalent published
+  // model, so its energy report stays zero.
+  if (config_.granularity != Granularity::kLine) {
+    const EnergyModel model(config_.tech, config_.cache,
+                            effective_partition(config_));
+    r.energy = EnergyAccounting(model).price_run(activity, cycles);
+  }
 
   if (lut != nullptr) {
     const CacheLifetimeEvaluator evaluator(*lut);
     r.lifetime = evaluator.evaluate(residency);
-    for (std::uint64_t b = 0; b < m; ++b)
-      r.banks[b].lifetime_years = r.lifetime->banks[b].lifetime_years;
+    for (std::uint64_t u = 0; u < num_units; ++u)
+      r.units[u].lifetime_years = r.lifetime->banks[u].lifetime_years;
+  }
+
+  if (observer) {
+    IntervalSnapshot snap;
+    snap.interval = 0;
+    snap.cycles = cycles;
+    snap.updates_applied = r.reindex_updates_applied;
+    snap.final_snapshot = true;
+    snap.stats = &cache->stats();
+    snap.cache = cache.get();
+    observer(snap);
   }
   return r;
 }
 
 SimConfig monolithic_variant(const SimConfig& config) {
   SimConfig mono = config;
+  mono.granularity = Granularity::kMonolithic;
   mono.partition.num_banks = 1;
   mono.indexing = IndexingKind::kStatic;
   mono.reindex_updates = 0;
@@ -127,6 +199,16 @@ SimConfig static_variant(const SimConfig& config) {
   st.indexing = IndexingKind::kStatic;
   st.reindex_updates = 0;
   return st;
+}
+
+SimConfig line_grain_variant(const SimConfig& config) {
+  SimConfig line = config;
+  line.granularity = Granularity::kLine;
+  // Per-line transition energy is tiny, so the breakeven is a property of
+  // the line-level sleep hardware, not of the bank energy model; 28 is the
+  // reference [7] operating point (LineManagedConfig's default).
+  if (line.breakeven_override == 0) line.breakeven_override = 28;
+  return line;
 }
 
 }  // namespace pcal

@@ -1,26 +1,33 @@
-// The trace-driven partitioned-cache simulator.
+// The trace-driven power-managed-cache simulator.
 //
-// Drives a TraceSource through a BankedCache, firing re-indexing updates on
-// a configurable cadence (the paper piggybacks them on cache flushes that
-// happen anyway; here the cadence is the number of updates spread evenly
-// over the run).  Produces the complete set of per-run observables the
-// paper's evaluation reports: per-bank useful idleness, energy saving vs a
-// monolithic baseline, and — given an aging LUT — the cache lifetime.
+// Drives a TraceSource through any ManagedCache backend (monolithic,
+// banked, line-grain — selected by SimConfig::granularity and built via
+// make_managed_cache), firing re-indexing updates on a configurable
+// cadence (the paper piggybacks them on cache flushes that happen anyway;
+// here the cadence is the number of updates spread evenly over the run).
+// Produces the complete set of per-run observables the paper's evaluation
+// reports: per-unit useful idleness, energy saving vs a monolithic
+// baseline, and — given an aging LUT — the cache lifetime.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "aging/lifetime.h"
-#include "bank/banked_cache.h"
+#include "core/managed_cache.h"
 #include "power/accounting.h"
 #include "trace/trace.h"
 
 namespace pcal {
 
 struct SimConfig {
+  /// Which architecture to drive.  kMonolithic ignores `partition`;
+  /// kLine manages every cache line independently.
+  Granularity granularity = Granularity::kBank;
+
   CacheConfig cache;
   PartitionConfig partition;
   IndexingKind indexing = IndexingKind::kProbing;
@@ -37,9 +44,14 @@ struct SimConfig {
   std::uint64_t breakeven_override = 0;
 
   void validate() const;
+
+  /// The CacheTopology this config describes, with the given breakeven.
+  CacheTopology topology(std::uint64_t breakeven_cycles) const;
 };
 
-struct BankResult {
+/// Per-unit observables of one run (a unit is a bank, a line, or the
+/// whole cache, per SimConfig::granularity).
+struct UnitResult {
   std::uint64_t accesses = 0;
   std::uint64_t sleep_cycles = 0;
   double sleep_residency = 0.0;        // time-weighted useful idleness
@@ -48,16 +60,20 @@ struct BankResult {
   double lifetime_years = 0.0;         // 0 if no LUT was supplied
 };
 
+/// Back-compat name from when the simulator was bank-only.
+using BankResult = UnitResult;
+
 struct SimResult {
   std::string workload;
   std::string config_label;
+  Granularity granularity = Granularity::kBank;
   std::uint64_t accesses = 0;
   std::uint64_t breakeven_cycles = 0;
   std::uint64_t reindex_updates_applied = 0;
 
   CacheStats cache_stats;
-  std::vector<BankResult> banks;
-  EnergyReport energy;
+  std::vector<UnitResult> units;  // one per power-management unit
+  EnergyReport energy;            // zero for kLine (no bank-level model)
 
   std::optional<CacheLifetimeResult> lifetime;
 
@@ -70,13 +86,34 @@ struct SimResult {
   double energy_saving() const { return energy.saving(); }
 };
 
+/// Streaming view of a run in flight, handed to the interval observer at
+/// every update boundary and once more after the run finishes.  Mid-run
+/// snapshots may read `stats` and `cache->cycles()`/`num_units()`;
+/// residency queries on `cache` are only valid when `final` is true (the
+/// backend has finished by then).
+struct IntervalSnapshot {
+  std::uint64_t interval = 0;  // 1-based boundary index; 0 on the final call
+  std::uint64_t cycles = 0;
+  std::uint64_t updates_applied = 0;
+  bool fired_update = false;
+  bool final_snapshot = false;
+  const CacheStats* stats = nullptr;
+  const ManagedCache* cache = nullptr;
+};
+
+using IntervalObserver = std::function<void(const IntervalSnapshot&)>;
+
 class Simulator {
  public:
   explicit Simulator(SimConfig config);
 
   /// Runs the whole source (until exhaustion).  If `lut` is non-null the
-  /// result includes per-bank and cache lifetimes.
-  SimResult run(TraceSource& source, const AgingLut* lut = nullptr) const;
+  /// result includes per-unit and cache lifetimes.  If `observer` is
+  /// non-null it is called at every re-indexing boundary (for static runs:
+  /// at a default cadence of 16 intervals when the source's size is known)
+  /// and once after the run completes.
+  SimResult run(TraceSource& source, const AgingLut* lut = nullptr,
+                const IntervalObserver& observer = {}) const;
 
   const SimConfig& config() const { return config_; }
 
@@ -87,12 +124,15 @@ class Simulator {
   SimConfig config_;
 };
 
-/// Convenience: a monolithic (M = 1, static indexing) variant of `config`,
-/// the paper's lifetime reference point.
+/// Convenience: the monolithic (unmanaged, static indexing) variant of
+/// `config`, the paper's lifetime reference point.
 SimConfig monolithic_variant(const SimConfig& config);
 
 /// Convenience: same partitioning but no re-indexing (the conventional
 /// power-managed cache, the paper's LT0 column).
 SimConfig static_variant(const SimConfig& config);
+
+/// Convenience: the per-line upper bound (reference [7]) of `config`.
+SimConfig line_grain_variant(const SimConfig& config);
 
 }  // namespace pcal

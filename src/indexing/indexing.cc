@@ -26,6 +26,14 @@ const char* to_string(IndexingKind kind) {
   return "?";
 }
 
+IndexingKind indexing_kind_from_string(const std::string& s) {
+  if (s == "static") return IndexingKind::kStatic;
+  if (s == "probing") return IndexingKind::kProbing;
+  if (s == "scrambling") return IndexingKind::kScrambling;
+  throw ConfigError("unknown indexing kind: \"" + s +
+                    "\" (expected static | probing | scrambling)");
+}
+
 std::unique_ptr<IndexingPolicy> make_indexing_policy(IndexingKind kind,
                                                      std::uint64_t num_banks,
                                                      std::uint64_t seed) {

@@ -15,7 +15,12 @@ struct MemAccess {
   std::uint64_t address = 0;  // byte address
   AccessKind kind = AccessKind::kRead;
 
-  friend bool operator==(const MemAccess&, const MemAccess&) = default;
+  friend bool operator==(const MemAccess& a, const MemAccess& b) {
+    return a.address == b.address && a.kind == b.kind;
+  }
+  friend bool operator!=(const MemAccess& a, const MemAccess& b) {
+    return !(a == b);
+  }
 };
 
 }  // namespace pcal

@@ -1,10 +1,29 @@
 #include "trace/trace.h"
 
+#include <algorithm>
+
 namespace pcal {
+
+std::size_t TraceSource::next_batch(MemAccess* out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max) {
+    auto a = next();
+    if (!a) break;
+    out[n++] = *a;
+  }
+  return n;
+}
 
 std::optional<MemAccess> Trace::next() {
   if (pos_ >= accesses_.size()) return std::nullopt;
   return accesses_[pos_++];
+}
+
+std::size_t Trace::next_batch(MemAccess* out, std::size_t max) {
+  const std::size_t n = std::min(max, accesses_.size() - pos_);
+  std::copy_n(accesses_.begin() + static_cast<std::ptrdiff_t>(pos_), n, out);
+  pos_ += n;
+  return n;
 }
 
 Trace Trace::materialize(TraceSource& source, std::uint64_t max_accesses) {

@@ -6,6 +6,7 @@
 // the whole trace).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -21,6 +22,12 @@ class TraceSource {
   virtual ~TraceSource() = default;
 
   virtual std::optional<MemAccess> next() = 0;
+
+  /// Fills `out` with up to `max` accesses; returns how many were
+  /// produced (0 == end of trace).  The default forwards to next() — the
+  /// batched simulator hot loop calls this, and sources with contiguous
+  /// storage override it to amortize the per-access virtual dispatch.
+  virtual std::size_t next_batch(MemAccess* out, std::size_t max);
 
   /// Restart the stream from the beginning (must be supported; generators
   /// reseed, vectors rewind).
@@ -42,6 +49,7 @@ class Trace final : public TraceSource {
 
   // TraceSource:
   std::optional<MemAccess> next() override;
+  std::size_t next_batch(MemAccess* out, std::size_t max) override;
   void reset() override { pos_ = 0; }
   std::optional<std::uint64_t> size_hint() const override {
     return accesses_.size();
@@ -76,6 +84,14 @@ class TruncatedSource final : public TraceSource {
     auto a = inner_->next();
     if (a) ++produced_;
     return a;
+  }
+  std::size_t next_batch(MemAccess* out, std::size_t max) override {
+    if (produced_ >= limit_) return 0;
+    const std::uint64_t room = limit_ - produced_;
+    if (room < max) max = static_cast<std::size_t>(room);
+    const std::size_t n = inner_->next_batch(out, max);
+    produced_ += n;
+    return n;
   }
   void reset() override {
     inner_->reset();

@@ -4,7 +4,6 @@
 // explicit and validated instead of scattering shifts and masks around.
 #pragma once
 
-#include <bit>
 #include <cstdint>
 
 #include "util/error.h"
@@ -15,15 +14,18 @@ namespace pcal {
 constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 /// log2 of a power of two. Throws if `v` is not a power of two.
+/// (__builtin_ctzll instead of C++20 std::countr_zero — this header is
+/// C++17.)
 inline unsigned log2_exact(std::uint64_t v) {
   PCAL_ASSERT_MSG(is_pow2(v), "log2_exact requires a power of two, got " << v);
-  return static_cast<unsigned>(std::countr_zero(v));
+  return static_cast<unsigned>(__builtin_ctzll(v));
 }
 
 /// Ceiling log2 (log2_ceil(1) == 0). Throws on zero.
 inline unsigned log2_ceil(std::uint64_t v) {
   PCAL_ASSERT(v != 0);
-  return static_cast<unsigned>(64 - std::countl_zero(v - 1));
+  if (v == 1) return 0;
+  return static_cast<unsigned>(64 - __builtin_clzll(v - 1));
 }
 
 /// A mask with the low `bits` bits set. `bits` may be 0..64.
@@ -46,7 +48,7 @@ constexpr std::uint64_t deposit_bits(std::uint64_t v, unsigned lsb,
 
 /// Population count convenience wrapper.
 constexpr unsigned popcount64(std::uint64_t v) {
-  return static_cast<unsigned>(std::popcount(v));
+  return static_cast<unsigned>(__builtin_popcountll(v));
 }
 
 /// Round `v` up to the next power of two (identity on powers of two).

@@ -71,13 +71,13 @@ TEST_P(FuzzInvariants, SimulatorOutputsAreStructurallySound) {
   // Conservation: every access lands in exactly one bank, one cycle each.
   EXPECT_EQ(r.accesses, kAccesses);
   std::uint64_t bank_accesses = 0;
-  for (const auto& b : r.banks) bank_accesses += b.accesses;
+  for (const auto& b : r.units) bank_accesses += b.accesses;
   EXPECT_EQ(bank_accesses, kAccesses);
   EXPECT_EQ(r.cache_stats.accesses, kAccesses);
   EXPECT_EQ(r.cache_stats.hits + r.cache_stats.misses, kAccesses);
 
   // Residencies and idleness metrics are probabilities.
-  for (const auto& b : r.banks) {
+  for (const auto& b : r.units) {
     EXPECT_GE(b.sleep_residency, 0.0);
     EXPECT_LE(b.sleep_residency, 1.0);
     EXPECT_GE(b.useful_idleness_count, 0.0);

@@ -91,7 +91,7 @@ TEST(Integration, SixteenBankConfigurationRuns) {
   const auto spec = make_mediabench_workload("gsme");
   const SimResult r = run_workload(spec, paper_config(8192, 16, 16),
                                    aging(), 400'000);
-  EXPECT_EQ(r.banks.size(), 16u);
+  EXPECT_EQ(r.units.size(), 16u);
   EXPECT_GT(r.lifetime_years(), 2.93);
   EXPECT_EQ(r.reindex_updates_applied, 16u);  // >= M for uniformity
 }

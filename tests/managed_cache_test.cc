@@ -1,0 +1,225 @@
+// Backend parity and factory tests for the polymorphic ManagedCache API.
+//
+// The unified interface must be a zero-cost veneer: driving a backend
+// through ManagedCache must reproduce the concrete class's outcome stream
+// bit for bit.  These tests pin that contract for all three granularities,
+// plus the factory over the full Granularity x IndexingKind matrix.
+#include "core/managed_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "bank/banked_cache.h"
+#include "bank/line_managed_cache.h"
+#include "cache/cache.h"
+#include "core/monolithic_cache.h"
+#include "trace/trace.h"
+#include "trace/workloads.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+CacheTopology base_topology(Granularity g) {
+  CacheTopology topo;
+  topo.granularity = g;
+  topo.cache.size_bytes = 8192;
+  topo.cache.line_bytes = 16;
+  topo.cache.ways = 1;
+  topo.partition.num_banks = 4;
+  topo.indexing = IndexingKind::kProbing;
+  topo.breakeven_cycles = 24;
+  return topo;
+}
+
+Trace make_trace(std::uint64_t accesses) {
+  SyntheticTraceSource src(make_hotspot_workload(32 * 1024), accesses);
+  return Trace::materialize(src);
+}
+
+TEST(GranularityStrings, RoundTrip) {
+  for (Granularity g : {Granularity::kMonolithic, Granularity::kBank,
+                        Granularity::kLine})
+    EXPECT_EQ(granularity_from_string(to_string(g)), g);
+  EXPECT_THROW(granularity_from_string("banked"), ConfigError);
+}
+
+TEST(IndexingKindStrings, RoundTrip) {
+  for (IndexingKind k : {IndexingKind::kStatic, IndexingKind::kProbing,
+                         IndexingKind::kScrambling})
+    EXPECT_EQ(indexing_kind_from_string(to_string(k)), k);
+  EXPECT_THROW(indexing_kind_from_string("probe"), ConfigError);
+}
+
+TEST(CacheTopology, UnitCounts) {
+  EXPECT_EQ(base_topology(Granularity::kMonolithic).num_units(), 1u);
+  EXPECT_EQ(base_topology(Granularity::kBank).num_units(), 4u);
+  EXPECT_EQ(base_topology(Granularity::kLine).num_units(), 512u);
+}
+
+TEST(CacheTopology, Describe) {
+  EXPECT_EQ(base_topology(Granularity::kBank).describe(),
+            "8kB/16B/DM M=4 probing");
+  EXPECT_EQ(base_topology(Granularity::kMonolithic).describe(),
+            "8kB/16B/DM M=1 probing");
+  EXPECT_EQ(base_topology(Granularity::kLine).describe(),
+            "8kB/16B/DM line-grain probing");
+}
+
+// kMonolithic must reproduce CacheModel::access_address exactly: same
+// hit/miss/writeback stream, same stats.
+TEST(BackendParity, MonolithicMatchesCacheModel) {
+  const CacheTopology topo = base_topology(Granularity::kMonolithic);
+  const Trace trace = make_trace(20'000);
+
+  CacheModel reference(topo.cache);
+  auto unified = make_managed_cache(topo);
+  ManagedCache& mc = *unified;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool is_write = trace[i].kind == AccessKind::kWrite;
+    const CacheAccessResult want =
+        reference.access_address(trace[i].address, is_write);
+    const AccessOutcome got = mc.access(trace[i].address, is_write);
+    ASSERT_EQ(got.hit, want.hit) << "access " << i;
+    ASSERT_EQ(got.writeback, want.writeback) << "access " << i;
+    ASSERT_EQ(got.physical_unit, 0u);
+  }
+  mc.finish();
+  EXPECT_EQ(mc.stats().hits, reference.stats().hits);
+  EXPECT_EQ(mc.stats().misses, reference.stats().misses);
+  EXPECT_EQ(mc.stats().writebacks, reference.stats().writebacks);
+  EXPECT_EQ(mc.cycles(), trace.size());
+  EXPECT_EQ(mc.num_units(), 1u);
+}
+
+// kBank must reproduce BankedCache outcomes on the same trace, including
+// across re-indexing updates.
+TEST(BackendParity, BankMatchesBankedCache) {
+  const CacheTopology topo = base_topology(Granularity::kBank);
+  const Trace trace = make_trace(20'000);
+
+  BankedCacheConfig bc;
+  bc.cache = topo.cache;
+  bc.partition = topo.partition;
+  bc.indexing = topo.indexing;
+  bc.indexing_seed = topo.indexing_seed;
+  bc.breakeven_cycles = topo.breakeven_cycles;
+  BankedCache reference(bc);
+
+  auto unified = make_managed_cache(topo);
+  ManagedCache& mc = *unified;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool is_write = trace[i].kind == AccessKind::kWrite;
+    const BankedAccessOutcome want =
+        reference.access(trace[i].address, is_write);
+    const AccessOutcome got = mc.access(trace[i].address, is_write);
+    ASSERT_EQ(got.hit, want.hit) << "access " << i;
+    ASSERT_EQ(got.writeback, want.writeback) << "access " << i;
+    ASSERT_EQ(got.logical_unit, want.logical_bank) << "access " << i;
+    ASSERT_EQ(got.physical_unit, want.physical_bank) << "access " << i;
+    ASSERT_EQ(got.woke_unit, want.woke_bank) << "access " << i;
+    if (i % 5'000 == 4'999) {
+      EXPECT_EQ(mc.update_indexing(), reference.update_indexing());
+    }
+  }
+  reference.finish();
+  mc.finish();
+  EXPECT_EQ(mc.indexing_updates(), reference.indexing_updates());
+  EXPECT_EQ(mc.stats().hits, reference.cache().stats().hits);
+  EXPECT_EQ(mc.stats().flushes, reference.cache().stats().flushes);
+  ASSERT_EQ(mc.num_units(), 4u);
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    EXPECT_DOUBLE_EQ(mc.unit_residency(b), reference.bank_residency(b));
+    const UnitActivity a = mc.unit_activity(b);
+    EXPECT_EQ(a.accesses, reference.block_control().accesses(b));
+    EXPECT_EQ(a.sleep_cycles, reference.block_control().sleep_cycles(b));
+    EXPECT_EQ(a.sleep_episodes,
+              reference.block_control().sleep_episodes(b));
+  }
+}
+
+// kLine must reproduce LineManagedCache outcomes on the same trace.
+TEST(BackendParity, LineMatchesLineManagedCache) {
+  const CacheTopology topo = base_topology(Granularity::kLine);
+  const Trace trace = make_trace(20'000);
+
+  LineManagedConfig lc;
+  lc.cache = topo.cache;
+  lc.indexing = topo.indexing;
+  lc.indexing_seed = topo.indexing_seed;
+  lc.breakeven_cycles = topo.breakeven_cycles;
+  LineManagedCache reference(lc);
+
+  auto unified = make_managed_cache(topo);
+  ManagedCache& mc = *unified;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool is_write = trace[i].kind == AccessKind::kWrite;
+    const LineAccessOutcome want =
+        reference.access(trace[i].address, is_write);
+    const AccessOutcome got = mc.access(trace[i].address, is_write);
+    ASSERT_EQ(got.hit, want.hit) << "access " << i;
+    ASSERT_EQ(got.writeback, want.writeback) << "access " << i;
+    ASSERT_EQ(got.logical_unit, want.logical_set) << "access " << i;
+    ASSERT_EQ(got.physical_unit, want.physical_set) << "access " << i;
+    ASSERT_EQ(got.woke_unit, want.woke_line) << "access " << i;
+    if (i % 4'000 == 3'999) {
+      EXPECT_EQ(mc.update_indexing(), reference.update_indexing());
+    }
+  }
+  reference.finish();
+  mc.finish();
+  ASSERT_EQ(mc.num_units(), reference.num_units());
+  EXPECT_DOUBLE_EQ(mc.avg_residency(), reference.avg_residency());
+  EXPECT_DOUBLE_EQ(mc.min_residency(), reference.min_residency());
+}
+
+// Every Granularity x IndexingKind combination constructs, runs, updates
+// and reports consistently through the factory.
+TEST(Factory, RoundTripAllCombinations) {
+  const Trace trace = make_trace(4'000);
+  for (Granularity g : {Granularity::kMonolithic, Granularity::kBank,
+                        Granularity::kLine}) {
+    for (IndexingKind k : {IndexingKind::kStatic, IndexingKind::kProbing,
+                           IndexingKind::kScrambling}) {
+      CacheTopology topo = base_topology(g);
+      topo.indexing = k;
+      auto cache = make_managed_cache(topo);
+      ASSERT_NE(cache, nullptr);
+      EXPECT_EQ(cache->num_units(), topo.num_units());
+
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        const AccessOutcome out = cache->access(
+            trace[i].address, trace[i].kind == AccessKind::kWrite);
+        ASSERT_LT(out.physical_unit, topo.num_units());
+      }
+      cache->update_indexing();
+      EXPECT_EQ(cache->stats().flushes, 1u);
+      cache->finish();
+
+      EXPECT_EQ(cache->cycles(), trace.size());
+      EXPECT_EQ(cache->stats().accesses, trace.size());
+      std::uint64_t unit_accesses = 0;
+      for (std::uint64_t u = 0; u < cache->num_units(); ++u) {
+        unit_accesses += cache->unit_activity(u).accesses;
+        EXPECT_GE(cache->unit_residency(u), 0.0);
+        EXPECT_LE(cache->unit_residency(u), 1.0);
+      }
+      EXPECT_EQ(unit_accesses, trace.size());
+      EXPECT_LE(cache->min_residency(), cache->avg_residency() + 1e-12);
+    }
+  }
+}
+
+TEST(Factory, RejectsInvalidTopology) {
+  CacheTopology topo = base_topology(Granularity::kBank);
+  topo.partition.num_banks = 3;
+  EXPECT_THROW(make_managed_cache(topo), ConfigError);
+  topo = base_topology(Granularity::kLine);
+  topo.breakeven_cycles = 0;
+  EXPECT_THROW(make_managed_cache(topo), ConfigError);
+}
+
+}  // namespace
+}  // namespace pcal
