@@ -45,24 +45,32 @@ int main() {
 
   double avg[5] = {};
   const auto& sigs = mediabench_signatures();
+
+  // All five architectures per benchmark (mono, M=4/8/16, line), queued
+  // as one 90-job grid and executed in one parallel sweep.
+  SweepGrid grid(aging(), accesses());
   for (const auto& sig : sigs) {
     const auto spec = make_mediabench_workload(sig.name);
+    for (std::uint64_t m : {4u, 8u, 16u})
+      grid.add(spec, paper_config(8192, 16, m));
+    grid.add(spec, monolithic_variant(paper_config(8192, 16, 4)));
+    grid.add(spec, fine_config());
+  }
+  grid.run("granularity_comparison");
+
+  std::size_t next = 0;
+  for (const auto& sig : sigs) {
     std::vector<std::string> row{sig.name};
     double lts[4] = {};
     double m4_gini = 0.0;
     for (int i = 0; i < 3; ++i) {
-      const std::uint64_t m = i == 0 ? 4u : (i == 1 ? 8u : 16u);
-      const SimResult r = run_workload(spec, paper_config(8192, 16, m),
-                                       aging(), accesses());
+      const SimResult& r = grid.result(next++);
       lts[i + 1] = r.lifetime_years();
-      if (m == 4) m4_gini = gini_coefficient(unit_residencies(r));
+      if (i == 0) m4_gini = gini_coefficient(unit_residencies(r));
     }
-    const SimResult mono =
-        run_workload(spec, monolithic_variant(paper_config(8192, 16, 4)),
-                     aging(), accesses());
+    const SimResult& mono = grid.result(next++);
     lts[0] = mono.lifetime_years();
-    const SimResult fine = run_workload(spec, fine_config(), aging(),
-                                        accesses());
+    const SimResult& fine = grid.result(next++);
     row.push_back(TextTable::num(lts[0], 2));
     row.push_back(TextTable::num(lts[1], 2));
     row.push_back(TextTable::num(lts[2], 2));

@@ -26,12 +26,22 @@ int main() {
       {32768, 4, "1.09", "1.58"},
   };
 
+  // Queue every (configuration x workload) three-way comparison — 270
+  // runs — and execute them in one parallel sweep.
+  SweepGrid grid(aging(), accesses());
+  std::vector<std::size_t> idx;
+  for (const Case& c : cases)
+    for (const auto& spec : workloads)
+      idx.push_back(
+          grid.add_three_way(spec, paper_config(c.size, 16, c.banks)));
+  grid.run("headline_claims");
+
   double worst_ext = 1e9, best_ext = 0.0;
+  std::size_t next = 0;
   for (const Case& c : cases) {
     double lt0 = 0.0, lt = 0.0, mono = 0.0;
-    for (const auto& spec : workloads) {
-      const auto r = run_three_way(spec, paper_config(c.size, 16, c.banks),
-                                   aging(), accesses());
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      const ThreeWayResult r = grid.three_way(idx[next++]);
       lt0 += r.static_pm.lifetime_years();
       lt += r.reindexed.lifetime_years();
       mono += r.monolithic.lifetime_years();

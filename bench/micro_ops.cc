@@ -1,10 +1,24 @@
-// Microbenchmarks (google-benchmark): hot-path costs of the architecture
-// model — decoder + indexing per access, cache access, block control, full
-// simulator throughput, and workload generation.
+// Microbenchmarks: hot-path costs of the architecture model — decoder +
+// indexing per access, cache access, block control, full simulator
+// throughput, workload generation, and trace ingestion.
+//
+// Runs on Google Benchmark when available (system library or fetched by
+// CMake); otherwise on the built-in minibench harness, so the target
+// builds everywhere.
+#if defined(PCAL_HAVE_GBENCH)
 #include <benchmark/benchmark.h>
+#else
+#include "minibench.h"
+#endif
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
 
 #include "bank/banked_cache.h"
 #include "core/simulator.h"
+#include "trace/binary_trace.h"
+#include "trace/trace_io.h"
 #include "trace/workloads.h"
 #include "util/lfsr.h"
 
@@ -85,6 +99,57 @@ void BM_LfsrStep(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(lfsr.step());
 }
 BENCHMARK(BM_LfsrStep);
+
+/// A materialized slice of a MediaBench-like workload, shared by the
+/// ingestion benches.
+const Trace& ingestion_trace() {
+  static const Trace* trace = [] {
+    SyntheticTraceSource src(make_mediabench_workload("cjpeg"), 50000);
+    return new Trace(Trace::materialize(src));
+  }();
+  return *trace;
+}
+
+void BM_TextTraceParse(benchmark::State& state) {
+  std::ostringstream os;
+  write_trace_text(ingestion_trace(), os);
+  const std::string text = os.str();
+  for (auto _ : state) {
+    std::istringstream is(text);
+    benchmark::DoNotOptimize(read_trace_text(is).size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(ingestion_trace().size()));
+}
+BENCHMARK(BM_TextTraceParse)->Unit(benchmark::kMillisecond);
+
+void BM_PctReplay(benchmark::State& state) {
+  // Per-process path: concurrent bench runs must not share the file.
+  static const std::string path =
+      "/tmp/pcal_micro_ops_" +
+      std::to_string(
+          std::chrono::steady_clock::now().time_since_epoch().count()) +
+      ".pct";
+  write_pct_file(ingestion_trace(), path);
+  BinaryTraceSource src(path);
+  MemAccess batch[256];
+  for (auto _ : state) {
+    src.reset();
+    std::size_t total = 0;
+    for (;;) {
+      const std::size_t n = src.next_batch(batch, 256);
+      if (n == 0) break;
+      total += n;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(ingestion_trace().size()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_PctReplay)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace pcal

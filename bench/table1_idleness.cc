@@ -17,11 +17,18 @@ int main() {
                    "(paper)", "I3", "(paper)", "Avg", "(paper)"});
 
   const SimConfig cfg = static_variant(paper_config(8192, 16, 4));
-  double grand_avg = 0.0;
   const auto& sigs = mediabench_signatures();
-  for (const auto& sig : sigs) {
-    const auto spec = make_mediabench_workload(sig.name);
-    const SimResult r = run_workload(spec, cfg, aging(), accesses());
+
+  // Queue the whole suite, run it in one parallel sweep, then render.
+  SweepGrid grid(aging(), accesses());
+  for (const auto& sig : sigs)
+    grid.add(make_mediabench_workload(sig.name), cfg);
+  grid.run("table1_idleness");
+
+  double grand_avg = 0.0;
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    const auto& sig = sigs[i];
+    const SimResult& r = grid.result(i);
     std::vector<std::string> row{sig.name};
     for (int b = 0; b < 4; ++b) {
       row.push_back(TextTable::pct(

@@ -39,12 +39,22 @@ int main() {
   const std::uint64_t sizes[] = {8192, 16384, 32768};
   double avg_esav[3] = {}, avg_lt0[3] = {}, avg_lt[3] = {};
   const auto& sigs = mediabench_signatures();
+
+  // Queue every (benchmark x size) three-way comparison, run once.
+  SweepGrid grid(aging(), accesses());
+  std::vector<std::size_t> idx;
+  for (const auto& sig : sigs) {
+    const auto spec = make_mediabench_workload(sig.name);
+    for (int s = 0; s < 3; ++s)
+      idx.push_back(grid.add_three_way(spec, paper_config(sizes[s], 16, 4)));
+  }
+  grid.run("table2_cache_size");
+
   for (std::size_t i = 0; i < sigs.size(); ++i) {
-    const auto spec = make_mediabench_workload(sigs[i].name);
     std::vector<std::string> row{sigs[i].name};
     for (int s = 0; s < 3; ++s) {
-      const auto r = run_three_way(
-          spec, paper_config(sizes[s], 16, 4), aging(), accesses());
+      const ThreeWayResult r =
+          grid.three_way(idx[i * 3 + static_cast<std::size_t>(s)]);
       const double esav = r.reindexed.energy_saving();
       const double lt0 = r.static_pm.lifetime_years();
       const double lt = r.reindexed.lifetime_years();

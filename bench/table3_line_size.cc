@@ -34,14 +34,23 @@ int main() {
 
   double avg[4] = {};
   const auto& sigs = mediabench_signatures();
+
+  // Queue every (benchmark x line size) three-way comparison, run once.
+  SweepGrid grid(aging(), accesses());
+  std::vector<std::size_t> idx;
+  for (const auto& sig : sigs) {
+    const auto spec = make_mediabench_workload(sig.name);
+    for (std::uint64_t line : {16u, 32u})
+      idx.push_back(grid.add_three_way(spec, paper_config(16384, line, 4)));
+  }
+  grid.run("table3_line_size");
+
   for (std::size_t i = 0; i < sigs.size(); ++i) {
-    const auto spec = make_mediabench_workload(sigs[i].name);
     std::vector<std::string> row{sigs[i].name};
     double vals[4] = {};
     int k = 0;
-    for (std::uint64_t line : {16u, 32u}) {
-      const auto r = run_three_way(spec, paper_config(16384, line, 4),
-                                   aging(), accesses());
+    for (std::size_t l = 0; l < 2; ++l) {
+      const ThreeWayResult r = grid.three_way(idx[i * 2 + l]);
       vals[k++] = r.reindexed.energy_saving();
       vals[k++] = r.reindexed.lifetime_years();
     }

@@ -25,14 +25,25 @@ int main() {
 
   const std::uint64_t sizes[] = {8192, 16384, 32768};
   const auto workloads = all_mediabench_workloads();
+
+  // Queue the full (size x M x workload) grid — 216 independent runs —
+  // and execute it in one parallel sweep.
+  SweepGrid grid(aging(), accesses());
+  for (int s = 0; s < 3; ++s)
+    for (std::uint64_t m : {2u, 4u, 8u, 16u})
+      for (const auto& spec : workloads)
+        grid.add(spec, paper_config(sizes[s], 16, m));
+  grid.run("table4_banks");
+
+  std::size_t next = 0;
   for (int s = 0; s < 3; ++s) {
     std::vector<std::string> row{std::to_string(sizes[s] / 1024) + "kB"};
     int m_idx = 0;
     for (std::uint64_t m : {2u, 4u, 8u, 16u}) {
+      (void)m;
       double idle = 0.0, lt = 0.0;
-      for (const auto& spec : workloads) {
-        const SimResult r = run_workload(
-            spec, paper_config(sizes[s], 16, m), aging(), accesses());
+      for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const SimResult& r = grid.result(next++);
         idle += r.avg_residency();
         lt += r.lifetime_years();
       }

@@ -1,0 +1,144 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+/// Per-worker streaming accumulator.  Padded to a cache line so
+/// neighbouring workers never false-share; each worker writes only its
+/// own slot, so no synchronization is needed until the merge after join.
+struct alignas(64) WorkerAccum {
+  std::uint64_t failed = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t intervals = 0;
+  std::uint64_t steals = 0;
+};
+
+/// One worker's job queue.  The mutex guards only the deque ops (a few
+/// pointer moves); the simulation work itself runs lock-free.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<std::size_t> jobs;
+
+  bool pop_front(std::size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return false;
+    *out = jobs.front();
+    jobs.pop_front();
+    return true;
+  }
+  bool steal_back(std::size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return false;
+    *out = jobs.back();
+    jobs.pop_back();
+    return true;
+  }
+};
+
+/// Runs one job into its outcome slot.  Exceptions (source factory,
+/// config validation, simulation) are captured per job; a failing job
+/// must not poison the pool.
+void run_job(const SweepJob& job, SweepOutcome* out, WorkerAccum* accum) {
+  try {
+    PCAL_ASSERT_MSG(job.make_source != nullptr,
+                    "SweepJob needs a TraceSourceFactory");
+    const std::unique_ptr<TraceSource> source = job.make_source();
+    PCAL_ASSERT_MSG(source != nullptr,
+                    "TraceSourceFactory returned null");
+    // Chain the streaming accumulator in front of any user observer so
+    // interval counts land in this worker's slot without locking.
+    IntervalObserver observer = [&](const IntervalSnapshot& snap) {
+      ++accum->intervals;
+      if (job.observer) job.observer(snap);
+    };
+    out->result = Simulator(job.config).run(*source, job.lut, observer);
+    accum->accesses += out->result.accesses;
+  } catch (...) {
+    out->error = std::current_exception();
+    ++accum->failed;
+  }
+}
+
+}  // namespace
+
+unsigned SweepRunner::default_threads() {
+  if (const char* env = std::getenv("PCAL_SWEEP_THREADS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned num_threads)
+    : threads_(num_threads > 0 ? num_threads : default_threads()) {}
+
+std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& jobs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<SweepOutcome> outcomes(jobs.size());
+
+  const std::size_t num_workers = std::max<std::size_t>(
+      1, std::min<std::size_t>(threads_, jobs.size()));
+  std::vector<WorkerAccum> accums(num_workers);
+
+  if (num_workers == 1) {
+    // Inline serial path: the reference the parallel path must match.
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      run_job(jobs[i], &outcomes[i], &accums[0]);
+  } else {
+    // Deal jobs round-robin so every worker starts with a similar mix of
+    // the grid (adjacent jobs tend to share a workload, hence a cost).
+    std::vector<WorkerQueue> queues(num_workers);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      queues[i % num_workers].jobs.push_back(i);
+
+    auto worker = [&](std::size_t w) {
+      std::size_t job_idx = 0;
+      for (;;) {
+        if (queues[w].pop_front(&job_idx)) {
+          run_job(jobs[job_idx], &outcomes[job_idx], &accums[w]);
+          continue;
+        }
+        // Own queue drained: steal from the back of a victim's.
+        bool stole = false;
+        for (std::size_t k = 1; k < num_workers && !stole; ++k) {
+          const std::size_t victim = (w + k) % num_workers;
+          stole = queues[victim].steal_back(&job_idx);
+        }
+        if (!stole) return;  // every queue empty — jobs never re-enter
+        ++accums[w].steals;
+        run_job(jobs[job_idx], &outcomes[job_idx], &accums[w]);
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w)
+      pool.emplace_back(worker, w);
+    for (auto& t : pool) t.join();
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  stats_ = SweepStats{};
+  stats_.jobs = jobs.size();
+  stats_.threads = static_cast<unsigned>(num_workers);
+  stats_.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const WorkerAccum& a : accums) {
+    stats_.failed_jobs += a.failed;
+    stats_.total_accesses += a.accesses;
+    stats_.intervals_observed += a.intervals;
+    stats_.steals += a.steals;
+  }
+  return outcomes;
+}
+
+}  // namespace pcal

@@ -1,0 +1,104 @@
+// Parallel sweep engine for the paper's evaluation cross-products.
+//
+// Every paper table is a grid of independent Simulator runs — workloads ×
+// cache sizes × line sizes × bank counts × granularities — and a serial
+// driver makes bench wall-clock, not simulation fidelity, the bottleneck.
+// SweepRunner executes an arbitrary set of (SimConfig, workload) jobs on a
+// work-stealing thread pool and merges the SimResults deterministically:
+// outcomes are stored by job index and every job is a self-contained
+// Simulator::run over its own TraceSource instance, so the merged result
+// vector is identical to a serial run regardless of thread count or
+// scheduling order.
+//
+// Per-interval observer callbacks stream into per-worker accumulators
+// (each worker writes only its own cache-line-padded slot — no shared
+// locks on the hot path); the accumulators are merged into SweepStats
+// after the workers join.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.h"
+
+namespace pcal {
+
+/// Builds a fresh TraceSource for one job.  Called on the worker thread
+/// that runs the job, exactly once per SweepRunner::run — jobs must not
+/// share mutable sources, so the factory is the unit of workload identity.
+using TraceSourceFactory = std::function<std::unique_ptr<TraceSource>()>;
+
+/// One independent simulation of the sweep grid.
+struct SweepJob {
+  SimConfig config;
+  TraceSourceFactory make_source;
+  /// Optional aging LUT (shared, read-only across threads).
+  const AgingLut* lut = nullptr;
+  /// Optional per-job observer, invoked on the worker thread.
+  IntervalObserver observer;
+};
+
+/// Result slot of one job.  `result` is valid iff `ok()`.
+struct SweepOutcome {
+  SimResult result;
+  std::exception_ptr error;
+
+  bool ok() const { return error == nullptr; }
+  /// Rethrows the job's exception, if any.
+  void rethrow_if_error() const {
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+/// Aggregate statistics of one SweepRunner::run, merged from the
+/// per-worker accumulators.
+struct SweepStats {
+  std::size_t jobs = 0;
+  std::size_t failed_jobs = 0;
+  unsigned threads = 0;
+  std::uint64_t total_accesses = 0;      // sum of SimResult::accesses
+  std::uint64_t intervals_observed = 0;  // observer callbacks fired
+  std::uint64_t steals = 0;              // jobs taken from another worker
+  double wall_seconds = 0.0;
+
+  double accesses_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(total_accesses) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Work-stealing thread pool over independent Simulator runs.
+///
+/// Jobs are dealt round-robin into per-worker deques; a worker drains its
+/// own deque from the front and, when empty, steals from the back of a
+/// victim's.  With `num_threads() == 1` (or a single job) everything runs
+/// inline on the calling thread — the exact serial path the determinism
+/// tests compare against.
+class SweepRunner {
+ public:
+  /// `num_threads == 0` picks default_threads().
+  explicit SweepRunner(unsigned num_threads = 0);
+
+  /// Runs every job; returns outcomes in job order.  An exception thrown
+  /// by one job (source factory or simulation) is captured into that
+  /// job's outcome and does not affect the others or the pool.
+  std::vector<SweepOutcome> run(const std::vector<SweepJob>& jobs);
+
+  unsigned num_threads() const { return threads_; }
+
+  /// Statistics of the most recent run().
+  const SweepStats& last_stats() const { return stats_; }
+
+  /// PCAL_SWEEP_THREADS if set (>= 1), else std::thread::hardware_concurrency.
+  static unsigned default_threads();
+
+ private:
+  unsigned threads_;
+  SweepStats stats_;
+};
+
+}  // namespace pcal

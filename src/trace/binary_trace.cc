@@ -1,0 +1,254 @@
+#include "trace/binary_trace.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PCAL_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pcal {
+namespace {
+
+constexpr unsigned char kPctMagic[8] = {0x89, 'P', 'C', 'T',
+                                        '\r', '\n', 0x1a, '\n'};
+
+void put_u32_le(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64_le(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+}
+
+std::uint32_t get_u32_le(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64_le(const unsigned char* p) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // The record payload is 8-byte aligned; memcpy compiles to one load.
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+#else
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+#endif
+}
+
+/// Validates a complete in-memory header against the actual byte count.
+/// Shared by pct_file_info (buffered read) and BinaryTraceSource (the
+/// mapping itself, so the bytes checked are the bytes later replayed —
+/// no window for the file to change between validation and mmap).
+PctInfo validate_pct_header(const unsigned char* data,
+                            std::uint64_t total_bytes,
+                            const std::string& path) {
+  if (total_bytes < kPctHeaderBytes || !is_pct_magic(data))
+    throw ParseError("pct: bad magic (not a .pct file): " + path);
+  PctInfo info;
+  info.version = get_u32_le(data + 8);
+  info.count = get_u64_le(data + 16);
+  info.file_bytes = total_bytes;
+  if (info.version != kPctVersion)
+    throw ParseError("pct: unsupported version " +
+                     std::to_string(info.version) + ": " + path);
+  if (get_u32_le(data + 12) != 0)
+    throw ParseError("pct: nonzero reserved flags: " + path);
+  const std::uint64_t expect =
+      kPctHeaderBytes + info.count * kPctRecordBytes;
+  if (total_bytes != expect)
+    throw ParseError("pct: truncated or padded file (" +
+                     std::to_string(total_bytes) + " bytes, header says " +
+                     std::to_string(expect) + "): " + path);
+  return info;
+}
+
+}  // namespace
+
+std::uint64_t pct_encode(const MemAccess& access) {
+  if (access.address > kPctMaxAddress)
+    throw ParseError("pct: address exceeds 63 bits, cannot pack");
+  const std::uint64_t kind_bit =
+      access.kind == AccessKind::kWrite ? (1ull << 63) : 0;
+  return access.address | kind_bit;
+}
+
+MemAccess pct_decode(std::uint64_t record) {
+  return {record & kPctMaxAddress,
+          (record >> 63) ? AccessKind::kWrite : AccessKind::kRead};
+}
+
+bool is_pct_magic(const unsigned char* bytes) {
+  return std::memcmp(bytes, kPctMagic, 8) == 0;
+}
+
+bool is_pct_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  unsigned char magic[8] = {};
+  f.read(reinterpret_cast<char*>(magic), 8);
+  return f && is_pct_magic(magic);
+}
+
+namespace {
+
+void write_pct_header(std::ofstream& f, std::uint64_t count) {
+  unsigned char header[kPctHeaderBytes];
+  std::memcpy(header, kPctMagic, 8);
+  put_u32_le(header + 8, kPctVersion);
+  put_u32_le(header + 12, 0);  // flags
+  put_u64_le(header + 16, count);
+  f.write(reinterpret_cast<const char*>(header), sizeof(header));
+}
+
+}  // namespace
+
+void write_pct_file(const Trace& trace, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw ParseError("pct: cannot open for writing: " + path);
+  write_pct_header(f, trace.size());
+
+  // Buffer records so multi-million-access packs are not one syscall per
+  // record.
+  constexpr std::size_t kChunk = 8192;
+  unsigned char buf[kChunk * kPctRecordBytes];
+  std::size_t buffered = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    put_u64_le(buf + buffered * kPctRecordBytes, pct_encode(trace[i]));
+    if (++buffered == kChunk) {
+      f.write(reinterpret_cast<const char*>(buf),
+              static_cast<std::streamsize>(buffered * kPctRecordBytes));
+      buffered = 0;
+    }
+  }
+  if (buffered > 0)
+    f.write(reinterpret_cast<const char*>(buf),
+            static_cast<std::streamsize>(buffered * kPctRecordBytes));
+  f.flush();
+  if (!f) throw ParseError("pct: write failed: " + path);
+}
+
+std::uint64_t write_pct_stream(TraceSource& source,
+                               const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw ParseError("pct: cannot open for writing: " + path);
+  write_pct_header(f, 0);  // count patched in once the stream ends
+
+  source.reset();
+  constexpr std::size_t kChunk = 8192;
+  MemAccess batch[kChunk];
+  unsigned char buf[kChunk * kPctRecordBytes];
+  std::uint64_t count = 0;
+  for (;;) {
+    const std::size_t n = source.next_batch(batch, kChunk);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i)
+      put_u64_le(buf + i * kPctRecordBytes, pct_encode(batch[i]));
+    f.write(reinterpret_cast<const char*>(buf),
+            static_cast<std::streamsize>(n * kPctRecordBytes));
+    count += n;
+  }
+  f.seekp(16);
+  unsigned char count_le[8];
+  put_u64_le(count_le, count);
+  f.write(reinterpret_cast<const char*>(count_le), 8);
+  f.flush();
+  if (!f) throw ParseError("pct: write failed: " + path);
+  return count;
+}
+
+PctInfo pct_file_info(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw ParseError("pct: cannot open: " + path);
+  const std::uint64_t file_bytes =
+      static_cast<std::uint64_t>(f.tellg());
+  f.seekg(0);
+  unsigned char header[kPctHeaderBytes] = {};
+  f.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!f) throw ParseError("pct: bad magic (not a .pct file): " + path);
+  return validate_pct_header(header, file_bytes, path);
+}
+
+BinaryTraceSource::BinaryTraceSource(const std::string& path)
+    : name_(basename_of(path)) {
+#if PCAL_HAVE_MMAP
+  // One open: size, mapping and header validation all come from the same
+  // fd, so a file swapped or truncated concurrently cannot pass
+  // validation with one size and fault with another.
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw ParseError("pct: cannot open: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw ParseError("pct: cannot stat: " + path);
+  }
+  const auto file_bytes = static_cast<std::uint64_t>(st.st_size);
+  if (file_bytes < kPctHeaderBytes) {
+    ::close(fd);
+    throw ParseError("pct: bad magic (not a .pct file): " + path);
+  }
+  void* base = ::mmap(nullptr, static_cast<std::size_t>(file_bytes),
+                      PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (base == MAP_FAILED) throw ParseError("pct: mmap failed: " + path);
+  map_base_ = static_cast<const unsigned char*>(base);
+  map_bytes_ = static_cast<std::size_t>(file_bytes);
+  try {
+    count_ = validate_pct_header(map_base_, file_bytes, path).count;
+  } catch (...) {
+    ::munmap(const_cast<unsigned char*>(map_base_), map_bytes_);
+    map_base_ = nullptr;
+    throw;
+  }
+  records_ = map_base_ + kPctHeaderBytes;
+#else
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw ParseError("pct: cannot open: " + path);
+  fallback_.resize(static_cast<std::size_t>(f.tellg()));
+  f.seekg(0);
+  f.read(reinterpret_cast<char*>(fallback_.data()),
+         static_cast<std::streamsize>(fallback_.size()));
+  if (!f) throw ParseError("pct: read failed: " + path);
+  count_ = validate_pct_header(fallback_.data(), fallback_.size(), path)
+               .count;
+  records_ = fallback_.data() + kPctHeaderBytes;
+#endif
+}
+
+BinaryTraceSource::~BinaryTraceSource() {
+#if PCAL_HAVE_MMAP
+  if (map_base_ != nullptr)
+    ::munmap(const_cast<unsigned char*>(map_base_), map_bytes_);
+#endif
+}
+
+std::optional<MemAccess> BinaryTraceSource::next() {
+  if (pos_ >= count_) return std::nullopt;
+  return pct_decode(get_u64_le(records_ + pos_++ * kPctRecordBytes));
+}
+
+std::size_t BinaryTraceSource::next_batch(MemAccess* out, std::size_t max) {
+  const std::uint64_t remaining = count_ - pos_;
+  const std::size_t n =
+      remaining < max ? static_cast<std::size_t>(remaining) : max;
+  const unsigned char* p = records_ + pos_ * kPctRecordBytes;
+  for (std::size_t i = 0; i < n; ++i, p += kPctRecordBytes)
+    out[i] = pct_decode(get_u64_le(p));
+  pos_ += n;
+  return n;
+}
+
+}  // namespace pcal

@@ -1,0 +1,104 @@
+// The .pct packed-trace format and its mmap-backed zero-copy source.
+//
+// Text traces parse at tens of MB/s; the paper benches replay hundreds of
+// millions of accesses, so file ingestion must not show up next to the
+// simulation itself.  A .pct file is a fixed-record binary layout designed
+// to be consumed straight out of the page cache:
+//
+//   offset  0: 8-byte magic "\x89PCT\r\n\x1a\n"   (PNG-style: catches
+//              text-mode mangling and truncated copies early)
+//   offset  8: u32 little-endian format version (currently 1)
+//   offset 12: u32 reserved flags (must be 0)
+//   offset 16: u64 little-endian record count
+//   offset 24: count records, one u64 little-endian each:
+//              bit 63     = access kind (1 = write)
+//              bits 62..0 = byte address
+//
+// Records start 8-byte aligned and the whole payload is a flat u64 array,
+// so BinaryTraceSource mmaps the file and serves next_batch() by bumping a
+// pointer through the mapping — no parsing, no allocation, no per-record
+// virtual dispatch.  Addresses must fit in 63 bits; the writer rejects
+// anything larger (no real cache trace comes close).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace pcal {
+
+constexpr std::uint32_t kPctVersion = 1;
+constexpr std::size_t kPctHeaderBytes = 24;
+constexpr std::size_t kPctRecordBytes = 8;
+constexpr std::uint64_t kPctMaxAddress = (1ull << 63) - 1;
+
+/// Packs one access into a .pct record.  Throws ParseError if the address
+/// exceeds 63 bits.
+std::uint64_t pct_encode(const MemAccess& access);
+
+/// Unpacks one .pct record.
+MemAccess pct_decode(std::uint64_t record);
+
+/// True if `bytes` (at least 8 bytes) starts with the .pct magic.
+/// For callers that already sniffed a header — no file I/O.
+bool is_pct_magic(const unsigned char* bytes);
+
+/// True if the file at `path` starts with the .pct magic.
+bool is_pct_file(const std::string& path);
+
+/// Writes `trace` as a .pct file.  Throws ParseError on I/O failure or
+/// out-of-range addresses.
+void write_pct_file(const Trace& trace, const std::string& path);
+
+/// Streams `source` (from its start) into a .pct file without
+/// materializing it: constant memory for arbitrarily long sources.  The
+/// record count is patched into the header after the stream ends.
+/// Returns the number of records written.
+std::uint64_t write_pct_stream(TraceSource& source, const std::string& path);
+
+/// Header facts of a .pct file (validates magic/version/size).
+struct PctInfo {
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  std::uint64_t file_bytes = 0;
+};
+PctInfo pct_file_info(const std::string& path);
+
+/// Streaming source over an mmap'd .pct file.  next_batch() decodes
+/// records directly from the mapping into the caller's buffer; reset()
+/// rewinds to the first record.  The mapping is read-only and private, so
+/// any number of BinaryTraceSources (e.g. one per sweep worker) may open
+/// the same file concurrently and share page-cache frames.
+class BinaryTraceSource final : public TraceSource {
+ public:
+  /// Opens and maps `path`.  Throws ParseError on missing file, bad
+  /// magic/version, or a size that disagrees with the record count.
+  explicit BinaryTraceSource(const std::string& path);
+  ~BinaryTraceSource() override;
+
+  BinaryTraceSource(const BinaryTraceSource&) = delete;
+  BinaryTraceSource& operator=(const BinaryTraceSource&) = delete;
+
+  // TraceSource:
+  std::optional<MemAccess> next() override;
+  std::size_t next_batch(MemAccess* out, std::size_t max) override;
+  void reset() override { pos_ = 0; }
+  std::optional<std::uint64_t> size_hint() const override { return count_; }
+  std::string name() const override { return name_; }
+
+  std::uint64_t size() const { return count_; }
+
+ private:
+  std::string name_;
+  const unsigned char* map_base_ = nullptr;  // mmap base (page aligned)
+  std::size_t map_bytes_ = 0;
+  std::vector<unsigned char> fallback_;  // used when mmap is unavailable
+  const unsigned char* records_ = nullptr;
+  std::uint64_t count_ = 0;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace pcal

@@ -1,10 +1,14 @@
 // Trace file import/export.
 //
-// Two formats:
+// Formats:
 //  - Text: one access per line, "R 0x<hex>" or "W 0x<hex>", '#' comments.
 //    Interoperable with common academic trace dumps (Dinero-like).
+//    Parsed with std::from_chars over one buffered read.
 //  - Binary: "PCALTRC1" magic, then little-endian u64 count and packed
 //    records (u64 address, u8 kind).  Compact and fast for large traces.
+//  - .pct packed traces (trace/binary_trace.h): mmap'd fixed u64 records;
+//    load_trace_file sniffs and materializes these too.  Replay .pct
+//    streams through BinaryTraceSource instead to avoid materializing.
 #pragma once
 
 #include <iosfwd>

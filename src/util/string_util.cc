@@ -36,6 +36,10 @@ std::string to_lower(std::string s) {
   return s;
 }
 
+std::string basename_of(std::string_view path) {
+  return std::string(path.substr(path.find_last_of('/') + 1));
+}
+
 std::string format_size(std::uint64_t bytes) {
   std::ostringstream os;
   if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)

@@ -23,4 +23,7 @@ std::string to_lower(std::string s);
 /// Formats a byte count as "8kB" / "512B" style (exact divisions only).
 std::string format_size(std::uint64_t bytes);
 
+/// The final '/'-separated component of a path ("a/b/c.pct" -> "c.pct").
+std::string basename_of(std::string_view path);
+
 }  // namespace pcal

@@ -1,0 +1,208 @@
+#include "trace/binary_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "trace/synthetic.h"
+#include "trace/trace_io.h"
+#include "trace/workloads.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Trace sample_trace() {
+  return Trace("sample", {{0x1000, AccessKind::kRead},
+                          {0xDEADBEEF, AccessKind::kWrite},
+                          {0, AccessKind::kRead},
+                          {kPctMaxAddress, AccessKind::kWrite},
+                          {kPctMaxAddress, AccessKind::kRead},
+                          {42, AccessKind::kWrite}});
+}
+
+TEST(PctRecord, EncodeDecodeRoundTrips) {
+  const Trace t = sample_trace();
+  for (const MemAccess& a : t.accesses())
+    EXPECT_EQ(pct_decode(pct_encode(a)), a);
+}
+
+TEST(PctRecord, RejectsOversizedAddress) {
+  EXPECT_THROW(pct_encode({kPctMaxAddress + 1, AccessKind::kRead}),
+               ParseError);
+}
+
+TEST(BinaryTraceSource, PackMmapReplayRoundTripsBitIdentical) {
+  const Trace t = sample_trace();
+  const std::string path = temp_path("roundtrip.pct");
+  write_pct_file(t, path);
+
+  BinaryTraceSource source(path);
+  EXPECT_EQ(source.size(), t.size());
+  ASSERT_TRUE(source.size_hint().has_value());
+  EXPECT_EQ(*source.size_hint(), t.size());
+
+  // next() path.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto a = source.next();
+    ASSERT_TRUE(a.has_value()) << "record " << i;
+    EXPECT_EQ(*a, t[i]) << "record " << i;
+  }
+  EXPECT_FALSE(source.next().has_value());
+
+  // Batched zero-copy path, after reset, with a batch size that does not
+  // divide the trace length.
+  source.reset();
+  MemAccess batch[4];
+  std::vector<MemAccess> replay;
+  for (;;) {
+    const std::size_t n = source.next_batch(batch, 4);
+    if (n == 0) break;
+    replay.insert(replay.end(), batch, batch + n);
+  }
+  ASSERT_EQ(replay.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(replay[i], t[i]);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTraceSource, SimulationMatchesTextSourceBitIdentical) {
+  // The acceptance bar: replaying a packed trace produces SimResults
+  // identical to driving the text-parsed source.
+  SyntheticTraceSource gen(make_mediabench_workload("cjpeg"), 50000);
+  Trace trace = Trace::materialize(gen);
+
+  const std::string text_path = temp_path("sim.trace");
+  const std::string pct_path = temp_path("sim.pct");
+  save_trace_file(trace, text_path, /*binary=*/false);
+  write_pct_file(trace, pct_path);
+
+  SimConfig cfg;
+  cfg.cache.size_bytes = 8192;
+  cfg.cache.line_bytes = 16;
+  cfg.partition.num_banks = 4;
+  cfg.indexing = IndexingKind::kProbing;
+  const Simulator sim(cfg);
+
+  Trace from_text = load_trace_file(text_path);
+  BinaryTraceSource from_pct(pct_path);
+  const SimResult a = sim.run(from_text);
+  const SimResult b = sim.run(from_pct);
+
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+  EXPECT_EQ(a.cache_stats.misses, b.cache_stats.misses);
+  EXPECT_EQ(a.cache_stats.writebacks, b.cache_stats.writebacks);
+  EXPECT_EQ(a.reindex_updates_applied, b.reindex_updates_applied);
+  ASSERT_EQ(a.units.size(), b.units.size());
+  for (std::size_t u = 0; u < a.units.size(); ++u) {
+    EXPECT_EQ(a.units[u].accesses, b.units[u].accesses);
+    EXPECT_EQ(a.units[u].sleep_cycles, b.units[u].sleep_cycles);
+    EXPECT_EQ(a.units[u].sleep_residency, b.units[u].sleep_residency);
+    EXPECT_EQ(a.units[u].sleep_episodes, b.units[u].sleep_episodes);
+  }
+  EXPECT_EQ(a.energy.baseline_pj, b.energy.baseline_pj);
+  EXPECT_EQ(a.energy.partitioned.total_pj(), b.energy.partitioned.total_pj());
+  std::remove(text_path.c_str());
+  std::remove(pct_path.c_str());
+}
+
+TEST(BinaryTraceSource, StreamedWriteMatchesMaterializedWrite) {
+  // write_pct_stream (constant-memory, count patched at the end) must
+  // produce byte-identical files to write_pct_file.
+  SyntheticTraceSource gen(make_mediabench_workload("cjpeg"), 20000);
+  Trace trace = Trace::materialize(gen);
+  const std::string mat_path = temp_path("materialized.pct");
+  const std::string stream_path = temp_path("streamed.pct");
+  write_pct_file(trace, mat_path);
+  EXPECT_EQ(write_pct_stream(trace, stream_path), trace.size());
+
+  std::ifstream a(mat_path, std::ios::binary);
+  std::ifstream b(stream_path, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(mat_path.c_str());
+  std::remove(stream_path.c_str());
+}
+
+TEST(BinaryTraceSource, LoadTraceFileSniffsPct) {
+  const Trace t = sample_trace();
+  const std::string path = temp_path("sniff.pct");
+  write_pct_file(t, path);
+  const Trace loaded = load_trace_file(path);
+  ASSERT_EQ(loaded.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(loaded[i], t[i]);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTraceSource, EmptyTraceIsValid) {
+  const std::string path = temp_path("empty.pct");
+  write_pct_file(Trace("empty", {}), path);
+  BinaryTraceSource source(path);
+  EXPECT_EQ(source.size(), 0u);
+  EXPECT_FALSE(source.next().has_value());
+  MemAccess batch[4];
+  EXPECT_EQ(source.next_batch(batch, 4), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTraceSource, MissingFileThrows) {
+  EXPECT_THROW(BinaryTraceSource("/nonexistent/dir/trace.pct"), ParseError);
+  EXPECT_FALSE(is_pct_file("/nonexistent/dir/trace.pct"));
+}
+
+TEST(BinaryTraceSource, BadMagicThrows) {
+  const std::string path = temp_path("badmagic.pct");
+  std::ofstream(path, std::ios::binary) << "NOTAPCT0garbagegarbage";
+  EXPECT_FALSE(is_pct_file(path));
+  EXPECT_THROW(BinaryTraceSource{path}, ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTraceSource, TruncatedFileThrows) {
+  const Trace t = sample_trace();
+  const std::string path = temp_path("truncated.pct");
+  write_pct_file(t, path);
+
+  // Chop mid-record: header still promises t.size() records.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data.resize(data.size() - 3);
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << data;
+  EXPECT_THROW(BinaryTraceSource{path}, ParseError);
+  EXPECT_THROW(pct_file_info(path), ParseError);
+
+  // A bare header that promises records it does not have.
+  data.resize(kPctHeaderBytes);
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << data;
+  EXPECT_THROW(BinaryTraceSource{path}, ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTraceSource, UnsupportedVersionThrows) {
+  const std::string path = temp_path("version.pct");
+  write_pct_file(sample_trace(), path);
+  // Bump the version field (offset 8, little-endian u32).
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(8);
+  const char v2[4] = {2, 0, 0, 0};
+  f.write(v2, 4);
+  f.close();
+  EXPECT_THROW(BinaryTraceSource{path}, ParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pcal

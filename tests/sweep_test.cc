@@ -1,0 +1,205 @@
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/synthetic.h"
+#include "trace/workloads.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+constexpr std::uint64_t kAccesses = 30000;
+
+SimConfig small_config(std::uint64_t banks, IndexingKind indexing) {
+  SimConfig cfg;
+  cfg.granularity = Granularity::kBank;
+  cfg.cache.size_bytes = 8192;
+  cfg.cache.line_bytes = 16;
+  cfg.cache.ways = 1;
+  cfg.partition.num_banks = banks;
+  cfg.indexing = indexing;
+  cfg.reindex_updates = 8;
+  return cfg;
+}
+
+SweepJob make_job(const WorkloadSpec& spec, const SimConfig& config) {
+  SweepJob job;
+  job.config = config;
+  job.make_source = [spec] {
+    return std::make_unique<SyntheticTraceSource>(spec, kAccesses);
+  };
+  return job;
+}
+
+/// A representative mixed grid: several workloads x topologies, including
+/// a monolithic and a line-grain config.
+std::vector<SweepJob> sample_grid() {
+  std::vector<SweepJob> jobs;
+  const WorkloadSpec specs[] = {
+      make_mediabench_workload("cjpeg"),
+      make_mediabench_workload("rijndael_i"),
+      make_hotspot_workload(8192),
+      make_streaming_workload(16384),
+  };
+  for (const auto& spec : specs) {
+    for (std::uint64_t m : {2u, 4u, 8u}) {
+      jobs.push_back(make_job(spec, small_config(m, IndexingKind::kProbing)));
+      jobs.push_back(make_job(spec, small_config(m, IndexingKind::kStatic)));
+    }
+    jobs.push_back(
+        make_job(spec, monolithic_variant(small_config(4, IndexingKind::kStatic))));
+    jobs.push_back(
+        make_job(spec, line_grain_variant(small_config(4, IndexingKind::kProbing))));
+  }
+  return jobs;
+}
+
+/// Field-by-field equality of two SimResults.  Exact double comparison is
+/// intentional: the determinism guarantee is bit-identical results.
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.config_label, b.config_label);
+  EXPECT_EQ(a.granularity, b.granularity);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.breakeven_cycles, b.breakeven_cycles);
+  EXPECT_EQ(a.reindex_updates_applied, b.reindex_updates_applied);
+  EXPECT_EQ(a.cache_stats.accesses, b.cache_stats.accesses);
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+  EXPECT_EQ(a.cache_stats.misses, b.cache_stats.misses);
+  EXPECT_EQ(a.cache_stats.writebacks, b.cache_stats.writebacks);
+  EXPECT_EQ(a.cache_stats.flushes, b.cache_stats.flushes);
+  EXPECT_EQ(a.cache_stats.flushed_dirty, b.cache_stats.flushed_dirty);
+  ASSERT_EQ(a.units.size(), b.units.size());
+  for (std::size_t u = 0; u < a.units.size(); ++u) {
+    EXPECT_EQ(a.units[u].accesses, b.units[u].accesses);
+    EXPECT_EQ(a.units[u].sleep_cycles, b.units[u].sleep_cycles);
+    EXPECT_EQ(a.units[u].sleep_residency, b.units[u].sleep_residency);
+    EXPECT_EQ(a.units[u].useful_idleness_count,
+              b.units[u].useful_idleness_count);
+    EXPECT_EQ(a.units[u].sleep_episodes, b.units[u].sleep_episodes);
+    EXPECT_EQ(a.units[u].lifetime_years, b.units[u].lifetime_years);
+  }
+  EXPECT_EQ(a.energy.baseline_pj, b.energy.baseline_pj);
+  EXPECT_EQ(a.energy.partitioned.dynamic_pj, b.energy.partitioned.dynamic_pj);
+  EXPECT_EQ(a.energy.partitioned.leakage_active_pj,
+            b.energy.partitioned.leakage_active_pj);
+  EXPECT_EQ(a.energy.partitioned.leakage_retention_pj,
+            b.energy.partitioned.leakage_retention_pj);
+  EXPECT_EQ(a.energy.partitioned.transition_pj,
+            b.energy.partitioned.transition_pj);
+  EXPECT_EQ(a.lifetime.has_value(), b.lifetime.has_value());
+  if (a.lifetime && b.lifetime) {
+    EXPECT_EQ(a.lifetime->lifetime_years, b.lifetime->lifetime_years);
+    EXPECT_EQ(a.lifetime->limiting_bank, b.lifetime->limiting_bank);
+  }
+}
+
+TEST(SweepRunner, ParallelMatchesSerialAtEveryThreadCount) {
+  const std::vector<SweepJob> jobs = sample_grid();
+  SweepRunner serial(1);
+  const std::vector<SweepOutcome> reference = serial.run(jobs);
+  ASSERT_EQ(reference.size(), jobs.size());
+  for (const auto& o : reference) ASSERT_TRUE(o.ok());
+  EXPECT_EQ(serial.last_stats().jobs, jobs.size());
+  EXPECT_EQ(serial.last_stats().threads, 1u);
+
+  for (unsigned threads : {2u, 8u}) {
+    SweepRunner parallel(threads);
+    const std::vector<SweepOutcome> got = parallel.run(jobs);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i].ok()) << "job " << i;
+      expect_identical(got[i].result, reference[i].result,
+                       "threads=" + std::to_string(threads) + " job " +
+                           std::to_string(i));
+    }
+    EXPECT_EQ(parallel.last_stats().total_accesses,
+              serial.last_stats().total_accesses);
+  }
+}
+
+TEST(SweepRunner, ExceptionInOneJobDoesNotPoisonThePool) {
+  std::vector<SweepJob> jobs = sample_grid();
+  // Poison two jobs in the middle: one whose factory throws, one whose
+  // config fails validation inside the worker.
+  const std::size_t bad_factory = jobs.size() / 3;
+  const std::size_t bad_config = 2 * jobs.size() / 3;
+  jobs[bad_factory].make_source = []() -> std::unique_ptr<TraceSource> {
+    throw std::runtime_error("factory exploded");
+  };
+  jobs[bad_config].config.cache.size_bytes = 12345;  // not a power of two
+
+  for (unsigned threads : {1u, 4u}) {
+    SweepRunner runner(threads);
+    const std::vector<SweepOutcome> got = runner.run(jobs);
+    ASSERT_EQ(got.size(), jobs.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (i == bad_factory || i == bad_config) {
+        EXPECT_FALSE(got[i].ok()) << "job " << i;
+        EXPECT_THROW(got[i].rethrow_if_error(), std::exception);
+      } else {
+        EXPECT_TRUE(got[i].ok()) << "job " << i;
+        EXPECT_GT(got[i].result.accesses, 0u);
+      }
+    }
+    EXPECT_EQ(runner.last_stats().failed_jobs, 2u);
+  }
+}
+
+TEST(SweepRunner, ObserversStreamOnWorkerThreads) {
+  // Per-job observers fire (final snapshot at minimum) and the streamed
+  // interval count lands in the merged stats.
+  std::vector<SweepJob> jobs;
+  std::vector<int> final_snapshots(4, 0);
+  for (int i = 0; i < 4; ++i) {
+    SweepJob job = make_job(make_mediabench_workload("cjpeg"),
+                            small_config(4, IndexingKind::kProbing));
+    int* slot = &final_snapshots[static_cast<std::size_t>(i)];
+    job.observer = [slot](const IntervalSnapshot& snap) {
+      if (snap.final_snapshot) ++*slot;
+    };
+    jobs.push_back(std::move(job));
+  }
+  SweepRunner runner(2);
+  const auto got = runner.run(jobs);
+  for (const auto& o : got) ASSERT_TRUE(o.ok());
+  for (int count : final_snapshots) EXPECT_EQ(count, 1);
+  EXPECT_GE(runner.last_stats().intervals_observed, 4u);
+}
+
+TEST(SweepRunner, HandlesEdgeShapes) {
+  SweepRunner runner(8);
+  // Zero jobs.
+  EXPECT_TRUE(runner.run({}).empty());
+  EXPECT_EQ(runner.last_stats().jobs, 0u);
+  // More threads than jobs.
+  std::vector<SweepJob> one;
+  one.push_back(make_job(make_mediabench_workload("cjpeg"),
+                         small_config(4, IndexingKind::kProbing)));
+  const auto got = runner.run(one);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got[0].ok());
+  EXPECT_EQ(runner.last_stats().threads, 1u);  // clamped to job count
+}
+
+TEST(SweepRunner, DefaultThreadsHonorsEnvOverride) {
+  // CTest registers sweep_test_serial / sweep_test_mt with
+  // PCAL_SWEEP_THREADS=1 / 8; default-constructed runners must follow.
+  SweepRunner runner;
+  if (const char* env = std::getenv("PCAL_SWEEP_THREADS")) {
+    EXPECT_EQ(runner.num_threads(),
+              static_cast<unsigned>(std::atol(env)));
+  } else {
+    EXPECT_GE(runner.num_threads(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace pcal
