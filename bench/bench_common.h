@@ -57,9 +57,12 @@ inline const AgingContext& aging() {
 
 /// Writes the machine-readable perf record of one bench run.
 /// PCAL_BENCH_JSON_DIR overrides the output directory (default: cwd);
-/// PCAL_BENCH_JSON=0 disables the file.
-inline void write_bench_json(const std::string& bench_name,
-                             const SweepStats& stats) {
+/// PCAL_BENCH_JSON=0 disables the file.  `extra` (optional) is invoked
+/// with the output stream to emit additional top-level JSON members —
+/// each a complete `  "key": value,\n` chunk — after the bench name.
+inline void write_bench_json(
+    const std::string& bench_name, const SweepStats& stats,
+    const std::function<void(std::ostream&)>& extra = {}) {
   if (const char* env = std::getenv("PCAL_BENCH_JSON")) {
     if (std::string(env) == "0") return;
   }
@@ -72,8 +75,9 @@ inline void write_bench_json(const std::string& bench_name,
     return;
   }
   f << "{\n"
-    << "  \"bench\": \"" << bench_name << "\",\n"
-    << "  \"jobs\": " << stats.jobs << ",\n"
+    << "  \"bench\": \"" << bench_name << "\",\n";
+  if (extra) extra(f);
+  f << "  \"jobs\": " << stats.jobs << ",\n"
     << "  \"failed_jobs\": " << stats.failed_jobs << ",\n"
     << "  \"threads\": " << stats.threads << ",\n"
     << "  \"wall_seconds\": " << stats.wall_seconds << ",\n"
@@ -119,12 +123,15 @@ class SweepGrid {
   /// Executes every queued job on the thread pool and writes
   /// BENCH_<bench_name>.json.  Rethrows the first failed job's exception
   /// (in job order), so error behavior matches the old serial loops.
-  void run(const std::string& bench_name) {
+  /// `extra` (optional) emits additional JSON members into the record;
+  /// it runs after the outcomes are in, so it may read result(i).
+  void run(const std::string& bench_name,
+           const std::function<void(std::ostream&)>& extra = {}) {
     SweepRunner runner(threads());
     outcomes_ = runner.run(jobs_);
     stats_ = runner.last_stats();
     for (const SweepOutcome& o : outcomes_) o.rethrow_if_error();
-    write_bench_json(bench_name, stats_);
+    write_bench_json(bench_name, stats_, extra);
     std::cerr << "[sweep] " << bench_name << ": " << stats_.jobs
               << " jobs on " << stats_.threads << " threads, "
               << TextTable::num(stats_.wall_seconds, 2) << "s, "

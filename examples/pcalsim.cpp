@@ -18,10 +18,17 @@
 //   line = 16
 //   ways = 1
 //   [partition]
-//   granularity = bank       # monolithic | bank | line
+//   granularity = bank       # monolithic | bank | line | way
 //   banks = 4
 //   indexing = probing       # static | probing | scrambling
 //   updates = 16
+//   policy = gated           # gated | drowsy
+//   drowsy_window = 0        # extra idle cycles at the drowsy voltage
+//   [l2]                     # optional second level (size 0 = disabled)
+//   size = 0
+//   banks = 4
+//   granularity = bank
+//   breakeven = 64
 #include <algorithm>
 #include <iostream>
 
@@ -51,6 +58,14 @@ granularity = bank
 banks = 4
 indexing = probing
 updates = 16
+policy = gated
+drowsy_window = 0
+
+[l2]
+size = 0
+banks = 4
+granularity = bank
+breakeven = 64
 )";
 
 std::unique_ptr<TraceSource> make_source(const ConfigFile& cfg,
@@ -105,6 +120,28 @@ int main(int argc, char** argv) {
     // 0 = derive the breakeven from the energy model; line-grain sleep
     // hardware usually wants an explicit value (e.g. 28).
     sim.breakeven_override = cfg.get_u64("partition", "breakeven", 0);
+    sim.policy = power_policy_from_string(
+        cfg.get_string("partition", "policy", "gated"));
+    sim.drowsy_window_cycles =
+        cfg.get_u64("partition", "drowsy_window", 0);
+    // Optional second level: [l2] size = 0 keeps the run single-level.
+    if (cfg.get_u64("l2", "size", 0) > 0) {
+      CacheTopology l2;
+      l2.cache.size_bytes = cfg.get_u64("l2", "size", 0);
+      l2.cache.line_bytes =
+          cfg.get_u64("l2", "line", sim.cache.line_bytes);
+      l2.cache.ways = cfg.get_u64("l2", "ways", sim.cache.ways);
+      l2.granularity = granularity_from_string(
+          cfg.get_string("l2", "granularity", "bank"));
+      l2.partition.num_banks = cfg.get_u64("l2", "banks", 4);
+      l2.indexing = indexing_kind_from_string(
+          cfg.get_string("l2", "indexing", "static"));
+      l2.breakeven_cycles = cfg.get_u64("l2", "breakeven", 64);
+      l2.policy = power_policy_from_string(
+          cfg.get_string("l2", "policy", "gated"));
+      l2.drowsy_window_cycles = cfg.get_u64("l2", "drowsy_window", 0);
+      sim.l2 = l2;
+    }
     sim.validate();
 
     const std::uint64_t accesses =
@@ -143,12 +180,20 @@ int main(int argc, char** argv) {
               << r.cache_stats.hits << " hits, " << r.cache_stats.misses
               << " misses, " << r.cache_stats.writebacks
               << " writebacks, " << r.cache_stats.flushes << " flushes)\n";
+    if (r.l2_stats) {
+      std::cout << "L2: hit rate "
+                << TextTable::num(r.l2_stats->hit_rate(), 4) << " ("
+                << r.l2_stats->accesses << " accesses = L1 misses, "
+                << r.l2_stats->hits << " hits)\n";
+    }
 
     const EnergyBreakdown& e = r.energy.partitioned;
     std::cout << "energy (pJ): dynamic " << TextTable::num(e.dynamic_pj, 0)
               << ", leakage active "
               << TextTable::num(e.leakage_active_pj, 0)
-              << ", leakage retention "
+              << ", leakage drowsy "
+              << TextTable::num(e.leakage_drowsy_pj, 0)
+              << ", leakage gated/retention "
               << TextTable::num(e.leakage_retention_pj, 0)
               << ", transitions " << TextTable::num(e.transition_pj, 0)
               << "\n"

@@ -39,6 +39,11 @@ std::uint64_t BankedCache::update_indexing() {
   return cache_.flush();
 }
 
+void BankedCache::advance_idle(std::uint64_t cycles) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  cycle_ += cycles;
+}
+
 void BankedCache::finish() {
   if (finished_) return;
   block_control_.finish(cycle_);

@@ -58,6 +58,9 @@ class BankedCache : public ManagedCache {
   /// Returns the number of dirty lines the flush wrote back.
   std::uint64_t update_indexing() override;
 
+  /// Advances time with no access (every bank idles those cycles).
+  void advance_idle(std::uint64_t cycles) override;
+
   /// Finalizes idle-interval bookkeeping; call when the trace ends.
   void finish() override;
 
@@ -86,6 +89,11 @@ class BankedCache : public ManagedCache {
   }
   const CacheStats& stats() const override { return cache_.stats(); }
   UnitActivity unit_activity(std::uint64_t unit) const override;
+  const IntervalAccumulator& unit_intervals(
+      std::uint64_t unit) const override {
+    PCAL_ASSERT_MSG(finished_, "call finish() first");
+    return block_control_.intervals(unit);
+  }
 
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;

@@ -64,6 +64,11 @@ std::uint64_t LineManagedCache::update_indexing() {
   return cache_.flush();
 }
 
+void LineManagedCache::advance_idle(std::uint64_t cycles) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  cycle_ += cycles;
+}
+
 void LineManagedCache::finish() {
   if (finished_) return;
   control_.finish(cycle_);

@@ -56,6 +56,9 @@ class LineManagedCache : public ManagedCache {
   /// Advances the full-index rotation and flushes.  Returns dirty lines.
   std::uint64_t update_indexing() override;
 
+  /// Advances time with no access (every line idles those cycles).
+  void advance_idle(std::uint64_t cycles) override;
+
   void finish() override;
 
   const LineManagedConfig& config() const { return config_; }
@@ -75,6 +78,11 @@ class LineManagedCache : public ManagedCache {
   const CacheStats& stats() const override { return cache_.stats(); }
   std::uint64_t indexing_updates() const override { return updates_; }
   UnitActivity unit_activity(std::uint64_t unit) const override;
+  const IntervalAccumulator& unit_intervals(
+      std::uint64_t unit) const override {
+    PCAL_ASSERT_MSG(finished_, "call finish() first");
+    return control_.intervals(unit);
+  }
 
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;

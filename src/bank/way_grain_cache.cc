@@ -1,0 +1,64 @@
+#include "bank/way_grain_cache.h"
+
+namespace pcal {
+
+WayGrainCache::WayGrainCache(const CacheTopology& topology)
+    : config_(topology.cache),
+      cache_(topology.cache),
+      decoder_(topology.cache, topology.partition,
+               make_indexing_policy(topology.indexing,
+                                    topology.partition.num_banks,
+                                    topology.indexing_seed)),
+      num_banks_(topology.partition.num_banks),
+      ways_(topology.cache.ways),
+      control_(topology.partition.num_banks * topology.cache.ways,
+               topology.breakeven_cycles) {}
+
+AccessOutcome WayGrainCache::do_access(std::uint64_t address, bool is_write) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  const std::uint64_t set_index = config_.set_index_of(address);
+  const DecodedIndex d = decoder_.decode(set_index);
+
+  const CacheAccessResult r =
+      cache_.access(config_.tag_of(address), d.physical_set, is_write);
+
+  AccessOutcome out;
+  out.hit = r.hit;
+  out.writeback = r.writeback;
+  out.logical_unit = d.logical_bank * ways_ + r.way;
+  out.physical_unit = d.physical_bank * ways_ + r.way;
+  out.woke_unit = control_.is_sleeping(out.physical_unit, cycle_);
+
+  control_.on_access(out.physical_unit, cycle_);
+  ++cycle_;
+  return out;
+}
+
+std::uint64_t WayGrainCache::update_indexing() {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  decoder_.update();
+  return cache_.flush();
+}
+
+void WayGrainCache::advance_idle(std::uint64_t cycles) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  cycle_ += cycles;
+}
+
+void WayGrainCache::finish() {
+  if (finished_) return;
+  control_.finish(cycle_);
+  finished_ = true;
+}
+
+double WayGrainCache::unit_residency(std::uint64_t unit) const {
+  PCAL_ASSERT_MSG(finished_, "call finish() first");
+  return control_.sleep_residency(unit, cycle_);
+}
+
+UnitActivity WayGrainCache::unit_activity(std::uint64_t unit) const {
+  PCAL_ASSERT_MSG(finished_, "call finish() first");
+  return unit_activity_from(control_, unit);
+}
+
+}  // namespace pcal

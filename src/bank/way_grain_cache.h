@@ -1,0 +1,71 @@
+// Way-grain power management: per-way sleep within each bank.
+//
+// The paper's banked scheme gates whole banks; its reference [7] gates
+// single lines.  Way-grain sits between them for set-associative caches:
+// each of a bank's W way-columns is an independently power-managed unit
+// (M x W units total), so a working set that fits in a fraction of the
+// associativity lets the remaining way-columns sleep without touching the
+// SRAM array internals the way per-line control must.  Bank selection and
+// re-indexing are identical to BankedCache (p-MSB decode through the
+// time-varying f()); the way within the set is whatever way the tag store
+// touches (the hitting way, or the LRU victim on a miss).
+//
+// Degeneracy: with a direct-mapped cache (W = 1) every set has one way,
+// so unit == physical bank and this backend reproduces BankedCache bit
+// for bit — pinned by tests/way_grain_test.cc.
+#pragma once
+
+#include <cstdint>
+
+#include "bank/block_control.h"
+#include "bank/decoder.h"
+#include "cache/cache.h"
+#include "core/managed_cache.h"
+
+namespace pcal {
+
+class WayGrainCache final : public ManagedCache {
+ public:
+  explicit WayGrainCache(const CacheTopology& topology);
+
+  // ManagedCache (units are (physical bank, way) pairs, numbered
+  // bank * W + way):
+  std::uint64_t update_indexing() override;
+  void advance_idle(std::uint64_t cycles) override;
+  void finish() override;
+  std::uint64_t cycles() const override { return cycle_; }
+  std::uint64_t num_units() const override {
+    return num_banks_ * ways_;
+  }
+  double unit_residency(std::uint64_t unit) const override;
+  const CacheStats& stats() const override { return cache_.stats(); }
+  std::uint64_t indexing_updates() const override {
+    return decoder_.policy().updates();
+  }
+  UnitActivity unit_activity(std::uint64_t unit) const override;
+  const IntervalAccumulator& unit_intervals(
+      std::uint64_t unit) const override {
+    PCAL_ASSERT_MSG(finished_, "call finish() first");
+    return control_.intervals(unit);
+  }
+
+  // ---- component access ----
+  const CacheModel& cache() const { return cache_; }
+  const BankDecoder& decoder() const { return decoder_; }
+  const BlockControl& way_control() const { return control_; }
+  std::uint64_t ways() const { return ways_; }
+
+ private:
+  AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+
+  CacheConfig config_;
+  CacheModel cache_;
+  BankDecoder decoder_;
+  std::uint64_t num_banks_;
+  std::uint64_t ways_;
+  BlockControl control_;
+  std::uint64_t cycle_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace pcal

@@ -33,7 +33,7 @@ CacheAccessResult CacheModel::access(std::uint64_t tag, std::uint64_t set,
       ++stats_.hits;
       way.lru = lru_clock_;
       if (is_write) way.dirty = true;
-      return {true, false};
+      return {true, false, w};
     }
     // Track the replacement victim: first invalid way wins, else oldest.
     if (!way.valid) {
@@ -49,7 +49,8 @@ CacheAccessResult CacheModel::access(std::uint64_t tag, std::uint64_t set,
   victim->tag = tag;
   victim->dirty = is_write;
   victim->lru = lru_clock_;
-  return {false, writeback};
+  return {false, writeback,
+          static_cast<std::uint64_t>(victim - base)};
 }
 
 CacheAccessResult CacheModel::access_address(std::uint64_t address,

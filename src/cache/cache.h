@@ -17,6 +17,10 @@ namespace pcal {
 struct CacheAccessResult {
   bool hit = false;
   bool writeback = false;  // a dirty victim was evicted
+  /// Way within the set that served the access (the hitting way, or the
+  /// replacement victim on a miss).  0 for direct-mapped caches; lets
+  /// way-grain power management attribute the access to its unit.
+  std::uint64_t way = 0;
 };
 
 struct CacheStats {

@@ -1,0 +1,40 @@
+#include "core/drowsy_cache.h"
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace pcal {
+
+DrowsyHybridCache::DrowsyHybridCache(std::unique_ptr<ManagedCache> base,
+                                     std::uint64_t drowsy_cycles,
+                                     std::uint64_t gate_cycles)
+    : base_(std::move(base)),
+      drowsy_cycles_(drowsy_cycles),
+      gate_cycles_(gate_cycles) {
+  PCAL_ASSERT_MSG(base_ != nullptr, "hybrid needs a base backend");
+  PCAL_CONFIG_CHECK(drowsy_cycles_ > 0, "drowsy threshold must be positive");
+  PCAL_CONFIG_CHECK(gate_cycles_ >= drowsy_cycles_,
+                    "gate threshold must not precede the drowsy threshold");
+}
+
+UnitActivity DrowsyHybridCache::unit_activity(std::uint64_t unit) const {
+  UnitActivity a = base_->unit_activity(unit);
+  const IntervalAccumulator& iv = base_->unit_intervals(unit);
+  // a.sleep_cycles is the base's sleep at the drowsy threshold; the slice
+  // past the gate threshold is what actually power-gates.
+  const std::uint64_t gated = iv.sleep_cycles(gate_cycles_);
+  PCAL_ASSERT(gated <= a.sleep_cycles);
+  a.drowsy_cycles = a.sleep_cycles - gated;
+  a.gated_episodes = iv.intervals_above(gate_cycles_);
+  return a;
+}
+
+double DrowsyHybridCache::unit_gated_residency(std::uint64_t unit) const {
+  const std::uint64_t total = base_->cycles();
+  if (total == 0) return 0.0;
+  const IntervalAccumulator& iv = base_->unit_intervals(unit);
+  return static_cast<double>(iv.sleep_cycles(gate_cycles_)) /
+         static_cast<double>(total);
+}
+
+}  // namespace pcal

@@ -1,0 +1,64 @@
+#include "core/hierarchy.h"
+
+#include "util/error.h"
+
+namespace pcal {
+
+HierarchicalCache::HierarchicalCache(const CacheTopology& l1,
+                                     const CacheTopology& l2)
+    : l1_(make_managed_cache(l1)),
+      l2_(make_managed_cache(l2)),
+      l1_rotates_(l1.rotates()),
+      l2_rotates_(l2.rotates()) {}
+
+AccessOutcome HierarchicalCache::do_access(std::uint64_t address,
+                                           bool is_write) {
+  const AccessOutcome out = l1_->access(address, is_write);
+  if (out.hit) {
+    l2_->advance_idle(1);
+  } else {
+    // The fill is a read; a dirty L1 victim rides along as a write
+    // (single-port approximation, see the header comment).
+    l2_->access(address, out.writeback);
+  }
+  return out;
+}
+
+std::uint64_t HierarchicalCache::update_indexing() {
+  std::uint64_t dirty = 0;
+  if (l1_rotates_) dirty += l1_->update_indexing();
+  if (l2_rotates_) dirty += l2_->update_indexing();
+  ++updates_;
+  return dirty;
+}
+
+void HierarchicalCache::advance_idle(std::uint64_t cycles) {
+  l1_->advance_idle(cycles);
+  l2_->advance_idle(cycles);
+}
+
+void HierarchicalCache::finish() {
+  l1_->finish();
+  l2_->finish();
+}
+
+double HierarchicalCache::unit_residency(std::uint64_t unit) const {
+  const std::uint64_t n1 = l1_->num_units();
+  return unit < n1 ? l1_->unit_residency(unit)
+                   : l2_->unit_residency(unit - n1);
+}
+
+UnitActivity HierarchicalCache::unit_activity(std::uint64_t unit) const {
+  const std::uint64_t n1 = l1_->num_units();
+  return unit < n1 ? l1_->unit_activity(unit)
+                   : l2_->unit_activity(unit - n1);
+}
+
+const IntervalAccumulator& HierarchicalCache::unit_intervals(
+    std::uint64_t unit) const {
+  const std::uint64_t n1 = l1_->num_units();
+  return unit < n1 ? l1_->unit_intervals(unit)
+                   : l2_->unit_intervals(unit - n1);
+}
+
+}  // namespace pcal

@@ -1,0 +1,80 @@
+// Two-level (L1+L2) cache hierarchy as one ManagedCache.
+//
+// Each level is an independently-configured ManagedCache (any granularity,
+// any indexing, any power policy — both are built through
+// make_managed_cache), and L1 misses generate the L2 access stream: an L1
+// hit costs L2 one idle cycle (advance_idle keeps L2 on the global clock,
+// so its residencies and leakage are priced against real time, not its
+// access count), an L1 miss becomes one L2 access at the same cycle.  A
+// dirty L1 victim is folded into that miss access as a write (a standard
+// single-port approximation: the victim writeback and the fill share the
+// L2 port in the same cycle).
+//
+// The hierarchy presents the combined unit vector — L1's units first, then
+// L2's — so the one Simulator engine reports per-unit idleness, energy and
+// lifetime across both levels, and the PR-2 sweep engine parallelizes
+// hierarchy jobs like any other.  stats() is L1's tag store (the level the
+// CPU sees); l2_stats() exposes the second level.  update_indexing fires
+// the update signal into every level whose indexing actually rotates —
+// a static-indexed or single-unit level has nothing to re-map and is not
+// flushed, the same rule the Simulator applies to single-level runs (so
+// a static L2 keeps backing the L1 across L1 re-index flushes, and a
+// monolithic L1 is never flushed just because an L2 is attached).
+//
+// Known modeling asymmetry: dirty lines written back by a *flush* (the
+// re-index update) leave the hierarchy without touching L2, while dirty
+// victims of ordinary misses are folded into the L2 miss access.  Flush
+// writebacks have no per-line addresses in the tag-store model, so
+// replaying them into L2 is not possible; L2 traffic is therefore
+// slightly undercounted at update boundaries of a rotating dirty L1.
+//
+// Degeneracy: with no L2 the Simulator builds the bare L1 backend, and a
+// zero-size L2 config means "no L2" — pinned by tests/hierarchy_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/managed_cache.h"
+
+namespace pcal {
+
+class HierarchicalCache final : public ManagedCache {
+ public:
+  /// Builds both levels via make_managed_cache.  Throws ConfigError on
+  /// invalid topologies.
+  HierarchicalCache(const CacheTopology& l1, const CacheTopology& l2);
+
+  // ManagedCache (units are L1's units followed by L2's):
+  std::uint64_t update_indexing() override;
+  void advance_idle(std::uint64_t cycles) override;
+  void finish() override;
+  std::uint64_t cycles() const override { return l1_->cycles(); }
+  std::uint64_t num_units() const override {
+    return l1_->num_units() + l2_->num_units();
+  }
+  double unit_residency(std::uint64_t unit) const override;
+  /// L1's tag-store statistics (the level the CPU sees).
+  const CacheStats& stats() const override { return l1_->stats(); }
+  std::uint64_t indexing_updates() const override { return updates_; }
+  UnitActivity unit_activity(std::uint64_t unit) const override;
+  const IntervalAccumulator& unit_intervals(
+      std::uint64_t unit) const override;
+
+  // ---- level access ----
+  const ManagedCache& l1() const { return *l1_; }
+  const ManagedCache& l2() const { return *l2_; }
+  const CacheStats& l2_stats() const { return l2_->stats(); }
+  std::uint64_t l1_units() const { return l1_->num_units(); }
+
+ private:
+  AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+
+  std::unique_ptr<ManagedCache> l1_;
+  std::unique_ptr<ManagedCache> l2_;
+  bool l1_rotates_;
+  bool l2_rotates_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace pcal

@@ -6,6 +6,8 @@
 #include "bank/banked_cache.h"
 #include "bank/block_control.h"
 #include "bank/line_managed_cache.h"
+#include "bank/way_grain_cache.h"
+#include "core/drowsy_cache.h"
 #include "core/monolithic_cache.h"
 #include "util/error.h"
 
@@ -16,6 +18,7 @@ const char* to_string(Granularity granularity) {
     case Granularity::kMonolithic: return "monolithic";
     case Granularity::kBank: return "bank";
     case Granularity::kLine: return "line";
+    case Granularity::kWay: return "way";
   }
   return "?";
 }
@@ -24,8 +27,24 @@ Granularity granularity_from_string(const std::string& s) {
   if (s == "monolithic") return Granularity::kMonolithic;
   if (s == "bank") return Granularity::kBank;
   if (s == "line") return Granularity::kLine;
+  if (s == "way") return Granularity::kWay;
   throw ConfigError("unknown granularity: \"" + s +
-                    "\" (expected monolithic | bank | line)");
+                    "\" (expected monolithic | bank | line | way)");
+}
+
+const char* to_string(PowerPolicy policy) {
+  switch (policy) {
+    case PowerPolicy::kGated: return "gated";
+    case PowerPolicy::kDrowsyHybrid: return "drowsy";
+  }
+  return "?";
+}
+
+PowerPolicy power_policy_from_string(const std::string& s) {
+  if (s == "gated") return PowerPolicy::kGated;
+  if (s == "drowsy") return PowerPolicy::kDrowsyHybrid;
+  throw ConfigError("unknown power policy: \"" + s +
+                    "\" (expected gated | drowsy)");
 }
 
 std::uint64_t CacheTopology::num_units() const {
@@ -33,13 +52,15 @@ std::uint64_t CacheTopology::num_units() const {
     case Granularity::kMonolithic: return 1;
     case Granularity::kBank: return partition.num_banks;
     case Granularity::kLine: return cache.num_sets();
+    case Granularity::kWay: return partition.num_banks * cache.ways;
   }
   return 1;
 }
 
 void CacheTopology::validate() const {
   cache.validate();
-  if (granularity == Granularity::kBank) partition.validate(cache);
+  if (granularity == Granularity::kBank || granularity == Granularity::kWay)
+    partition.validate(cache);
   PCAL_CONFIG_CHECK(breakeven_cycles > 0, "breakeven time must be positive");
 }
 
@@ -56,8 +77,12 @@ std::string CacheTopology::describe() const {
     case Granularity::kLine:
       os << "line-grain";
       break;
+    case Granularity::kWay:
+      os << "M=" << partition.num_banks << " way-grain";
+      break;
   }
   os << " " << to_string(indexing);
+  if (drowsy_active()) os << " drowsy+" << drowsy_window_cycles;
   return os.str();
 }
 
@@ -85,12 +110,15 @@ UnitActivity unit_activity_from(const BlockControl& control,
   a.sleep_cycles = control.sleep_cycles(unit);
   a.sleep_episodes = control.sleep_episodes(unit);
   a.useful_idleness_count = control.useful_idleness_count(unit);
+  a.drowsy_cycles = 0;
+  a.gated_episodes = a.sleep_episodes;
   return a;
 }
 
-std::unique_ptr<ManagedCache> make_managed_cache(
+namespace {
+
+std::unique_ptr<ManagedCache> make_gated_backend(
     const CacheTopology& topology) {
-  topology.validate();
   switch (topology.granularity) {
     case Granularity::kMonolithic:
       return std::make_unique<MonolithicCache>(topology);
@@ -111,8 +139,24 @@ std::unique_ptr<ManagedCache> make_managed_cache(
       lc.breakeven_cycles = topology.breakeven_cycles;
       return std::make_unique<LineManagedCache>(lc);
     }
+    case Granularity::kWay:
+      return std::make_unique<WayGrainCache>(topology);
   }
   throw ConfigError("unknown granularity");
+}
+
+}  // namespace
+
+std::unique_ptr<ManagedCache> make_managed_cache(
+    const CacheTopology& topology) {
+  topology.validate();
+  std::unique_ptr<ManagedCache> base = make_gated_backend(topology);
+  // A zero drowsy window normalizes to the bare gated backend, so
+  // "window disabled == state-destructive backend" holds bit for bit.
+  if (topology.drowsy_active())
+    return std::make_unique<DrowsyHybridCache>(
+        std::move(base), topology.breakeven_cycles, topology.gate_cycles());
+  return base;
 }
 
 }  // namespace pcal

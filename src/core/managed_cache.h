@@ -9,14 +9,31 @@
 // make_indexing_policy, one level up.
 //
 // A "unit" is the architecture's power-management granule: the whole cache
-// (monolithic), one bank, or one line.  All residency / activity queries
-// are per-unit; aggregate helpers are derived from them.
+// (monolithic), one bank, one way-column of a bank (way-grain), or one
+// line.  All residency / activity queries are per-unit; aggregate helpers
+// are derived from them.
 //
 // Concrete backends keep their richer native APIs (BankedCache exposes its
 // decoder, LineManagedCache its rotation state); the interface uses the
 // non-virtual-interface pattern for access() so those native entry points
 // — which predate this API and return backend-specific outcome structs —
 // stay intact.
+//
+// ## Ownership, thread-safety and determinism (the API contract)
+//
+// - make_managed_cache returns a uniquely-owned backend; the topology is
+//   copied into it, so the CacheTopology may be destroyed afterwards.
+//   DrowsyHybridCache and HierarchicalCache own their wrapped backends.
+// - A ManagedCache instance is NOT thread-safe: all mutating calls
+//   (access, update_indexing, advance_idle, finish) must come from one
+//   thread at a time.  Distinct instances share no mutable state, which is
+//   what lets SweepRunner drive one instance per worker with no locks.
+// - Every backend is deterministic: the same topology and the same access
+//   sequence produce bit-identical outcomes, statistics and residencies,
+//   on any machine and regardless of what other instances are doing.
+// - Query order: residency/activity/interval queries are only valid after
+//   finish(); access/update_indexing/advance_idle are only valid before.
+//   finish() is idempotent.
 #pragma once
 
 #include <cstdint>
@@ -30,20 +47,42 @@
 
 namespace pcal {
 
+class IntervalAccumulator;
+
 /// Power-management granularity of a cache architecture.
 enum class Granularity : std::uint8_t {
   kMonolithic = 0,  // one unit: the whole cache (no partitioning)
   kBank = 1,        // the paper's M uniform banks
   kLine = 2,        // per-line management, reference [7]'s upper bound
+  kWay = 3,         // per-way within each bank: M x W units
 };
 
 const char* to_string(Granularity granularity);
 
-/// Parses "monolithic" | "bank" | "line"; throws ConfigError otherwise.
+/// Parses "monolithic" | "bank" | "line" | "way"; throws ConfigError
+/// otherwise.
 Granularity granularity_from_string(const std::string& s);
 
+/// What happens to an idle unit once its breakeven counter saturates.
+enum class PowerPolicy : std::uint8_t {
+  /// Straight to the state-destructive power-gated state (the paper's
+  /// scheme; lowest sleep leakage, full wakeup cost).
+  kGated = 0,
+  /// First to the state-preserving drowsy voltage (reference [7]'s
+  /// comparison point: reduced-but-nonzero leakage, cheap wakeup), then
+  /// power-gate after a second threshold (`drowsy_window_cycles` more
+  /// idle cycles).  A zero window degenerates exactly to kGated.
+  kDrowsyHybrid = 1,
+};
+
+const char* to_string(PowerPolicy policy);
+
+/// Parses "gated" | "drowsy"; throws ConfigError otherwise.
+PowerPolicy power_policy_from_string(const std::string& s);
+
 /// Outcome of one access through the unified interface.  `unit` is the
-/// power-management granule index (bank number, line number, or 0).
+/// power-management granule index (bank number, line number, bank*W+way,
+/// or 0).
 struct AccessOutcome {
   bool hit = false;
   bool writeback = false;  // a dirty victim was evicted
@@ -54,15 +93,25 @@ struct AccessOutcome {
 };
 
 /// Per-unit activity facts, valid after finish().
+///
+/// `sleep_cycles`/`sleep_episodes` count *any* low-power state.  Under
+/// PowerPolicy::kGated every episode power-gates, so `drowsy_cycles` is 0
+/// and `gated_episodes == sleep_episodes`; the drowsy hybrid splits sleep
+/// into a state-preserving drowsy share and the gated remainder.
 struct UnitActivity {
   std::uint64_t accesses = 0;
   std::uint64_t sleep_cycles = 0;
   std::uint64_t sleep_episodes = 0;
   double useful_idleness_count = 0.0;  // share of idle intervals > breakeven
+  /// Cycles of sleep spent at the drowsy (state-preserving) voltage.
+  /// Gated cycles = sleep_cycles - drowsy_cycles.
+  std::uint64_t drowsy_cycles = 0;
+  /// Sleep episodes that deepened into the power-gated state.
+  std::uint64_t gated_episodes = 0;
 };
 
 /// Complete description of one cache architecture: what every backend
-/// needs to construct itself.  `partition` is consulted only at kBank
+/// needs to construct itself.  `partition` is consulted at kBank and kWay
 /// granularity; `indexing` selects the time-varying mapping f() (kStatic
 /// disables rotation at any granularity).
 struct CacheTopology {
@@ -71,11 +120,38 @@ struct CacheTopology {
   PartitionConfig partition;
   IndexingKind indexing = IndexingKind::kProbing;
   std::uint64_t indexing_seed = 1;
-  /// Idle cycles before a unit enters the drowsy state.
+  /// Idle cycles before a unit enters the low-power state (drowsy entry
+  /// for the hybrid policy, power gating otherwise).
   std::uint64_t breakeven_cycles = 32;
+  /// What the low-power state is (see PowerPolicy).
+  PowerPolicy policy = PowerPolicy::kGated;
+  /// kDrowsyHybrid only: additional idle cycles a unit dwells at the
+  /// drowsy voltage before it is power-gated.  0 disables the drowsy
+  /// window (the hybrid then *is* the gated backend, bit for bit).
+  std::uint64_t drowsy_window_cycles = 0;
 
   /// Number of power-management units this topology yields.
   std::uint64_t num_units() const;
+
+  /// True iff the drowsy window is actually in play.
+  bool drowsy_active() const {
+    return policy == PowerPolicy::kDrowsyHybrid && drowsy_window_cycles > 0;
+  }
+
+  /// Idle cycles after which a unit is power-gated (breakeven plus the
+  /// drowsy window when the hybrid policy is active).
+  std::uint64_t gate_cycles() const {
+    return breakeven_cycles + (drowsy_active() ? drowsy_window_cycles : 0);
+  }
+
+  /// True iff this topology has anything to re-index: a time-varying
+  /// mapping over more than one unit.  The single source of truth for
+  /// both the Simulator's update cadence and HierarchicalCache's
+  /// per-level update forwarding — a non-rotating level is never
+  /// flushed by the update signal.
+  bool rotates() const {
+    return indexing != IndexingKind::kStatic && num_units() > 1;
+  }
 
   void validate() const;
 
@@ -85,6 +161,9 @@ struct CacheTopology {
 
 /// Abstract power-managed cache: one access consumed per cycle, explicit
 /// re-indexing updates, per-unit idleness bookkeeping.
+///
+/// Thread-safety: instances are confined to one thread at a time (see the
+/// file comment); const queries after finish() may be read concurrently.
 class ManagedCache {
  public:
   virtual ~ManagedCache() = default;
@@ -100,11 +179,17 @@ class ManagedCache {
   /// flushes the cache.  Returns the number of dirty lines written back.
   virtual std::uint64_t update_indexing() = 0;
 
+  /// Advances time by `cycles` with no access: every unit idles.  This is
+  /// how a hierarchy keeps a lower level on the global clock while the
+  /// upper level absorbs hits (L2 cycles == L1 cycles, so L2 residencies
+  /// and leakage are priced against real time, not its access count).
+  virtual void advance_idle(std::uint64_t cycles) = 0;
+
   /// Finalizes idle-interval bookkeeping; call when the trace ends.
-  /// Residency/activity queries are only valid afterwards.
+  /// Residency/activity queries are only valid afterwards.  Idempotent.
   virtual void finish() = 0;
 
-  /// Cycles simulated so far (== accesses consumed).
+  /// Cycles simulated so far (accesses consumed + idle cycles advanced).
   virtual std::uint64_t cycles() const = 0;
 
   /// Number of independently power-managed units.
@@ -126,12 +211,21 @@ class ManagedCache {
   /// Per-unit activity for energy accounting; valid after finish().
   virtual UnitActivity unit_activity(std::uint64_t unit) const = 0;
 
+  /// One unit's raw idle-interval histogram.  This is what lets policy
+  /// layers (the drowsy hybrid) and energy models re-slice idleness at
+  /// thresholds other than the breakeven the backend ran with.
+  virtual const IntervalAccumulator& unit_intervals(
+      std::uint64_t unit) const = 0;
+
  private:
   virtual AccessOutcome do_access(std::uint64_t address, bool is_write) = 0;
 };
 
-/// Builds the backend for a topology: MonolithicCache, BankedCache or
-/// LineManagedCache.  Throws ConfigError on invalid topologies.
+/// Builds the backend for a topology: MonolithicCache, BankedCache,
+/// LineManagedCache or WayGrainCache — wrapped in a DrowsyHybridCache when
+/// the topology's drowsy window is active (a zero window returns the bare
+/// gated backend, which is the degeneracy the parity tests pin).  Throws
+/// ConfigError on invalid topologies.
 std::unique_ptr<ManagedCache> make_managed_cache(
     const CacheTopology& topology);
 
@@ -139,6 +233,8 @@ class BlockControl;
 
 /// Extracts one unit's activity from a BlockControl.  Every backend
 /// tracks idleness with one; this is the shared unit_activity() body.
+/// Pure-gated semantics: all sleep is gated (drowsy_cycles = 0,
+/// gated_episodes = sleep_episodes).
 UnitActivity unit_activity_from(const BlockControl& control,
                                 std::uint64_t unit);
 

@@ -28,6 +28,11 @@ std::uint64_t MonolithicCache::update_indexing() {
   return cache_.flush();
 }
 
+void MonolithicCache::advance_idle(std::uint64_t cycles) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  cycle_ += cycles;
+}
+
 void MonolithicCache::finish() {
   if (finished_) return;
   control_.finish(cycle_);

@@ -21,6 +21,7 @@ class MonolithicCache final : public ManagedCache {
 
   // ManagedCache:
   std::uint64_t update_indexing() override;
+  void advance_idle(std::uint64_t cycles) override;
   void finish() override;
   std::uint64_t cycles() const override { return cycle_; }
   std::uint64_t num_units() const override { return 1; }
@@ -28,6 +29,11 @@ class MonolithicCache final : public ManagedCache {
   const CacheStats& stats() const override { return cache_.stats(); }
   std::uint64_t indexing_updates() const override { return updates_; }
   UnitActivity unit_activity(std::uint64_t unit) const override;
+  const IntervalAccumulator& unit_intervals(
+      std::uint64_t unit) const override {
+    PCAL_ASSERT_MSG(finished_, "call finish() first");
+    return control_.intervals(unit);
+  }
 
   const CacheModel& cache() const { return cache_; }
   const BlockControl& block_control() const { return control_; }

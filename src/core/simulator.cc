@@ -1,7 +1,9 @@
 #include "core/simulator.h"
 
 #include <algorithm>
+#include <cstddef>
 
+#include "core/hierarchy.h"
 #include "power/energy_model.h"
 #include "util/error.h"
 
@@ -27,16 +29,30 @@ PartitionConfig effective_partition(const SimConfig& config) {
   return config.partition;
 }
 
+/// True iff the run keeps the legacy paper-calibrated bank pricing:
+/// single-level, pure gated, monolithic or bank granularity, and not
+/// explicitly forced onto the per-unit model.  Everything else goes
+/// through the per-unit model.
+bool uses_legacy_pricing(const SimConfig& config) {
+  return !config.force_unit_pricing && !config.l2_enabled() &&
+         !(config.policy == PowerPolicy::kDrowsyHybrid &&
+           config.drowsy_window_cycles > 0) &&
+         (config.granularity == Granularity::kMonolithic ||
+          config.granularity == Granularity::kBank);
+}
+
 }  // namespace
 
 void SimConfig::validate() const {
   cache.validate();
-  // The partition feeds the backend at kBank, and the breakeven energy
-  // model at kLine whenever no override pins the breakeven.  Monolithic
-  // runs never consult it (effective_partition substitutes M = 1).
+  // The partition feeds the backend at kBank/kWay only.  Monolithic and
+  // line-grain runs never consult it (the per-unit energy model that
+  // derives the kLine breakeven substitutes M = 1).
   if (granularity == Granularity::kBank ||
-      (granularity == Granularity::kLine && breakeven_override == 0))
+      granularity == Granularity::kWay)
     partition.validate(cache);
+  energy_params.validate();
+  if (l2_enabled()) l2->validate();
 }
 
 CacheTopology SimConfig::topology(std::uint64_t breakeven_cycles) const {
@@ -47,6 +63,8 @@ CacheTopology SimConfig::topology(std::uint64_t breakeven_cycles) const {
   topo.indexing = indexing;
   topo.indexing_seed = indexing_seed;
   topo.breakeven_cycles = breakeven_cycles;
+  topo.policy = policy;
+  topo.drowsy_window_cycles = drowsy_window_cycles;
   return topo;
 }
 
@@ -64,21 +82,53 @@ double SimResult::min_residency() const {
   return lo;
 }
 
+double SimResult::drowsy_residency() const {
+  if (units.empty() || accesses == 0) return 0.0;
+  double drowsy = 0.0;
+  for (const auto& u : units)
+    drowsy += static_cast<double>(u.drowsy_cycles);
+  return drowsy / (static_cast<double>(accesses) *
+                   static_cast<double>(units.size()));
+}
+
 Simulator::Simulator(SimConfig config) : config_(std::move(config)) {
   config_.validate();
 }
 
 std::uint64_t Simulator::breakeven_cycles() const {
   if (config_.breakeven_override != 0) return config_.breakeven_override;
-  const EnergyModel model(config_.tech, config_.cache,
-                          effective_partition(config_));
-  return model.breakeven_cycles();
+  switch (config_.granularity) {
+    case Granularity::kMonolithic:
+    case Granularity::kBank: {
+      const EnergyModel model(config_.tech, config_.cache,
+                              effective_partition(config_));
+      return model.breakeven_cycles();
+    }
+    case Granularity::kWay:
+    case Granularity::kLine: {
+      // Per-unit sleep hardware: the honest (overhead-inclusive) gate
+      // breakeven of the unit model.
+      const UnitEnergyModel model(config_.energy_params, config_.tech,
+                                  config_.topology(/*breakeven=*/1));
+      return std::max<std::uint64_t>(1, model.gate_breakeven_cycles());
+    }
+  }
+  return 32;
 }
 
 SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
                          const IntervalObserver& observer) const {
   const CacheTopology topo = config_.topology(breakeven_cycles());
-  const std::unique_ptr<ManagedCache> cache = make_managed_cache(topo);
+  const bool hierarchy = config_.l2_enabled();
+  std::unique_ptr<ManagedCache> cache;
+  const HierarchicalCache* hier = nullptr;
+  if (hierarchy) {
+    auto h = std::make_unique<HierarchicalCache>(topo, *config_.l2);
+    hier = h.get();
+    cache = std::move(h);
+  } else {
+    cache = make_managed_cache(topo);
+  }
 
   // Spread the requested updates evenly: fire after every `interval`
   // accesses.  Static indexing never rotates, so skip the (pointless)
@@ -86,9 +136,13 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
   // a single unit has nothing to rotate over.
   source.reset();
   const auto hint = source.size_hint();
-  const bool updates_enabled = config_.indexing != IndexingKind::kStatic &&
-                               config_.reindex_updates > 0 &&
-                               topo.num_units() > 1;
+  // A hierarchy rotates if either level does (HierarchicalCache applies
+  // the same CacheTopology::rotates() rule per level when forwarding the
+  // update signal, so e.g. a monolithic L1 is never flushed just
+  // because a rotating L2 sits behind it).
+  const bool updates_enabled =
+      (topo.rotates() || (hierarchy && config_.l2->rotates())) &&
+      config_.reindex_updates > 0;
   std::uint64_t update_interval = 0;
   if (updates_enabled && hint && *hint > config_.reindex_updates)
     update_interval = *hint / (config_.reindex_updates + 1);
@@ -135,34 +189,58 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
   SimResult r;
   r.workload = source.name();
   r.config_label = topo.describe();
+  if (hierarchy) r.config_label += " | L2 " + config_.l2->describe();
   r.granularity = config_.granularity;
+  r.policy = config_.policy;
   r.accesses = cycles;
   r.breakeven_cycles = topo.breakeven_cycles;
   r.reindex_updates_applied = cache->indexing_updates();
   r.cache_stats = cache->stats();
+  r.l1_units = hierarchy ? hier->l1_units() : num_units;
+  if (hierarchy) r.l2_stats = hier->l2_stats();
 
-  std::vector<BankActivity> activity(num_units);
+  std::vector<UnitActivity> activity(num_units);
   std::vector<double> residency(num_units);
   r.units.resize(num_units);
   for (std::uint64_t u = 0; u < num_units; ++u) {
     UnitResult& ur = r.units[u];
     const UnitActivity a = cache->unit_activity(u);
+    activity[u] = a;
     ur.accesses = a.accesses;
     ur.sleep_cycles = a.sleep_cycles;
     ur.sleep_residency = cache->unit_residency(u);
     ur.useful_idleness_count = a.useful_idleness_count;
     ur.sleep_episodes = a.sleep_episodes;
-    activity[u] = {ur.accesses, ur.sleep_cycles, ur.sleep_episodes};
+    ur.drowsy_cycles = a.drowsy_cycles;
+    ur.gated_episodes = a.gated_episodes;
     residency[u] = ur.sleep_residency;
   }
 
-  // The energy model prices banks (decoder, wiring, per-bank sleep
-  // transistors); the per-line architecture has no equivalent published
-  // model, so its energy report stays zero.
-  if (config_.granularity != Granularity::kLine) {
+  if (uses_legacy_pricing(config_)) {
+    // The paper-calibrated bank model, bit-identical to pre-PR-3 runs.
+    std::vector<BankActivity> bank_activity(num_units);
+    for (std::uint64_t u = 0; u < num_units; ++u)
+      bank_activity[u] = {activity[u].accesses, activity[u].sleep_cycles,
+                          activity[u].sleep_episodes};
     const EnergyModel model(config_.tech, config_.cache,
                             effective_partition(config_));
-    r.energy = EnergyAccounting(model).price_run(activity, cycles);
+    r.energy = EnergyAccounting(model).price_run(bank_activity, cycles);
+  } else if (!hierarchy) {
+    const UnitEnergyModel model(config_.energy_params, config_.tech, topo);
+    r.energy = price_unit_run(model, activity, cycles);
+  } else {
+    // Price each level with its own unit model and add the reports; the
+    // baseline is the never-sleeping monolithic L1 + L2 pair.
+    const auto n1 = static_cast<std::ptrdiff_t>(hier->l1_units());
+    const std::vector<UnitActivity> a1(activity.begin(),
+                                       activity.begin() + n1);
+    const std::vector<UnitActivity> a2(activity.begin() + n1,
+                                       activity.end());
+    const UnitEnergyModel m1(config_.energy_params, config_.tech, topo);
+    const UnitEnergyModel m2(config_.energy_params, config_.tech,
+                             *config_.l2);
+    r.energy = price_unit_run(m1, a1, cycles);
+    r.energy += price_unit_run(m2, a2, cycles);
   }
 
   if (lut != nullptr) {
@@ -209,6 +287,37 @@ SimConfig line_grain_variant(const SimConfig& config) {
   // reference [7] operating point (LineManagedConfig's default).
   if (line.breakeven_override == 0) line.breakeven_override = 28;
   return line;
+}
+
+SimConfig way_grain_variant(const SimConfig& config) {
+  SimConfig way = config;
+  way.granularity = Granularity::kWay;
+  return way;
+}
+
+SimConfig drowsy_hybrid_variant(const SimConfig& config,
+                                std::uint64_t window_cycles) {
+  SimConfig drowsy = config;
+  drowsy.policy = PowerPolicy::kDrowsyHybrid;
+  drowsy.drowsy_window_cycles = window_cycles;
+  return drowsy;
+}
+
+SimConfig two_level_variant(const SimConfig& config,
+                            std::uint64_t l2_size_bytes,
+                            std::uint64_t l2_banks,
+                            std::uint64_t l2_breakeven) {
+  SimConfig two = config;
+  CacheTopology l2;
+  l2.granularity = Granularity::kBank;
+  l2.cache = config.cache;
+  l2.cache.size_bytes = l2_size_bytes;
+  l2.partition.num_banks = l2_banks;
+  l2.indexing = config.indexing;
+  l2.indexing_seed = config.indexing_seed + 1;
+  l2.breakeven_cycles = l2_breakeven;
+  two.l2 = l2;
+  return two;
 }
 
 }  // namespace pcal

@@ -1,13 +1,21 @@
 // The trace-driven power-managed-cache simulator.
 //
 // Drives a TraceSource through any ManagedCache backend (monolithic,
-// banked, line-grain — selected by SimConfig::granularity and built via
-// make_managed_cache), firing re-indexing updates on a configurable
-// cadence (the paper piggybacks them on cache flushes that happen anyway;
-// here the cadence is the number of updates spread evenly over the run).
-// Produces the complete set of per-run observables the paper's evaluation
-// reports: per-unit useful idleness, energy saving vs a monolithic
-// baseline, and — given an aging LUT — the cache lifetime.
+// banked, line-grain, way-grain — selected by SimConfig::granularity and
+// built via make_managed_cache; optionally wrapped in the drowsy/gated
+// hybrid, and optionally topped with an independently-configured L2 into
+// a two-level HierarchicalCache), firing re-indexing updates on a
+// configurable cadence (the paper piggybacks them on cache flushes that
+// happen anyway; here the cadence is the number of updates spread evenly
+// over the run).  Produces the complete set of per-run observables the
+// paper's evaluation reports: per-unit useful idleness, energy saving vs
+// a monolithic baseline, and — given an aging LUT — the cache lifetime.
+//
+// Energy pricing: single-level gated monolithic/bank runs keep the
+// legacy paper-calibrated EnergyAccounting path bit for bit; every other
+// configuration (line, way, drowsy hybrid, hierarchies) is priced by the
+// per-unit model in power/unit_energy.h, so SimResult::energy is nonzero
+// and parameterized at every granularity (see docs/ENERGY_MODEL.md).
 #pragma once
 
 #include <cstdint>
@@ -19,13 +27,15 @@
 #include "aging/lifetime.h"
 #include "core/managed_cache.h"
 #include "power/accounting.h"
+#include "power/unit_energy.h"
 #include "trace/trace.h"
 
 namespace pcal {
 
 struct SimConfig {
   /// Which architecture to drive.  kMonolithic ignores `partition`;
-  /// kLine manages every cache line independently.
+  /// kLine manages every cache line independently; kWay manages every
+  /// (bank, way) column.
   Granularity granularity = Granularity::kBank;
 
   CacheConfig cache;
@@ -33,6 +43,23 @@ struct SimConfig {
   IndexingKind indexing = IndexingKind::kProbing;
   std::uint64_t indexing_seed = 1;
   TechnologyParams tech = TechnologyParams::st45();
+  /// Sleep-network / drowsy-state parameters of the per-unit energy
+  /// model (ignored by the legacy single-level gated bank/mono path).
+  EnergyParams energy_params = EnergyParams::st45();
+
+  /// What the low-power state is: straight power gating (the paper) or
+  /// the drowsy-then-gate hybrid.
+  PowerPolicy policy = PowerPolicy::kGated;
+  /// kDrowsyHybrid: extra idle cycles at the drowsy voltage before the
+  /// unit power-gates.  0 disables the window — the run is then the
+  /// gated backend bit for bit, energy included.
+  std::uint64_t drowsy_window_cycles = 0;
+
+  /// Optional second level: when set (and non-zero-sized), the run
+  /// drives a HierarchicalCache whose L2 sees the L1 miss stream.  A
+  /// nullopt or zero-size L2 means single-level — results are identical
+  /// by construction (pinned in tests/hierarchy_test.cc).
+  std::optional<CacheTopology> l2;
 
   /// Number of re-indexing updates fired over the run, spread evenly.
   /// The paper's uniformity argument needs at least M updates for Probing;
@@ -43,20 +70,35 @@ struct SimConfig {
   /// Override the model-derived breakeven time (0 = use the energy model).
   std::uint64_t breakeven_override = 0;
 
+  /// Price this run with the per-unit model even where the legacy bank
+  /// path would apply (single-level gated mono/bank).  Off by default —
+  /// the paper-table reproductions are calibrated against the legacy
+  /// model — but cross-backend comparisons should set it so every
+  /// column pays the same sleep-network overheads and leakage
+  /// fractions (bench/drowsy_comparison.cc does).
+  bool force_unit_pricing = false;
+
+  bool l2_enabled() const { return l2 && l2->cache.size_bytes > 0; }
+
   void validate() const;
 
-  /// The CacheTopology this config describes, with the given breakeven.
+  /// The L1 CacheTopology this config describes, with the given breakeven.
   CacheTopology topology(std::uint64_t breakeven_cycles) const;
 };
 
-/// Per-unit observables of one run (a unit is a bank, a line, or the
-/// whole cache, per SimConfig::granularity).
+/// Per-unit observables of one run (a unit is a bank, a line, a way
+/// column, or the whole cache, per SimConfig::granularity; hierarchy runs
+/// list L1's units first, then L2's).
 struct UnitResult {
   std::uint64_t accesses = 0;
   std::uint64_t sleep_cycles = 0;
   double sleep_residency = 0.0;        // time-weighted useful idleness
   double useful_idleness_count = 0.0;  // interval-count variant
   std::uint64_t sleep_episodes = 0;
+  /// Drowsy split (zero under the pure gated policy): cycles of sleep at
+  /// the state-preserving voltage, and episodes that deepened to gating.
+  std::uint64_t drowsy_cycles = 0;
+  std::uint64_t gated_episodes = 0;
   double lifetime_years = 0.0;         // 0 if no LUT was supplied
 };
 
@@ -67,19 +109,29 @@ struct SimResult {
   std::string workload;
   std::string config_label;
   Granularity granularity = Granularity::kBank;
+  PowerPolicy policy = PowerPolicy::kGated;
   std::uint64_t accesses = 0;
   std::uint64_t breakeven_cycles = 0;
   std::uint64_t reindex_updates_applied = 0;
 
   CacheStats cache_stats;
   std::vector<UnitResult> units;  // one per power-management unit
-  EnergyReport energy;            // zero for kLine (no bank-level model)
+  /// Number of leading entries of `units` that belong to L1
+  /// (== units.size() for single-level runs).
+  std::uint64_t l1_units = 0;
+  /// L2 tag-store statistics; present iff the run was two-level.
+  std::optional<CacheStats> l2_stats;
+  /// Nonzero at every granularity: legacy bank pricing for single-level
+  /// gated mono/bank runs, the per-unit model for everything else.
+  EnergyReport energy;
 
   std::optional<CacheLifetimeResult> lifetime;
 
   // ---- aggregates the paper tables use ----
   double avg_residency() const;
   double min_residency() const;
+  /// Total drowsy share of the run (fraction of unit-cycles).
+  double drowsy_residency() const;
   double lifetime_years() const {
     return lifetime ? lifetime->lifetime_years : 0.0;
   }
@@ -117,7 +169,9 @@ class Simulator {
 
   const SimConfig& config() const { return config_; }
 
-  /// The breakeven time the run will use (model-derived or overridden).
+  /// The breakeven time the run will use: the override if set, the
+  /// legacy bank energy model at mono/bank granularity, the per-unit
+  /// model's gate breakeven at way/line granularity.
   std::uint64_t breakeven_cycles() const;
 
  private:
@@ -134,5 +188,21 @@ SimConfig static_variant(const SimConfig& config);
 
 /// Convenience: the per-line upper bound (reference [7]) of `config`.
 SimConfig line_grain_variant(const SimConfig& config);
+
+/// Convenience: per-way management over the same banks (units = M x W).
+SimConfig way_grain_variant(const SimConfig& config);
+
+/// Convenience: the drowsy/gated hybrid of `config` — drowsy at the
+/// breakeven, power-gated `window_cycles` later.
+SimConfig drowsy_hybrid_variant(const SimConfig& config,
+                                std::uint64_t window_cycles);
+
+/// Convenience: `config` with an L2 of `l2_size_bytes` behind it (same
+/// line size, bank granularity with `l2_banks` banks, same indexing,
+/// breakeven `l2_breakeven`).
+SimConfig two_level_variant(const SimConfig& config,
+                            std::uint64_t l2_size_bytes,
+                            std::uint64_t l2_banks = 4,
+                            std::uint64_t l2_breakeven = 64);
 
 }  // namespace pcal

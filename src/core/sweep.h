@@ -29,15 +29,26 @@ namespace pcal {
 /// Builds a fresh TraceSource for one job.  Called on the worker thread
 /// that runs the job, exactly once per SweepRunner::run — jobs must not
 /// share mutable sources, so the factory is the unit of workload identity.
+/// The factory itself must be safe to *invoke* from any worker thread
+/// (it is copied with the job; captured state it reads must be immutable
+/// or owned per-job), and the returned source is owned and destroyed by
+/// the worker that ran the job.
 using TraceSourceFactory = std::function<std::unique_ptr<TraceSource>()>;
 
 /// One independent simulation of the sweep grid.
+///
+/// Ownership: the job owns its config and factory by value; the runner
+/// copies nothing out of them after run() returns.  `lut` is a non-owning
+/// pointer the caller must keep alive for the duration of run(); it is
+/// read-only and therefore safe to share across all workers.
 struct SweepJob {
   SimConfig config;
   TraceSourceFactory make_source;
   /// Optional aging LUT (shared, read-only across threads).
   const AgingLut* lut = nullptr;
-  /// Optional per-job observer, invoked on the worker thread.
+  /// Optional per-job observer, invoked on the worker thread that runs
+  /// the job.  Observers of different jobs may run concurrently — an
+  /// observer must only touch per-job state (or synchronize itself).
   IntervalObserver observer;
 };
 
@@ -78,6 +89,23 @@ struct SweepStats {
 /// victim's.  With `num_threads() == 1` (or a single job) everything runs
 /// inline on the calling thread — the exact serial path the determinism
 /// tests compare against.
+///
+/// Thread-safety: a SweepRunner instance is driven from one caller
+/// thread; run() blocks that thread until every job has completed and
+/// all workers have joined, so `last_stats()` and the returned outcomes
+/// are plain single-threaded data afterwards.  Workers share nothing
+/// mutable: each job's Simulator, backend and TraceSource live and die
+/// on the worker that ran it, and outcomes are written to distinct
+/// pre-sized slots.
+///
+/// Determinism guarantee: outcomes are stored by job index and every job
+/// is a self-contained Simulator::run over its own source, so the
+/// returned vector is bit-identical to a serial run regardless of thread
+/// count, stealing order, or scheduling — pinned by sweep_test (1/2/8
+/// threads), the backend_parity_test degeneracy suite (1 and 8 threads),
+/// and CI's 1-vs-8-worker diffs of the table4 and drowsy_comparison
+/// grids.  Only SweepStats (wall clock, steal counts) may differ between
+/// runs.
 class SweepRunner {
  public:
   /// `num_threads == 0` picks default_threads().

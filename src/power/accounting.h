@@ -23,14 +23,30 @@ struct BankActivity {
 
 /// Energy breakdown of one run (all in pJ).
 struct EnergyBreakdown {
-  double dynamic_pj = 0.0;      // bank accesses incl. decoder + wiring
+  double dynamic_pj = 0.0;      // unit accesses incl. decoder + wiring
   double leakage_active_pj = 0.0;
+  /// Leakage spent in the deepest low-power state (retention for the
+  /// legacy bank model, power-gated for the per-unit model).
   double leakage_retention_pj = 0.0;
+  /// Leakage spent at the drowsy voltage (per-unit model only; the
+  /// legacy bank path leaves it zero).
+  double leakage_drowsy_pj = 0.0;
   double transition_pj = 0.0;
 
   double total_pj() const {
     return dynamic_pj + leakage_active_pj + leakage_retention_pj +
-           transition_pj;
+           leakage_drowsy_pj + transition_pj;
+  }
+
+  /// Component-wise accumulation (multi-level runs sum their levels).
+  /// Keep in lockstep with total_pj() when adding fields.
+  EnergyBreakdown& operator+=(const EnergyBreakdown& other) {
+    dynamic_pj += other.dynamic_pj;
+    leakage_active_pj += other.leakage_active_pj;
+    leakage_retention_pj += other.leakage_retention_pj;
+    leakage_drowsy_pj += other.leakage_drowsy_pj;
+    transition_pj += other.transition_pj;
+    return *this;
   }
 };
 
@@ -41,6 +57,13 @@ struct EnergyReport {
   double saving() const {
     return baseline_pj > 0.0 ? 1.0 - partitioned.total_pj() / baseline_pj
                              : 0.0;
+  }
+
+  /// Accumulates another level's report (components and baseline add).
+  EnergyReport& operator+=(const EnergyReport& other) {
+    partitioned += other.partitioned;
+    baseline_pj += other.baseline_pj;
+    return *this;
   }
 };
 

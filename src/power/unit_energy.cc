@@ -1,0 +1,189 @@
+#include "power/unit_energy.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+/// The partition the base EnergyModel is built with: the topology's own
+/// at bank/way granularity (it prices the decoder + wiring), a single
+/// bank otherwise (monolithic and per-line organizations have no bank
+/// partition to speak of).
+PartitionConfig base_partition(const CacheTopology& topology) {
+  if (topology.granularity == Granularity::kBank ||
+      topology.granularity == Granularity::kWay)
+    return topology.partition;
+  PartitionConfig mono;
+  mono.num_banks = 1;
+  return mono;
+}
+
+std::uint64_t unit_bytes_of(const CacheTopology& topology) {
+  const CacheConfig& c = topology.cache;
+  switch (topology.granularity) {
+    case Granularity::kMonolithic: return c.size_bytes;
+    case Granularity::kBank:
+      return c.size_bytes / topology.partition.num_banks;
+    case Granularity::kWay:
+      return c.size_bytes / (topology.partition.num_banks * c.ways);
+    case Granularity::kLine: return c.line_bytes;
+  }
+  return c.size_bytes;
+}
+
+}  // namespace
+
+void EnergyParams::validate() const {
+  PCAL_CONFIG_CHECK(gated_leak_fraction > 0.0 &&
+                        gated_leak_fraction < drowsy_leak_fraction &&
+                        drowsy_leak_fraction < 1.0,
+                    "need 0 < gated < drowsy < 1 leakage fractions");
+  PCAL_CONFIG_CHECK(sleep_area_leak_overhead >= 0.0 &&
+                        control_leak_uw_per_unit >= 0.0,
+                    "sleep-network overheads must be non-negative");
+  PCAL_CONFIG_CHECK(drowsy_transition_fraction > 0.0 &&
+                        drowsy_transition_fraction < 1.0,
+                    "drowsy transition fraction must be in (0,1)");
+  PCAL_CONFIG_CHECK(gate_transition_fixed_pj >= 0.0 &&
+                        drowsy_transition_fixed_pj >= 0.0,
+                    "fixed transition costs must be non-negative");
+}
+
+UnitEnergyModel::UnitEnergyModel(const EnergyParams& params,
+                                 const TechnologyParams& tech,
+                                 const CacheTopology& topology)
+    : params_(params),
+      tech_(tech),
+      topology_(topology),
+      base_(tech, topology.cache, base_partition(topology)),
+      unit_bytes_(unit_bytes_of(topology)) {
+  params_.validate();
+  PCAL_CONFIG_CHECK(unit_bytes_ > 0, "empty power-management unit");
+}
+
+double UnitEnergyModel::clock_ns() const { return tech_.clock_ns; }
+
+double UnitEnergyModel::unit_leak_mw() const {
+  return base_.leakage_mw(unit_bytes_) *
+             (1.0 + params_.sleep_area_leak_overhead) +
+         params_.control_leak_uw_per_unit * 1e-3;
+}
+
+double UnitEnergyModel::unit_drowsy_mw() const {
+  return base_.leakage_mw(unit_bytes_) * params_.drowsy_leak_fraction +
+         params_.control_leak_uw_per_unit * 1e-3;
+}
+
+double UnitEnergyModel::unit_gated_mw() const {
+  return base_.leakage_mw(unit_bytes_) * params_.gated_leak_fraction +
+         params_.control_leak_uw_per_unit * 1e-3;
+}
+
+double UnitEnergyModel::access_energy_pj() const {
+  switch (topology_.granularity) {
+    case Granularity::kMonolithic:
+      return base_.monolithic_access_energy_pj();
+    case Granularity::kBank:
+    case Granularity::kWay:
+      return base_.banked_access_energy_pj();
+    case Granularity::kLine:
+      // One flat array plus the full-index rotation decoder of [7].
+      return base_.monolithic_access_energy_pj() + tech_.decoder_pj;
+  }
+  return base_.monolithic_access_energy_pj();
+}
+
+double UnitEnergyModel::gate_transition_pj() const {
+  const double unit_kb = static_cast<double>(unit_bytes_) / 1024.0;
+  const double tag_component =
+      tech_.transition_tag_pj_per_bit_byte *
+      static_cast<double>(topology_.cache.tag_bits()) *
+      static_cast<double>(topology_.cache.line_bytes);
+  return tech_.transition_pj_per_kb * unit_kb + tag_component +
+         params_.gate_transition_fixed_pj;
+}
+
+double UnitEnergyModel::drowsy_transition_pj() const {
+  const double full =
+      gate_transition_pj() - params_.gate_transition_fixed_pj;
+  return params_.drowsy_transition_fraction * full +
+         params_.drowsy_transition_fixed_pj;
+}
+
+double UnitEnergyModel::breakeven_for(double saved_mw,
+                                      double transition_pj) const {
+  PCAL_ASSERT(saved_mw > 0.0);
+  const double pj_per_cycle = saved_mw * tech_.clock_ns;  // mW == pJ/ns
+  return std::ceil(transition_pj / pj_per_cycle);
+}
+
+std::uint64_t UnitEnergyModel::gate_breakeven_cycles() const {
+  const double saved = unit_leak_mw() - unit_gated_mw();
+  return static_cast<std::uint64_t>(
+      breakeven_for(saved, gate_transition_pj()));
+}
+
+std::uint64_t UnitEnergyModel::drowsy_breakeven_cycles() const {
+  const double saved = unit_leak_mw() - unit_drowsy_mw();
+  return static_cast<std::uint64_t>(
+      breakeven_for(saved, drowsy_transition_pj()));
+}
+
+double UnitEnergyModel::baseline_pj(std::uint64_t accesses,
+                                    std::uint64_t cycles) const {
+  const double t_ns = static_cast<double>(cycles) * tech_.clock_ns;
+  return static_cast<double>(accesses) *
+             base_.monolithic_access_energy_pj() +
+         base_.leakage_mw(topology_.cache.size_bytes) * t_ns;
+}
+
+EnergyReport price_unit_run(const UnitEnergyModel& model,
+                            const std::vector<UnitActivity>& activity,
+                            std::uint64_t total_cycles) {
+  PCAL_ASSERT_MSG(activity.size() == model.topology().num_units(),
+                  "activity size " << activity.size() << " != units "
+                                   << model.topology().num_units());
+  const double clock_ns = model.clock_ns();
+  const double t_ns = static_cast<double>(total_cycles) * clock_ns;
+  const double leak_mw = model.unit_leak_mw();
+  const double drowsy_mw = model.unit_drowsy_mw();
+  const double gated_mw = model.unit_gated_mw();
+  const double e_access = model.access_energy_pj();
+  const double e_gate = model.gate_transition_pj();
+  const double e_drowsy = model.drowsy_transition_pj();
+
+  EnergyReport report;
+  std::uint64_t total_accesses = 0;
+  for (const UnitActivity& a : activity) {
+    PCAL_ASSERT_MSG(a.sleep_cycles <= total_cycles,
+                    "unit sleeps longer than the run");
+    PCAL_ASSERT_MSG(a.drowsy_cycles <= a.sleep_cycles,
+                    "drowsy cycles exceed sleep cycles");
+    PCAL_ASSERT_MSG(a.gated_episodes <= a.sleep_episodes,
+                    "gated episodes exceed sleep episodes");
+    total_accesses += a.accesses;
+    const double sleep_ns =
+        static_cast<double>(a.sleep_cycles) * clock_ns;
+    const double drowsy_ns =
+        static_cast<double>(a.drowsy_cycles) * clock_ns;
+    const double gated_ns = sleep_ns - drowsy_ns;
+    report.partitioned.dynamic_pj +=
+        static_cast<double>(a.accesses) * e_access;
+    report.partitioned.leakage_active_pj += leak_mw * (t_ns - sleep_ns);
+    report.partitioned.leakage_drowsy_pj += drowsy_mw * drowsy_ns;
+    report.partitioned.leakage_retention_pj += gated_mw * gated_ns;
+    // Drowsy-only episodes pay the shallow round trip; episodes that
+    // deepen into gating pay the full one (the drowsy pass-through is
+    // absorbed into the gate cost).
+    report.partitioned.transition_pj +=
+        static_cast<double>(a.sleep_episodes - a.gated_episodes) *
+            e_drowsy +
+        static_cast<double>(a.gated_episodes) * e_gate;
+  }
+  report.baseline_pj = model.baseline_pj(total_accesses, total_cycles);
+  return report;
+}
+
+}  // namespace pcal

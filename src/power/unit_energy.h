@@ -1,0 +1,144 @@
+// Per-unit energy model: honest pricing at every power-management
+// granularity.
+//
+// The legacy EnergyModel/EnergyAccounting pair prices the paper's bank
+// partition (and the monolithic baseline) and is kept bit-identical for
+// those runs — the paper-table calibrations depend on it.  What it cannot
+// price is everything this repo grew past the paper: per-line units (the
+// old SimResult.energy was deliberately zero at kLine), per-way units,
+// the drowsy/gated hybrid, and multi-level hierarchies.  UnitEnergyModel
+// closes that gap with an explicitly parameterized overhead model
+// (EnergyParams) instead of silent zeros:
+//
+//   - every independently power-managed unit pays for its sleep network:
+//     a leakage overhead proportional to the unit's own leakage (sleep
+//     transistors are sized to the current they must gate) plus a fixed
+//     always-on control tax (breakeven counter, drive, level shifters)
+//     that is what actually punishes fine granularity — 512 per-line
+//     controllers cost more than 4 per-bank ones;
+//   - sleep has two depths: drowsy (state-preserving retention voltage,
+//     drowsy_leak_fraction of active leakage, cheap transitions) and
+//     power-gated (gated_leak_fraction, full transition cost);
+//   - transition energy scales with the unit's capacity plus a fixed
+//     per-event control pulse, so gating a line is cheap per event but
+//     never free.
+//
+// The baseline every report compares against is unchanged: the
+// never-sleeping monolithic cache of the same total capacity, with no
+// sleep network at all.  See docs/ENERGY_MODEL.md for the derivation,
+// defaults, and the migration story for pre-PR-3 BENCH_*.json readers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/managed_cache.h"
+#include "power/accounting.h"
+#include "power/energy_model.h"
+#include "power/tech_params.h"
+
+namespace pcal {
+
+/// Sleep-network and drowsy-state parameters of the per-unit model.
+/// Leakage fractions are relative to the unit's active leakage.
+struct EnergyParams {
+  /// Leakage remaining at the drowsy (state-preserving) voltage.
+  double drowsy_leak_fraction = 0.25;
+  /// Leakage remaining through an off sleep transistor (state lost).
+  double gated_leak_fraction = 0.02;
+  /// Leakage overhead of the sleep devices themselves, as a fraction of
+  /// the unit's active leakage (sleep transistors are sized to the unit's
+  /// switched current, so this scales with the unit automatically).
+  double sleep_area_leak_overhead = 0.06;
+  /// Always-on control leakage per unit (breakeven counter + gate drive +
+  /// level shifters), in microwatts.  Unit-count-proportional: the term
+  /// that makes per-line management expensive.
+  double control_leak_uw_per_unit = 1.2;
+  /// Fixed control-pulse energy per gate transition (pJ), on top of the
+  /// capacity-proportional part.
+  double gate_transition_fixed_pj = 1.0;
+  /// Drowsy round trip as a fraction of the full gate round trip of the
+  /// same unit (a Vdd dip, not a power cut).
+  double drowsy_transition_fraction = 0.12;
+  /// Fixed part of one drowsy round trip (pJ).
+  double drowsy_transition_fixed_pj = 0.25;
+  /// Wakeup latencies (documented model constants; the one-access-per-
+  /// cycle trace model does not stall, but the report carries them so
+  /// downstream consumers can price stall cycles if they want to).
+  std::uint64_t drowsy_wake_cycles = 1;
+  std::uint64_t gated_wake_cycles = 3;
+
+  void validate() const;
+
+  /// The 45nm-class defaults used throughout the reproduction.
+  static EnergyParams st45() { return EnergyParams{}; }
+};
+
+/// Prices one power-management granularity of one cache level.
+class UnitEnergyModel {
+ public:
+  /// `topology` fixes the geometry, granularity and unit count; `params`
+  /// the sleep-network overheads; `tech` the base 45nm-class numbers.
+  UnitEnergyModel(const EnergyParams& params, const TechnologyParams& tech,
+                  const CacheTopology& topology);
+
+  const EnergyParams& params() const { return params_; }
+  const CacheTopology& topology() const { return topology_; }
+  double clock_ns() const;
+
+  // ---- per-unit building blocks ----
+
+  /// Data bytes of one power-management unit.
+  std::uint64_t unit_bytes() const { return unit_bytes_; }
+
+  /// Active leakage power of one unit (mW), including its share of the
+  /// sleep network (area overhead + control tax).
+  double unit_leak_mw() const;
+
+  /// Leakage power of one unit at the drowsy voltage (mW).  The control
+  /// tax never sleeps.
+  double unit_drowsy_mw() const;
+
+  /// Leakage power of one gated unit (mW).  Ditto.
+  double unit_gated_mw() const;
+
+  /// Dynamic energy of one access through this organization (pJ).
+  double access_energy_pj() const;
+
+  /// One full power-gate round trip of one unit (pJ).
+  double gate_transition_pj() const;
+
+  /// One drowsy round trip of one unit (pJ).
+  double drowsy_transition_pj() const;
+
+  // ---- derived thresholds ----
+
+  /// Idle cycles whose gated-state saving repays one gate round trip.
+  std::uint64_t gate_breakeven_cycles() const;
+
+  /// Idle cycles whose drowsy-state saving repays one drowsy round trip
+  /// (always <= gate_breakeven_cycles with sane parameters).
+  std::uint64_t drowsy_breakeven_cycles() const;
+
+  /// Never-sleeping monolithic baseline of the same total capacity (pJ).
+  double baseline_pj(std::uint64_t accesses, std::uint64_t cycles) const;
+
+ private:
+  double breakeven_for(double saved_mw, double transition_pj) const;
+
+  EnergyParams params_;
+  TechnologyParams tech_;
+  CacheTopology topology_;
+  EnergyModel base_;  // the shared leakage/access building blocks
+  std::uint64_t unit_bytes_;
+};
+
+/// Prices a run at any granularity from the per-unit activity vector
+/// (drowsy split included — pure-gated backends report drowsy_cycles = 0
+/// and gated_episodes = sleep_episodes, so one formula covers both).
+/// `activity.size()` must equal the topology's unit count.
+EnergyReport price_unit_run(const UnitEnergyModel& model,
+                            const std::vector<UnitActivity>& activity,
+                            std::uint64_t total_cycles);
+
+}  // namespace pcal

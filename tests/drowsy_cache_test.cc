@@ -1,0 +1,195 @@
+// DrowsyHybridCache: drowsy-then-gate power management.
+//
+// Two contracts matter: (1) a disabled drowsy window degenerates to the
+// state-destructive (gated) backend bit for bit — the factory returns
+// the bare backend and the Simulator prices it identically; (2) with an
+// active window, the drowsy/gated decomposition of every unit's sleep is
+// exactly the interval arithmetic re-sliced at the gate threshold.
+#include "core/drowsy_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "trace/trace.h"
+#include "trace/workloads.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace pcal {
+namespace {
+
+CacheTopology base_topology() {
+  CacheTopology topo;
+  topo.granularity = Granularity::kBank;
+  topo.cache.size_bytes = 8192;
+  topo.cache.line_bytes = 16;
+  topo.partition.num_banks = 4;
+  topo.indexing = IndexingKind::kProbing;
+  topo.breakeven_cycles = 24;
+  return topo;
+}
+
+Trace make_trace(std::uint64_t accesses) {
+  SyntheticTraceSource src(make_mediabench_workload("cjpeg"), accesses);
+  return Trace::materialize(src);
+}
+
+TEST(DrowsyHybrid, ZeroWindowNormalizesToGatedBackend) {
+  CacheTopology topo = base_topology();
+  topo.policy = PowerPolicy::kDrowsyHybrid;
+  topo.drowsy_window_cycles = 0;
+  auto cache = make_managed_cache(topo);
+  // The factory must return the bare gated backend, not a wrapper.
+  EXPECT_EQ(dynamic_cast<DrowsyHybridCache*>(cache.get()), nullptr);
+}
+
+TEST(DrowsyHybrid, ActiveWindowBuildsWrapper) {
+  CacheTopology topo = base_topology();
+  topo.policy = PowerPolicy::kDrowsyHybrid;
+  topo.drowsy_window_cycles = 64;
+  auto cache = make_managed_cache(topo);
+  auto* hybrid = dynamic_cast<DrowsyHybridCache*>(cache.get());
+  ASSERT_NE(hybrid, nullptr);
+  EXPECT_EQ(hybrid->drowsy_threshold(), 24u);
+  EXPECT_EQ(hybrid->gate_threshold(), 88u);
+}
+
+// The wrapper is transparent to everything but the drowsy split: same
+// outcome stream, stats, residencies as the bare backend.
+TEST(DrowsyHybrid, DecoratorIsTransparentToAccessStream) {
+  CacheTopology gated = base_topology();
+  CacheTopology drowsy = gated;
+  drowsy.policy = PowerPolicy::kDrowsyHybrid;
+  drowsy.drowsy_window_cycles = 100;
+
+  const Trace trace = make_trace(30'000);
+  auto a = make_managed_cache(gated);
+  auto b = make_managed_cache(drowsy);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool w = trace[i].kind == AccessKind::kWrite;
+    const AccessOutcome oa = a->access(trace[i].address, w);
+    const AccessOutcome ob = b->access(trace[i].address, w);
+    ASSERT_EQ(oa.hit, ob.hit) << "access " << i;
+    ASSERT_EQ(oa.physical_unit, ob.physical_unit) << "access " << i;
+    ASSERT_EQ(oa.woke_unit, ob.woke_unit) << "access " << i;
+    if (i % 7'000 == 6'999) {
+      ASSERT_EQ(a->update_indexing(), b->update_indexing());
+    }
+  }
+  a->finish();
+  b->finish();
+  EXPECT_EQ(a->stats().hits, b->stats().hits);
+  for (std::uint64_t u = 0; u < a->num_units(); ++u)
+    EXPECT_DOUBLE_EQ(a->unit_residency(u), b->unit_residency(u));
+}
+
+// The drowsy/gated decomposition must match manual interval arithmetic:
+// an interval of length len sleeps (len - d) cycles of which
+// (len - g) are gated, so drowsy = sleep(d) - sleep(g).
+TEST(DrowsyHybrid, DecompositionMatchesIntervalArithmetic) {
+  CacheTopology topo = base_topology();
+  topo.policy = PowerPolicy::kDrowsyHybrid;
+  topo.drowsy_window_cycles = 50;
+
+  const Trace trace = make_trace(40'000);
+  auto cache = make_managed_cache(topo);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    cache->access(trace[i].address, trace[i].kind == AccessKind::kWrite);
+  cache->finish();
+
+  auto* hybrid = dynamic_cast<DrowsyHybridCache*>(cache.get());
+  ASSERT_NE(hybrid, nullptr);
+  const std::uint64_t d = hybrid->drowsy_threshold();
+  const std::uint64_t g = hybrid->gate_threshold();
+  bool saw_drowsy = false;
+  for (std::uint64_t u = 0; u < cache->num_units(); ++u) {
+    const UnitActivity a = cache->unit_activity(u);
+    const IntervalAccumulator& iv = cache->unit_intervals(u);
+    EXPECT_EQ(a.sleep_cycles, iv.sleep_cycles(d));
+    EXPECT_EQ(a.sleep_cycles - a.drowsy_cycles, iv.sleep_cycles(g));
+    EXPECT_EQ(a.sleep_episodes, iv.intervals_above(d));
+    EXPECT_EQ(a.gated_episodes, iv.intervals_above(g));
+    EXPECT_LE(a.gated_episodes, a.sleep_episodes);
+    EXPECT_LE(a.drowsy_cycles, a.sleep_cycles);
+    if (a.drowsy_cycles > 0) saw_drowsy = true;
+    // Gated residency is the deep slice of the total sleep residency.
+    EXPECT_LE(hybrid->unit_gated_residency(u),
+              cache->unit_residency(u) + 1e-12);
+  }
+  EXPECT_TRUE(saw_drowsy);
+}
+
+// Simulator-level degeneracy: window 0 == the gated run, energy included.
+TEST(DrowsyHybrid, SimulatorZeroWindowBitIdentical) {
+  const SimConfig gated = paper_config(8192, 16, 4);
+  const SimConfig drowsy0 = drowsy_hybrid_variant(gated, 0);
+
+  SyntheticTraceSource sa(make_mediabench_workload("sha"), 120'000);
+  SyntheticTraceSource sb(make_mediabench_workload("sha"), 120'000);
+  const SimResult a = Simulator(gated).run(sa);
+  const SimResult b = Simulator(drowsy0).run(sb);
+
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+  ASSERT_EQ(a.units.size(), b.units.size());
+  for (std::size_t u = 0; u < a.units.size(); ++u) {
+    EXPECT_EQ(a.units[u].sleep_cycles, b.units[u].sleep_cycles);
+    EXPECT_DOUBLE_EQ(a.units[u].sleep_residency,
+                     b.units[u].sleep_residency);
+    EXPECT_EQ(b.units[u].drowsy_cycles, 0u);
+  }
+  EXPECT_DOUBLE_EQ(a.energy.partitioned.total_pj(),
+                   b.energy.partitioned.total_pj());
+  EXPECT_DOUBLE_EQ(a.energy.baseline_pj, b.energy.baseline_pj);
+}
+
+// With an active window the run reports a drowsy share, pays drowsy
+// leakage, and power-gates less often than the pure gated run.
+TEST(DrowsyHybrid, ActiveWindowShiftsSleepIntoDrowsy) {
+  const SimConfig gated = paper_config(8192, 16, 4);
+  const SimConfig drowsy = drowsy_hybrid_variant(gated, 200);
+
+  SyntheticTraceSource sa(make_mediabench_workload("sha"), 150'000);
+  SyntheticTraceSource sb(make_mediabench_workload("sha"), 150'000);
+  const SimResult a = Simulator(gated).run(sa);
+  const SimResult b = Simulator(drowsy).run(sb);
+
+  // Same sleep totals (the drowsy threshold is the same breakeven) ...
+  EXPECT_DOUBLE_EQ(a.avg_residency(), b.avg_residency());
+  // ... but part of it is drowsy now, and no episode can deep-gate
+  // before it has dwelt through the drowsy window.
+  EXPECT_GT(b.drowsy_residency(), 0.0);
+  std::uint64_t gated_episodes = 0, episodes = 0;
+  for (const auto& u : b.units) {
+    gated_episodes += u.gated_episodes;
+    episodes += u.sleep_episodes;
+  }
+  EXPECT_LE(gated_episodes, episodes);
+  EXPECT_GT(episodes, 0u);
+  // Energy: the hybrid pays drowsy leakage the gated run does not.
+  EXPECT_GT(b.energy.partitioned.leakage_drowsy_pj, 0.0);
+  EXPECT_GT(b.energy.partitioned.total_pj(), 0.0);
+  EXPECT_GT(b.energy.baseline_pj, 0.0);
+}
+
+// The hybrid composes with line granularity (the [7] drowsy bound).
+TEST(DrowsyHybrid, ComposesWithLineGranularity) {
+  SimConfig line = line_grain_variant(paper_config(8192, 16, 4));
+  const SimConfig drowsy = drowsy_hybrid_variant(line, 64);
+  SyntheticTraceSource src(make_mediabench_workload("cjpeg"), 80'000);
+  const SimResult r = Simulator(drowsy).run(src);
+  EXPECT_EQ(r.granularity, Granularity::kLine);
+  EXPECT_EQ(r.policy, PowerPolicy::kDrowsyHybrid);
+  EXPECT_GT(r.energy.partitioned.total_pj(), 0.0);
+  EXPECT_GT(r.drowsy_residency(), 0.0);
+}
+
+TEST(PowerPolicyStrings, RoundTrip) {
+  for (PowerPolicy p :
+       {PowerPolicy::kGated, PowerPolicy::kDrowsyHybrid})
+    EXPECT_EQ(power_policy_from_string(to_string(p)), p);
+  EXPECT_THROW(power_policy_from_string("hybrid"), ConfigError);
+}
+
+}  // namespace
+}  // namespace pcal

@@ -106,8 +106,9 @@ TEST_P(FuzzInvariants, SimulatorOutputsAreStructurallySound) {
   // Update bookkeeping: applied updates never exceed the request, and
   // static indexing never flushes.
   EXPECT_LE(r.reindex_updates_applied, cfg.reindex_updates);
-  if (cfg.indexing == IndexingKind::kStatic)
+  if (cfg.indexing == IndexingKind::kStatic) {
     EXPECT_EQ(r.cache_stats.flushes, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzInvariants,

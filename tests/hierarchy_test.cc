@@ -1,0 +1,203 @@
+// HierarchicalCache: the two-level L1+L2 driver.
+//
+// Contracts: a disabled (absent or zero-size) L2 means single-level
+// results, bit for bit; with an L2, its access stream is exactly the L1
+// miss stream, both levels live on the same global clock, and the unit
+// vector is L1's units followed by L2's.
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "trace/trace.h"
+#include "trace/workloads.h"
+
+namespace pcal {
+namespace {
+
+CacheTopology small_topology(std::uint64_t size_bytes,
+                             std::uint64_t banks) {
+  CacheTopology topo;
+  topo.granularity = Granularity::kBank;
+  topo.cache.size_bytes = size_bytes;
+  topo.cache.line_bytes = 16;
+  topo.partition.num_banks = banks;
+  topo.indexing = IndexingKind::kStatic;
+  topo.breakeven_cycles = 24;
+  return topo;
+}
+
+TEST(Hierarchy, L2StreamIsTheL1MissStream) {
+  const CacheTopology l1 = small_topology(4096, 4);
+  const CacheTopology l2 = small_topology(32768, 4);
+  HierarchicalCache hier(l1, l2);
+
+  SyntheticTraceSource src(make_mediabench_workload("cjpeg"), 60'000);
+  Trace trace = Trace::materialize(src);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    hier.access(trace[i].address, trace[i].kind == AccessKind::kWrite);
+  hier.finish();
+
+  EXPECT_EQ(hier.stats().accesses, trace.size());
+  EXPECT_EQ(hier.l2_stats().accesses, hier.stats().misses);
+  EXPECT_GT(hier.l2_stats().accesses, 0u);
+  // A 8x larger L2 behind a small L1 must catch some of its misses.
+  EXPECT_GT(hier.l2_stats().hit_rate(), 0.0);
+  // Both levels live on the global clock.
+  EXPECT_EQ(hier.cycles(), trace.size());
+  EXPECT_EQ(hier.l2().cycles(), trace.size());
+  // Units concatenate: L1's 4 banks then L2's 4 banks.
+  EXPECT_EQ(hier.num_units(), 8u);
+  EXPECT_EQ(hier.l1_units(), 4u);
+}
+
+TEST(Hierarchy, L2SleepsMoreThanItWouldStandalone) {
+  // The L2 only wakes for L1 misses, so with a filter in front its
+  // residency must beat the same cache absorbing the full stream.
+  const CacheTopology l1 = small_topology(8192, 4);
+  const CacheTopology l2 = small_topology(32768, 4);
+  HierarchicalCache hier(l1, l2);
+  auto standalone = make_managed_cache(l2);
+
+  SyntheticTraceSource src(make_mediabench_workload("sha"), 80'000);
+  Trace trace = Trace::materialize(src);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool w = trace[i].kind == AccessKind::kWrite;
+    hier.access(trace[i].address, w);
+    standalone->access(trace[i].address, w);
+  }
+  hier.finish();
+  standalone->finish();
+
+  double hier_l2 = 0.0, alone = 0.0;
+  for (std::uint64_t u = 0; u < 4; ++u) {
+    hier_l2 += hier.unit_residency(hier.l1_units() + u);
+    alone += standalone->unit_residency(u);
+  }
+  EXPECT_GT(hier_l2, alone);
+}
+
+// The ISSUE's degeneracy: a zero-size L2 config means single-level, and
+// the results match the plain run bit for bit.
+TEST(Hierarchy, ZeroSizeL2MatchesSingleLevel) {
+  const SimConfig single = paper_config(8192, 16, 4);
+  SimConfig zero_l2 = single;
+  CacheTopology l2 = small_topology(32768, 4);
+  l2.cache.size_bytes = 0;  // disabled
+  zero_l2.l2 = l2;
+  EXPECT_FALSE(zero_l2.l2_enabled());
+
+  SyntheticTraceSource sa(make_mediabench_workload("cjpeg"), 100'000);
+  SyntheticTraceSource sb(make_mediabench_workload("cjpeg"), 100'000);
+  const SimResult a = Simulator(single).run(sa);
+  const SimResult b = Simulator(zero_l2).run(sb);
+
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+  EXPECT_EQ(a.config_label, b.config_label);
+  ASSERT_EQ(a.units.size(), b.units.size());
+  EXPECT_EQ(b.l1_units, b.units.size());
+  EXPECT_FALSE(b.l2_stats.has_value());
+  for (std::size_t u = 0; u < a.units.size(); ++u) {
+    EXPECT_EQ(a.units[u].sleep_cycles, b.units[u].sleep_cycles);
+    EXPECT_DOUBLE_EQ(a.units[u].sleep_residency,
+                     b.units[u].sleep_residency);
+  }
+  EXPECT_DOUBLE_EQ(a.energy.partitioned.total_pj(),
+                   b.energy.partitioned.total_pj());
+  EXPECT_DOUBLE_EQ(a.energy.baseline_pj, b.energy.baseline_pj);
+}
+
+TEST(Hierarchy, SimulatorRunReportsBothLevels) {
+  const SimConfig two =
+      two_level_variant(paper_config(8192, 16, 4), 64 * 1024, 4, 64);
+  SyntheticTraceSource src(make_mediabench_workload("dijkstra"), 120'000);
+  const SimResult r = Simulator(two).run(src);
+
+  ASSERT_TRUE(r.l2_stats.has_value());
+  EXPECT_EQ(r.l2_stats->accesses, r.cache_stats.misses);
+  EXPECT_EQ(r.units.size(), 8u);
+  EXPECT_EQ(r.l1_units, 4u);
+  // Both levels are priced by the per-unit model: nonzero energy.
+  EXPECT_GT(r.energy.partitioned.total_pj(), 0.0);
+  EXPECT_GT(r.energy.baseline_pj, 0.0);
+  EXPECT_LT(r.energy_saving(), 1.0);
+  // The L2 units (behind the miss filter) sleep more than the L1 units.
+  double l1_res = 0.0, l2_res = 0.0;
+  for (std::size_t u = 0; u < 4; ++u) {
+    l1_res += r.units[u].sleep_residency;
+    l2_res += r.units[4 + u].sleep_residency;
+  }
+  EXPECT_GT(l2_res, l1_res);
+}
+
+TEST(Hierarchy, LifetimeCoversBothLevels) {
+  AgingContext aging;
+  const SimConfig two =
+      two_level_variant(paper_config(8192, 16, 4), 32 * 1024, 4, 64);
+  SyntheticTraceSource src(make_mediabench_workload("cjpeg"), 80'000);
+  const SimResult r = Simulator(two).run(src, &aging.lut());
+  ASSERT_TRUE(r.lifetime.has_value());
+  EXPECT_EQ(r.lifetime->banks.size(), 8u);
+  for (const auto& u : r.units) EXPECT_GT(u.lifetime_years, 0.0);
+}
+
+TEST(Hierarchy, MonolithicL1IsNotFlushedByAttachingAnL2) {
+  // A single-unit level has nothing to rotate over: attaching an L2
+  // must not change the L1's behavior (the single-level engine
+  // suppresses updates for it; the hierarchy must apply the same
+  // per-level rule even though the combined unit count is > 1).
+  SimConfig mono = paper_config(8192, 16, 4);
+  mono.granularity = Granularity::kMonolithic;  // indexing stays probing
+  SimConfig mono_l2 = two_level_variant(mono, 64 * 1024, 4, 64);
+  mono_l2.l2->indexing = IndexingKind::kStatic;
+
+  SyntheticTraceSource sa(make_mediabench_workload("rijndael_i"), 80'000);
+  SyntheticTraceSource sb(make_mediabench_workload("rijndael_i"), 80'000);
+  const SimResult a = Simulator(mono).run(sa);
+  const SimResult b = Simulator(mono_l2).run(sb);
+
+  EXPECT_EQ(a.cache_stats.flushes, 0u);
+  EXPECT_EQ(b.cache_stats.flushes, 0u);
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+  ASSERT_TRUE(b.l2_stats.has_value());
+  EXPECT_EQ(b.l2_stats->flushes, 0u);
+}
+
+TEST(Hierarchy, StaticL2SurvivesL1ReindexFlushes) {
+  // The update signal only enters rotating levels: a static-indexed L2
+  // must keep backing the L1 across its re-index flushes (it exists to
+  // catch exactly those refill misses).
+  SimConfig two =
+      two_level_variant(paper_config(8192, 16, 4), 64 * 1024, 4, 64);
+  two.l2->indexing = IndexingKind::kStatic;
+  SyntheticTraceSource src(make_mediabench_workload("rijndael_i"),
+                           100'000);
+  const SimResult r = Simulator(two).run(src);
+  EXPECT_EQ(r.reindex_updates_applied, 16u);
+  EXPECT_EQ(r.cache_stats.flushes, 16u);       // L1 flushes on update
+  ASSERT_TRUE(r.l2_stats.has_value());
+  EXPECT_EQ(r.l2_stats->flushes, 0u);          // L2 does not
+  EXPECT_GT(r.l2_stats->hit_rate(), 0.5);      // and backs the refills
+}
+
+TEST(Hierarchy, HybridPolicyComposesPerLevel) {
+  // An L1 gated / L2 drowsy hierarchy: the policy is per-topology.
+  SimConfig two =
+      two_level_variant(paper_config(8192, 16, 4), 32 * 1024, 4, 64);
+  two.l2->policy = PowerPolicy::kDrowsyHybrid;
+  two.l2->drowsy_window_cycles = 128;
+  SyntheticTraceSource src(make_mediabench_workload("sha"), 100'000);
+  const SimResult r = Simulator(two).run(src);
+  // Only the L2 units can report drowsy cycles.
+  for (std::size_t u = 0; u < r.l1_units; ++u)
+    EXPECT_EQ(r.units[u].drowsy_cycles, 0u);
+  std::uint64_t l2_drowsy = 0;
+  for (std::size_t u = r.l1_units; u < r.units.size(); ++u)
+    l2_drowsy += r.units[u].drowsy_cycles;
+  EXPECT_GT(l2_drowsy, 0u);
+  EXPECT_GT(r.energy.partitioned.leakage_drowsy_pj, 0.0);
+}
+
+}  // namespace
+}  // namespace pcal

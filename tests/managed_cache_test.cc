@@ -38,7 +38,7 @@ Trace make_trace(std::uint64_t accesses) {
 
 TEST(GranularityStrings, RoundTrip) {
   for (Granularity g : {Granularity::kMonolithic, Granularity::kBank,
-                        Granularity::kLine})
+                        Granularity::kLine, Granularity::kWay})
     EXPECT_EQ(granularity_from_string(to_string(g)), g);
   EXPECT_THROW(granularity_from_string("banked"), ConfigError);
 }
@@ -54,6 +54,10 @@ TEST(CacheTopology, UnitCounts) {
   EXPECT_EQ(base_topology(Granularity::kMonolithic).num_units(), 1u);
   EXPECT_EQ(base_topology(Granularity::kBank).num_units(), 4u);
   EXPECT_EQ(base_topology(Granularity::kLine).num_units(), 512u);
+  EXPECT_EQ(base_topology(Granularity::kWay).num_units(), 4u);
+  CacheTopology assoc = base_topology(Granularity::kWay);
+  assoc.cache.ways = 4;
+  EXPECT_EQ(assoc.num_units(), 16u);
 }
 
 TEST(CacheTopology, Describe) {
@@ -180,7 +184,7 @@ TEST(BackendParity, LineMatchesLineManagedCache) {
 TEST(Factory, RoundTripAllCombinations) {
   const Trace trace = make_trace(4'000);
   for (Granularity g : {Granularity::kMonolithic, Granularity::kBank,
-                        Granularity::kLine}) {
+                        Granularity::kLine, Granularity::kWay}) {
     for (IndexingKind k : {IndexingKind::kStatic, IndexingKind::kProbing,
                            IndexingKind::kScrambling}) {
       CacheTopology topo = base_topology(g);

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (stdlib only, used by CI).
+
+Scans the given markdown files/directories for inline links and images
+(``[text](target)`` / ``![alt](target)``) and reference definitions
+(``[label]: target``), and verifies that every *relative* target exists
+on disk (anchors are stripped; external schemes are skipped).  Exits
+nonzero listing every broken link.
+
+Usage: check_markdown_links.py <file-or-dir> [...]
+"""
+import os
+import re
+import sys
+
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.lower().endswith((".md", ".markdown")):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def check_file(md_path):
+    broken = []
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    # Drop fenced code blocks: their bracket syntax is not link syntax.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    targets = INLINE.findall(text) + REFDEF.findall(text)
+    base = os.path.dirname(md_path)
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = os.path.normpath(os.path.join(base, rel))
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for md in markdown_files(argv[1:]):
+        checked += 1
+        for target, resolved in check_file(md):
+            print(f"BROKEN {md}: ({target}) -> missing {resolved}")
+            failures += 1
+    print(f"checked {checked} markdown file(s), {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
