@@ -17,12 +17,12 @@
 #pragma once
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/bench_record.h"
 #include "core/experiment.h"
 #include "core/sweep.h"
 #include "util/table.h"
@@ -55,39 +55,10 @@ inline const AgingContext& aging() {
   return *ctx;
 }
 
-/// Writes the machine-readable perf record of one bench run.
-/// PCAL_BENCH_JSON_DIR overrides the output directory (default: cwd);
-/// PCAL_BENCH_JSON=0 disables the file.  `extra` (optional) is invoked
-/// with the output stream to emit additional top-level JSON members —
-/// each a complete `  "key": value,\n` chunk — after the bench name.
-inline void write_bench_json(
-    const std::string& bench_name, const SweepStats& stats,
-    const std::function<void(std::ostream&)>& extra = {}) {
-  if (const char* env = std::getenv("PCAL_BENCH_JSON")) {
-    if (std::string(env) == "0") return;
-  }
-  std::string dir = ".";
-  if (const char* env = std::getenv("PCAL_BENCH_JSON_DIR")) dir = env;
-  const std::string path = dir + "/BENCH_" + bench_name + ".json";
-  std::ofstream f(path);
-  if (!f) {
-    std::cerr << "warning: cannot write " << path << "\n";
-    return;
-  }
-  f << "{\n"
-    << "  \"bench\": \"" << bench_name << "\",\n";
-  if (extra) extra(f);
-  f << "  \"jobs\": " << stats.jobs << ",\n"
-    << "  \"failed_jobs\": " << stats.failed_jobs << ",\n"
-    << "  \"threads\": " << stats.threads << ",\n"
-    << "  \"wall_seconds\": " << stats.wall_seconds << ",\n"
-    << "  \"total_accesses\": " << stats.total_accesses << ",\n"
-    << "  \"accesses_per_second\": " << stats.accesses_per_second()
-    << ",\n"
-    << "  \"intervals_observed\": " << stats.intervals_observed << ",\n"
-    << "  \"steals\": " << stats.steals << "\n"
-    << "}\n";
-}
+/// The machine-readable perf record of one bench run — shared with the
+/// pcalsweep CLI, which writes the same BENCH_<name>.json schema (see
+/// core/bench_record.h for the env knobs).
+using pcal::write_bench_json;
 
 /// A bench's whole configuration grid, queued up front and executed in
 /// one parallel sweep.  Jobs keep their queue order, so consuming

@@ -1,0 +1,70 @@
+#include "core/bench_record.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+namespace pcal {
+
+void write_bench_json(const std::string& bench_name, const SweepStats& stats,
+                      const std::function<void(std::ostream&)>& extra) {
+  if (const char* env = std::getenv("PCAL_BENCH_JSON")) {
+    if (std::string(env) == "0") return;
+  }
+  std::string dir = ".";
+  if (const char* env = std::getenv("PCAL_BENCH_JSON_DIR")) dir = env;
+  const std::string path = dir + "/BENCH_" + bench_name + ".json";
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  f << "{\n"
+    << "  \"bench\": \"" << json_escape(bench_name) << "\",\n";
+  if (extra) extra(f);
+  f << "  \"jobs\": " << stats.jobs << ",\n"
+    << "  \"failed_jobs\": " << stats.failed_jobs << ",\n"
+    << "  \"threads\": " << stats.threads << ",\n"
+    << "  \"wall_seconds\": " << stats.wall_seconds << ",\n"
+    << "  \"total_accesses\": " << stats.total_accesses << ",\n"
+    << "  \"accesses_per_second\": " << stats.accesses_per_second() << ",\n"
+    << "  \"intervals_observed\": " << stats.intervals_observed << ",\n"
+    << "  \"steals\": " << stats.steals << "\n"
+    << "}\n";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pcal

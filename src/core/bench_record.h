@@ -1,0 +1,31 @@
+// Machine-readable perf records (BENCH_<name>.json) of sweep runs.
+//
+// Every paper-table bench and the pcalsweep CLI drop one JSON record per
+// run so the repo tracks a perf trajectory and CI can gate on it
+// (tools/check_bench_json.py validates schema, job counts and nonzero
+// energy).  The record carries the SweepStats of the run plus optional
+// caller-provided members (per-backend energy sections, the sweep grid's
+// cross-product, per-job result rows).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "core/sweep.h"
+
+namespace pcal {
+
+/// Writes BENCH_<bench_name>.json.  PCAL_BENCH_JSON_DIR overrides the
+/// output directory (default: cwd); PCAL_BENCH_JSON=0 disables the file.
+/// `extra` (optional) is invoked with the output stream to emit
+/// additional top-level JSON members — each a complete
+/// `  "key": value,\n` chunk — after the bench name.
+void write_bench_json(const std::string& bench_name, const SweepStats& stats,
+                      const std::function<void(std::ostream&)>& extra = {});
+
+/// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+/// control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace pcal

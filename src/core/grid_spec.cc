@@ -1,0 +1,804 @@
+#include "core/grid_spec.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "trace/binary_trace.h"
+#include "trace/synthetic.h"
+#include "trace/trace_io.h"
+#include "trace/workloads.h"
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace pcal {
+namespace {
+
+// Hard caps: a typo'd range must fail loudly, not allocate the design
+// space of a datacenter.
+constexpr std::size_t kMaxAxisValues = 4096;
+constexpr std::size_t kMaxJobs = 1'000'000;
+
+constexpr const char* kNumericAxes[] = {
+    "cache_size", "line_size", "ways",   "banks",   "updates",
+    "breakeven",  "drowsy_window", "l2_size", "seed"};
+constexpr const char* kStringAxes[] = {"granularity", "indexing", "policy",
+                                       "workload"};
+
+constexpr const char* kMetricNames[] = {
+    "idleness",  "min_idleness", "lifetime",     "energy_saving",
+    "hit_rate",  "energy_pj",    "drowsy_share", "accesses"};
+
+bool is_numeric_axis(const std::string& key) {
+  for (const char* k : kNumericAxes)
+    if (key == k) return true;
+  return false;
+}
+
+std::string valid_axes_hint() {
+  std::string out;
+  for (const char* k : kNumericAxes) out += std::string(k) + " ";
+  for (const char* k : kStringAxes) out += std::string(k) + " ";
+  out.pop_back();
+  return out;
+}
+
+/// One "key = value" line of the spec, tagged with where it came from
+/// ("line 12" or "override '...'") for error messages.
+struct RawEntry {
+  std::string section;
+  std::string key;
+  std::string value;
+  std::string where;
+};
+
+[[noreturn]] void fail(const std::string& where, const std::string& msg) {
+  throw ParseError("sweep spec " + where + ": " + msg);
+}
+
+/// Unsigned integer with an optional k/M byte multiplier ("8k" = 8192).
+std::uint64_t parse_number(const std::string& s, const std::string& where) {
+  const std::string t{trim(s)};
+  if (t.empty() || t.front() == '-')
+    fail(where, "'" + s + "' is not a non-negative integer");
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t out = std::stoull(t, &consumed, 0);
+    if (consumed == t.size()) return out;
+    if (consumed + 1 == t.size()) {
+      const char suffix = t[consumed];
+      const std::uint64_t mult =
+          (suffix == 'k' || suffix == 'K')   ? 1024
+          : (suffix == 'm' || suffix == 'M') ? 1024 * 1024
+                                             : 0;
+      if (mult != 0) {
+        if (out > UINT64_MAX / mult)
+          fail(where, "'" + s + "' overflows 64 bits");
+        return out * mult;
+      }
+    }
+  } catch (const std::exception&) {
+  }
+  fail(where, "'" + s + "' is not a non-negative integer");
+}
+
+bool parse_bool(const std::string& s, const std::string& where) {
+  const std::string lower = to_lower(std::string(trim(s)));
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on")
+    return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off")
+    return false;
+  fail(where, "'" + s + "' is not a boolean");
+}
+
+/// Expands one range item: "1..32 log2", "2..8 step 2", "1..4".
+std::vector<std::uint64_t> expand_range(const std::string& item,
+                                        const std::string& where) {
+  const std::size_t dots = item.find("..");
+  const std::uint64_t lo = parse_number(item.substr(0, dots), where);
+  std::istringstream rest(item.substr(dots + 2));
+  std::string hi_text, mode, step_text;
+  rest >> hi_text >> mode >> step_text;
+  const std::uint64_t hi = parse_number(hi_text, where);
+  if (lo > hi)
+    fail(where, "range '" + item + "' is descending (" +
+                    std::to_string(lo) + " > " + std::to_string(hi) + ")");
+  std::uint64_t step = 1;
+  bool log2 = false;
+  if (mode == "log2") {
+    if (!step_text.empty())
+      fail(where, "trailing text after 'log2' in range '" + item + "'");
+    if (lo == 0) fail(where, "log2 range '" + item + "' cannot start at 0");
+    log2 = true;
+  } else if (mode == "step") {
+    step = parse_number(step_text, where);
+    if (step == 0) fail(where, "range '" + item + "' has step 0");
+  } else if (!mode.empty()) {
+    fail(where, "range '" + item + "' wants 'log2' or 'step N', got '" +
+                    mode + "'");
+  }
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t v = lo;;) {
+    out.push_back(v);
+    if (out.size() > kMaxAxisValues)
+      fail(where, "range '" + item + "' expands past " +
+                      std::to_string(kMaxAxisValues) + " values");
+    if (log2) {
+      if (v > hi / 2) break;
+      v *= 2;
+    } else {
+      if (hi - v < step) break;
+      v += step;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_items(const std::string& value,
+                                     const std::string& where,
+                                     const std::string& axis) {
+  std::vector<std::string> items;
+  for (const std::string& raw : split(value, ',')) {
+    const std::string item{trim(raw)};
+    if (item.empty())
+      fail(where, "axis '" + axis + "' has an empty value");
+    items.push_back(item);
+  }
+  if (items.empty())
+    fail(where, "axis '" + axis + "' has no values (empty cross-product)");
+  return items;
+}
+
+std::vector<std::string> expand_numeric_axis(const std::string& axis,
+                                             const std::string& value,
+                                             const std::string& where) {
+  std::vector<std::string> out;
+  for (const std::string& item : split_items(value, where, axis)) {
+    if (item.find("..") != std::string::npos) {
+      for (const std::uint64_t v : expand_range(item, where))
+        out.push_back(std::to_string(v));
+    } else {
+      out.push_back(std::to_string(parse_number(item, where)));
+    }
+    if (out.size() > kMaxAxisValues)
+      fail(where, "axis '" + axis + "' expands past " +
+                      std::to_string(kMaxAxisValues) + " values");
+  }
+  return out;
+}
+
+std::vector<std::string> expand_workload_axis(const std::string& value,
+                                              const std::string& where) {
+  std::vector<std::string> out;
+  for (const std::string& item : split_items(value, where, "workload")) {
+    if (item == "mediabench") {
+      for (const BenchmarkSignature& sig : mediabench_signatures())
+        out.push_back(sig.name);
+      continue;
+    }
+    if (starts_with(item, "trace:")) {
+      if (item.size() == 6)
+        fail(where, "'trace:' needs a file path (trace:<file>)");
+      out.push_back(item);
+      continue;
+    }
+    if (item == "uniform" || item == "streaming" || item == "hotspot") {
+      out.push_back(item);
+      continue;
+    }
+    try {
+      make_mediabench_workload(item);  // validates the name
+    } catch (const Error& e) {
+      fail(where, std::string("workload '") + item + "': " + e.what());
+    }
+    out.push_back(item);
+  }
+  return out;
+}
+
+/// Validates every item of an enum-valued axis via its from_string parser.
+template <typename Parser>
+std::vector<std::string> expand_enum_axis(const std::string& axis,
+                                          const std::string& value,
+                                          const std::string& where,
+                                          Parser parser) {
+  std::vector<std::string> items = split_items(value, where, axis);
+  for (const std::string& item : items) {
+    try {
+      parser(item);
+    } catch (const Error& e) {
+      fail(where, "axis '" + axis + "': " + e.what());
+    }
+  }
+  return items;
+}
+
+/// Truncating replay of a per-worker .pct mapping (TruncatedSource does
+/// not own its inner source; sweep jobs need one self-contained object).
+class LimitedBinarySource final : public TraceSource {
+ public:
+  LimitedBinarySource(const std::string& path, std::uint64_t limit)
+      : inner_(path), limit_(limit) {}
+
+  std::optional<MemAccess> next() override {
+    if (produced_ >= limit_) return std::nullopt;
+    auto a = inner_.next();
+    if (a) ++produced_;
+    return a;
+  }
+  std::size_t next_batch(MemAccess* out, std::size_t max) override {
+    const std::uint64_t room = limit_ - produced_;
+    if (room < max) max = static_cast<std::size_t>(room);
+    const std::size_t n = inner_.next_batch(out, max);
+    produced_ += n;
+    return n;
+  }
+  void reset() override {
+    inner_.reset();
+    produced_ = 0;
+  }
+  std::optional<std::uint64_t> size_hint() const override {
+    return std::min<std::uint64_t>(inner_.size(), limit_);
+  }
+  std::string name() const override { return inner_.name(); }
+
+ private:
+  BinaryTraceSource inner_;
+  std::uint64_t limit_;
+  std::uint64_t produced_ = 0;
+};
+
+/// Builds the per-job source factory of one workload axis value.
+TraceSourceFactory make_workload_factory(const std::string& value,
+                                         std::uint64_t accesses,
+                                         std::uint64_t footprint_bytes) {
+  if (starts_with(value, "trace:")) {
+    const std::string path = value.substr(6);
+    if (is_pct_file(path)) {
+      // Each worker opens its own read-only mapping: concurrent replay
+      // shares page-cache frames, never cursors.
+      const PctInfo info = pct_file_info(path);  // validates header
+      if (accesses >= info.count)
+        return [path] { return std::make_unique<BinaryTraceSource>(path); };
+      return [path, accesses] {
+        return std::make_unique<LimitedBinarySource>(path, accesses);
+      };
+    }
+    // Text/legacy-binary traces: parse once, replay through shared
+    // read-only views.
+    auto shared = std::make_shared<const Trace>(load_trace_file(path));
+    return [shared, accesses] {
+      return std::make_unique<SharedTraceSource>(shared, accesses);
+    };
+  }
+  WorkloadSpec spec;
+  if (value == "uniform")
+    spec = make_uniform_workload(footprint_bytes);
+  else if (value == "streaming")
+    spec = make_streaming_workload(footprint_bytes);
+  else if (value == "hotspot")
+    spec = make_hotspot_workload(footprint_bytes);
+  else
+    spec = make_mediabench_workload(value);
+  return [spec, accesses] {
+    return std::make_unique<SyntheticTraceSource>(spec, accesses);
+  };
+}
+
+/// Applies one axis value to the job config.  "workload" and "l2_size"
+/// are the caller's to handle; any other unlisted key is a logic error
+/// (the parser only admits known axes).
+void apply_axis(SimConfig& cfg, const std::string& key,
+                const std::string& value) {
+  const auto number = [&] { return parse_number(value, "axis " + key); };
+  if (key == "cache_size")
+    cfg.cache.size_bytes = number();
+  else if (key == "line_size")
+    cfg.cache.line_bytes = number();
+  else if (key == "ways")
+    cfg.cache.ways = number();
+  else if (key == "banks")
+    cfg.partition.num_banks = number();
+  else if (key == "updates")
+    cfg.reindex_updates = number();
+  else if (key == "breakeven")
+    cfg.breakeven_override = number();
+  else if (key == "drowsy_window")
+    cfg.drowsy_window_cycles = number();
+  else if (key == "seed")
+    cfg.indexing_seed = number();
+  else if (key == "granularity")
+    cfg.granularity = granularity_from_string(value);
+  else if (key == "indexing")
+    cfg.indexing = indexing_kind_from_string(value);
+  else if (key == "policy")
+    cfg.policy = power_policy_from_string(value);
+  else
+    throw ConfigError("unhandled sweep axis '" + key + "'");
+}
+
+bool is_valid_grid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+TableMetric parse_metric(const std::string& item, const std::string& where) {
+  const std::vector<std::string> fields = split(item, ':');
+  if (fields.empty() || fields.size() > 4)
+    fail(where, "cell '" + item + "' wants metric[:label[:num|pct[:N]]]");
+  TableMetric m;
+  m.metric = std::string(trim(fields[0]));
+  bool known = false;
+  for (const char* k : kMetricNames) known = known || m.metric == k;
+  if (!known) {
+    std::string hint;
+    for (const char* k : kMetricNames) hint += std::string(k) + " ";
+    fail(where, "unknown metric '" + m.metric + "' (valid: " + hint + ")");
+  }
+  m.label = fields.size() > 1 ? std::string(trim(fields[1])) : m.metric;
+  if (fields.size() > 2) {
+    const std::string fmt{trim(fields[2])};
+    if (fmt == "pct")
+      m.percent = true;
+    else if (fmt != "num")
+      fail(where, "cell '" + item + "': format must be num or pct");
+  }
+  if (fields.size() > 3) {
+    const std::uint64_t d = parse_number(fields[3], where);
+    if (d > 9) fail(where, "cell '" + item + "': at most 9 decimals");
+    m.decimals = static_cast<int>(d);
+  }
+  return m;
+}
+
+std::vector<std::vector<double>> parse_paper_matrix(
+    const std::string& value, const std::string& where) {
+  std::vector<std::vector<double>> rows;
+  for (const std::string& row_text : split(value, ';')) {
+    std::vector<double> row;
+    std::istringstream is{row_text};
+    std::string tok;
+    while (is >> tok) {
+      try {
+        std::size_t consumed = 0;
+        row.push_back(std::stod(tok, &consumed));
+        if (consumed != tok.size()) throw std::invalid_argument(tok);
+      } catch (const std::exception&) {
+        fail(where, "'" + tok + "' is not a number");
+      }
+    }
+    if (row.empty()) fail(where, "empty paper row");
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
+                         const std::vector<std::string>& overrides) {
+  // ---- phase 1: raw ordered entries, strict on structure ----
+  std::vector<RawEntry> entries;
+  std::string line, section;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string where = "line " + std::to_string(lineno);
+    std::string_view t = trim(line);
+    // Trailing comments after values are NOT stripped (a trace path may
+    // contain '#'); comments must start the line.
+    if (t.empty() || t.front() == '#' || t.front() == ';') continue;
+    if (t.front() == '[') {
+      if (t.back() != ']' || t.size() < 3)
+        fail(where, "malformed section header");
+      section = std::string(trim(t.substr(1, t.size() - 2)));
+      if (section != "grid" && section != "sweep" && section != "table" &&
+          section != "paper")
+        fail(where, "unknown section [" + section +
+                        "] (expected [grid], [sweep], [table] or [paper])");
+      continue;
+    }
+    const std::size_t eq = t.find('=');
+    if (eq == std::string_view::npos) fail(where, "expected 'key = value'");
+    if (section.empty())
+      fail(where, "key before any [section] header");
+    RawEntry e;
+    e.section = section;
+    e.key = std::string(trim(t.substr(0, eq)));
+    e.value = std::string(trim(t.substr(eq + 1)));
+    e.where = where;
+    if (e.key.empty()) fail(where, "empty key");
+    for (const RawEntry& prev : entries)
+      if (prev.section == e.section && prev.key == e.key)
+        fail(where, "duplicate key '" + e.section + "." + e.key +
+                        "' (first defined at " + prev.where + ")");
+    entries.push_back(std::move(e));
+  }
+
+  // ---- overrides: replace in place, or append as a new entry ----
+  for (const std::string& o : overrides) {
+    const std::string where = "override '" + o + "'";
+    const std::size_t eq = o.find('=');
+    const std::size_t dot = o.find('.');
+    if (eq == std::string::npos || dot == std::string::npos || dot > eq)
+      fail(where, "override must look like section.key=value");
+    RawEntry e;
+    e.section = std::string(trim(std::string_view(o).substr(0, dot)));
+    e.key = std::string(trim(std::string_view(o).substr(dot + 1, eq - dot - 1)));
+    e.value = std::string(trim(std::string_view(o).substr(eq + 1)));
+    e.where = where;
+    if (e.section != "grid" && e.section != "sweep" && e.section != "table" &&
+        e.section != "paper")
+      fail(where, "unknown section '" + e.section + "'");
+    bool replaced = false;
+    for (RawEntry& prev : entries) {
+      if (prev.section == e.section && prev.key == e.key) {
+        prev.value = e.value;
+        prev.where = where;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) entries.push_back(std::move(e));
+  }
+
+  // ---- phase 2: typed sections ----
+  GridSpec spec;
+  spec.name_ = default_name;
+  spec.accesses_ = kDefaultTraceAccesses;
+
+  for (const RawEntry& e : entries) {
+    if (e.section != "grid") continue;
+    if (e.key == "name") {
+      if (!is_valid_grid_name(e.value))
+        fail(e.where, "grid name must be [A-Za-z0-9_.-]+, got '" + e.value +
+                          "'");
+      spec.name_ = e.value;
+    } else if (e.key == "accesses") {
+      spec.accesses_ = parse_number(e.value, e.where);
+      if (spec.accesses_ == 0) fail(e.where, "accesses must be positive");
+    } else if (e.key == "footprint") {
+      spec.footprint_bytes_ = parse_number(e.value, e.where);
+      if (spec.footprint_bytes_ == 0)
+        fail(e.where, "footprint must be positive");
+    } else if (e.key == "unit_pricing") {
+      spec.unit_pricing_ = parse_bool(e.value, e.where);
+    } else if (e.key == "l2_banks") {
+      spec.l2_banks_ = parse_number(e.value, e.where);
+    } else if (e.key == "l2_breakeven") {
+      spec.l2_breakeven_ = parse_number(e.value, e.where);
+    } else {
+      fail(e.where, "unknown [grid] key '" + e.key +
+                        "' (valid: name accesses footprint unit_pricing "
+                        "l2_banks l2_breakeven)");
+    }
+  }
+
+  for (const RawEntry& e : entries) {
+    if (e.section != "sweep") continue;
+    GridAxis axis;
+    axis.key = e.key;
+    if (e.key == "workload")
+      axis.values = expand_workload_axis(e.value, e.where);
+    else if (e.key == "granularity")
+      axis.values = expand_enum_axis(e.key, e.value, e.where,
+                                     granularity_from_string);
+    else if (e.key == "indexing")
+      axis.values = expand_enum_axis(e.key, e.value, e.where,
+                                     indexing_kind_from_string);
+    else if (e.key == "policy")
+      axis.values = expand_enum_axis(e.key, e.value, e.where,
+                                     power_policy_from_string);
+    else if (is_numeric_axis(e.key))
+      axis.values = expand_numeric_axis(e.key, e.value, e.where);
+    else
+      fail(e.where, "unknown sweep axis '" + e.key + "' (valid: " +
+                        valid_axes_hint() + ")");
+    spec.axes_.push_back(std::move(axis));
+  }
+
+  if (spec.axes_.empty())
+    throw ConfigError("sweep spec declares no axes: add a [sweep] section");
+  if (!spec.find_axis("workload"))
+    throw ConfigError(
+        "sweep spec has no workload axis: declare `workload = ...` under "
+        "[sweep]");
+  std::size_t total = 1;
+  for (const GridAxis& axis : spec.axes_) {
+    total *= axis.values.size();
+    if (total > kMaxJobs)
+      throw ConfigError("sweep cross-product exceeds " +
+                        std::to_string(kMaxJobs) + " jobs (" +
+                        spec.describe_axes() + ")");
+  }
+
+  for (const RawEntry& e : entries) {
+    if (e.section != "table") continue;
+    spec.has_table_ = true;
+    TableSpec& t = spec.table_;
+    if (e.key == "rows")
+      t.rows = e.value;
+    else if (e.key == "row_header")
+      t.row_header = e.value;
+    else if (e.key == "row_format") {
+      if (e.value != "raw" && e.value != "size")
+        fail(e.where, "row_format must be raw or size");
+      t.row_format = e.value;
+    } else if (e.key == "cols")
+      t.cols = e.value;
+    else if (e.key == "col_prefix")
+      t.col_prefix = e.value;
+    else if (e.key == "cells") {
+      for (const std::string& item : split(e.value, ','))
+        t.metrics.push_back(parse_metric(std::string(trim(item)), e.where));
+    } else if (e.key == "reduce") {
+      if (e.value != "mean")
+        fail(e.where, "only reduce = mean is supported");
+    } else {
+      fail(e.where, "unknown [table] key '" + e.key +
+                        "' (valid: rows row_header row_format cols "
+                        "col_prefix cells reduce)");
+    }
+  }
+  if (spec.has_table_) {
+    TableSpec& t = spec.table_;
+    if (t.rows.empty() || !spec.find_axis(t.rows))
+      throw ConfigError("[table] rows must name a sweep axis, got '" +
+                        t.rows + "'");
+    if (!t.cols.empty() && !spec.find_axis(t.cols))
+      throw ConfigError("[table] cols must name a sweep axis, got '" +
+                        t.cols + "'");
+    if (!t.cols.empty() && t.cols == t.rows)
+      throw ConfigError("[table] rows and cols name the same axis '" +
+                        t.rows + "'");
+    if (t.metrics.empty())
+      throw ConfigError("[table] needs a cells = ... declaration");
+    if (t.row_header.empty()) t.row_header = t.rows;
+  }
+
+  for (const RawEntry& e : entries) {
+    if (e.section != "paper") continue;
+    if (!spec.has_table_)
+      fail(e.where, "[paper] values need a [table] section to attach to");
+    TableMetric* metric = nullptr;
+    for (TableMetric& m : spec.table_.metrics)
+      if (m.label == e.key) metric = &m;
+    if (!metric)
+      fail(e.where, "[paper] key '" + e.key +
+                        "' matches no [table] cell label");
+    metric->paper = parse_paper_matrix(e.value, e.where);
+    const std::size_t num_rows = spec.find_axis(spec.table_.rows)->values.size();
+    if (metric->paper.size() != num_rows)
+      fail(e.where, "paper matrix has " +
+                        std::to_string(metric->paper.size()) +
+                        " rows; the '" + spec.table_.rows + "' axis has " +
+                        std::to_string(num_rows));
+    const std::size_t num_cols =
+        spec.table_.cols.empty()
+            ? 1
+            : spec.find_axis(spec.table_.cols)->values.size();
+    for (const std::vector<double>& row : metric->paper) {
+      if (row.size() != metric->paper.front().size())
+        fail(e.where, "paper matrix rows have unequal widths");
+      if (row.size() > num_cols)
+        fail(e.where, "paper matrix is wider than the column axis");
+    }
+  }
+
+  return spec;
+}
+
+GridSpec GridSpec::load(const std::string& path,
+                        const std::vector<std::string>& overrides) {
+  std::ifstream f(path);
+  if (!f) throw ParseError("cannot open sweep spec: " + path);
+  std::string name = basename_of(path);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  if (!is_valid_grid_name(name)) name = "sweep";
+  return parse(f, name, overrides);
+}
+
+const GridAxis* GridSpec::find_axis(const std::string& key) const {
+  for (const GridAxis& axis : axes_)
+    if (axis.key == key) return &axis;
+  return nullptr;
+}
+
+std::size_t GridSpec::cross_product_size() const {
+  std::size_t total = 1;
+  for (const GridAxis& axis : axes_) total *= axis.values.size();
+  return total;
+}
+
+std::string GridSpec::describe_axes() const {
+  std::string out;
+  for (const GridAxis& axis : axes_) {
+    if (!out.empty()) out += ", ";
+    out += axis.key + " x" + std::to_string(axis.values.size());
+  }
+  return out;
+}
+
+std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
+  // One factory per distinct workload value: synthetics share their
+  // immutable spec, text traces parse once, .pct traces are probed once.
+  std::map<std::string, TraceSourceFactory> factories;
+  for (const GridAxis& axis : axes_) {
+    if (axis.key != "workload") continue;
+    for (const std::string& value : axis.values)
+      if (!factories.count(value))
+        factories[value] =
+            make_workload_factory(value, num_accesses, footprint_bytes_);
+  }
+
+  std::vector<GridJob> jobs;
+  jobs.reserve(cross_product_size());
+  std::vector<std::size_t> odometer(axes_.size(), 0);
+  for (;;) {
+    GridJob job;
+    job.coords.reserve(axes_.size());
+    std::uint64_t l2_size = 0;
+    SimConfig cfg;
+    cfg.force_unit_pricing = unit_pricing_;
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+      const std::string& value = axes_[i].values[odometer[i]];
+      job.coords.push_back(value);
+      if (axes_[i].key == "workload") {
+        job.workload = value;
+      } else if (axes_[i].key == "l2_size") {
+        l2_size = parse_number(value, "axis l2_size");
+      } else {
+        apply_axis(cfg, axes_[i].key, value);
+      }
+    }
+    if (l2_size > 0) {
+      CacheTopology l2;
+      l2.cache.size_bytes = l2_size;
+      l2.cache.line_bytes = cfg.cache.line_bytes;
+      l2.cache.ways = cfg.cache.ways;
+      l2.granularity = Granularity::kBank;
+      l2.partition.num_banks = l2_banks_;
+      l2.indexing = IndexingKind::kStatic;
+      l2.breakeven_cycles = l2_breakeven_;
+      cfg.l2 = l2;
+    }
+    try {
+      cfg.validate();
+    } catch (const Error& e) {
+      std::string coords;
+      for (std::size_t i = 0; i < axes_.size(); ++i)
+        coords += (i ? " " : "") + axes_[i].key + "=" + job.coords[i];
+      throw ConfigError("grid point (" + coords + "): " + e.what());
+    }
+    job.config = cfg;
+    job.make_source = factories.at(job.workload);
+    jobs.push_back(std::move(job));
+
+    // Advance the odometer: last axis fastest (first axis outermost).
+    std::size_t i = axes_.size();
+    while (i > 0) {
+      --i;
+      if (++odometer[i] < axes_[i].values.size()) break;
+      odometer[i] = 0;
+      if (i == 0) return jobs;
+    }
+  }
+}
+
+double grid_metric_value(const SimResult& r, const std::string& metric) {
+  if (metric == "idleness") return r.avg_residency();
+  if (metric == "min_idleness") return r.min_residency();
+  if (metric == "lifetime") return r.lifetime_years();
+  if (metric == "energy_saving") return r.energy_saving();
+  if (metric == "hit_rate") return r.cache_stats.hit_rate();
+  if (metric == "energy_pj") return r.energy.partitioned.total_pj();
+  if (metric == "drowsy_share") return r.drowsy_residency();
+  if (metric == "accesses") return static_cast<double>(r.accesses);
+  throw ConfigError("unknown table metric '" + metric + "'");
+}
+
+TextTable GridSpec::render_table(
+    const std::vector<GridJob>& jobs,
+    const std::vector<SweepOutcome>& outcomes) const {
+  PCAL_ASSERT_MSG(jobs.size() == outcomes.size(),
+                  "render_table: " << jobs.size() << " jobs vs "
+                                   << outcomes.size() << " outcomes");
+
+  if (!has_table_) {
+    // Generic mode: one row per job, coordinates then headline metrics.
+    std::vector<std::string> header{"job"};
+    for (const GridAxis& axis : axes_) header.push_back(axis.key);
+    header.insert(header.end(), {"Idl", "LT", "Esav", "hit"});
+    TextTable table(std::move(header));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const SimResult& r = outcomes[i].result;
+      std::vector<std::string> row{std::to_string(i)};
+      row.insert(row.end(), jobs[i].coords.begin(), jobs[i].coords.end());
+      row.push_back(TextTable::pct(r.avg_residency(), 2));
+      row.push_back(TextTable::num(r.lifetime_years(), 3));
+      row.push_back(TextTable::pct(r.energy_saving(), 2));
+      row.push_back(TextTable::num(r.cache_stats.hit_rate(), 4));
+      table.add_row(std::move(row));
+    }
+    return table;
+  }
+
+  // Pivot mode: rows axis x cols axis x metric cells, mean-reduced over
+  // every other axis (accumulated in job order, so cell means match a
+  // bench that sums its inner workload loop and divides).
+  std::size_t row_axis = 0, col_axis = 0;
+  bool has_cols = !table_.cols.empty();
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i].key == table_.rows) row_axis = i;
+    if (has_cols && axes_[i].key == table_.cols) col_axis = i;
+  }
+  const std::vector<std::string>& row_values = axes_[row_axis].values;
+  const std::vector<std::string> col_values =
+      has_cols ? axes_[col_axis].values : std::vector<std::string>{""};
+
+  const auto index_of = [](const std::vector<std::string>& values,
+                           const std::string& v) {
+    return static_cast<std::size_t>(
+        std::find(values.begin(), values.end(), v) - values.begin());
+  };
+
+  const std::size_t nm = table_.metrics.size();
+  std::vector<double> sums(row_values.size() * col_values.size() * nm, 0.0);
+  std::vector<std::uint64_t> counts(row_values.size() * col_values.size(), 0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::size_t r = index_of(row_values, jobs[i].coords[row_axis]);
+    const std::size_t c =
+        has_cols ? index_of(col_values, jobs[i].coords[col_axis]) : 0;
+    const std::size_t cell = r * col_values.size() + c;
+    for (std::size_t m = 0; m < nm; ++m)
+      sums[cell * nm + m] +=
+          grid_metric_value(outcomes[i].result, table_.metrics[m].metric);
+    ++counts[cell];
+  }
+
+  std::vector<std::string> header{table_.row_header};
+  for (std::size_t c = 0; c < col_values.size(); ++c) {
+    for (const TableMetric& m : table_.metrics) {
+      header.push_back(has_cols
+                           ? table_.col_prefix + col_values[c] + ":" + m.label
+                           : m.label);
+      if (!m.paper.empty() && c < m.paper.front().size())
+        header.push_back("(p)");
+    }
+  }
+  TextTable table(std::move(header));
+
+  for (std::size_t r = 0; r < row_values.size(); ++r) {
+    std::vector<std::string> row;
+    row.push_back(table_.row_format == "size"
+                      ? format_size(parse_number(row_values[r], "row value"))
+                      : row_values[r]);
+    for (std::size_t c = 0; c < col_values.size(); ++c) {
+      const std::size_t cell = r * col_values.size() + c;
+      for (std::size_t m = 0; m < nm; ++m) {
+        const TableMetric& metric = table_.metrics[m];
+        const double mean =
+            counts[cell] ? sums[cell * nm + m] /
+                               static_cast<double>(counts[cell])
+                         : 0.0;
+        row.push_back(metric.percent ? TextTable::pct(mean, metric.decimals)
+                                     : TextTable::num(mean, metric.decimals));
+        if (!metric.paper.empty() && c < metric.paper.front().size())
+          row.push_back(TextTable::num(metric.paper[r][c], metric.decimals));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace pcal

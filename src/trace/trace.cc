@@ -26,6 +26,25 @@ std::size_t Trace::next_batch(MemAccess* out, std::size_t max) {
   return n;
 }
 
+SharedTraceSource::SharedTraceSource(std::shared_ptr<const Trace> trace,
+                                     std::uint64_t limit)
+    : trace_(std::move(trace)),
+      limit_(std::min<std::uint64_t>(limit, trace_->size())) {}
+
+std::optional<MemAccess> SharedTraceSource::next() {
+  if (pos_ >= limit_) return std::nullopt;
+  return (*trace_)[static_cast<std::size_t>(pos_++)];
+}
+
+std::size_t SharedTraceSource::next_batch(MemAccess* out, std::size_t max) {
+  const std::size_t n =
+      static_cast<std::size_t>(std::min<std::uint64_t>(max, limit_ - pos_));
+  const auto& accesses = trace_->accesses();
+  std::copy_n(accesses.begin() + static_cast<std::ptrdiff_t>(pos_), n, out);
+  pos_ += n;
+  return n;
+}
+
 Trace Trace::materialize(TraceSource& source, std::uint64_t max_accesses) {
   source.reset();
   std::vector<MemAccess> out;

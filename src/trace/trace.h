@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -71,6 +72,29 @@ class Trace final : public TraceSource {
   std::string name_ = "trace";
   std::vector<MemAccess> accesses_;
   std::size_t pos_ = 0;
+};
+
+/// Read-only replay view over a shared, materialized Trace.  Each view
+/// owns its own cursor, so any number of them (e.g. one per sweep worker)
+/// can replay the same in-memory trace concurrently without copying it —
+/// this is how text trace-file workloads enter a sweep grid: loaded once,
+/// viewed per job.  Optionally truncates the replay after `limit`
+/// accesses.
+class SharedTraceSource final : public TraceSource {
+ public:
+  explicit SharedTraceSource(std::shared_ptr<const Trace> trace,
+                             std::uint64_t limit = UINT64_MAX);
+
+  std::optional<MemAccess> next() override;
+  std::size_t next_batch(MemAccess* out, std::size_t max) override;
+  void reset() override { pos_ = 0; }
+  std::optional<std::uint64_t> size_hint() const override { return limit_; }
+  std::string name() const override { return trace_->name(); }
+
+ private:
+  std::shared_ptr<const Trace> trace_;
+  std::uint64_t limit_ = 0;  // min(trace size, requested limit)
+  std::uint64_t pos_ = 0;
 };
 
 /// Wraps a source and truncates it after `limit` accesses.

@@ -27,7 +27,9 @@ TEST(EnergyModel, BreakevenIsAFewTensOfCycles) {
       const std::uint64_t be = make_model(size, 16, m).breakeven_cycles();
       EXPECT_GE(be, 8u) << size << "kB M=" << m;
       EXPECT_LE(be, 128u) << size << "kB M=" << m;
-      if (m == 4) EXPECT_LE(be, 64u) << size << "kB M=" << m;
+      if (m == 4) {
+        EXPECT_LE(be, 64u) << size << "kB M=" << m;
+      }
     }
   }
 }

@@ -1,0 +1,433 @@
+// GridSpec: the .sweep parser, cross-product expansion, trace-file
+// workload factories and the pivot renderer behind pcalsweep.
+#include "core/grid_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/sweep.h"
+#include "trace/binary_trace.h"
+#include "trace/trace_io.h"
+#include "trace/workloads.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+GridSpec parse(const std::string& text,
+               const std::vector<std::string>& overrides = {}) {
+  std::istringstream is(text);
+  return GridSpec::parse(is, "test", overrides);
+}
+
+constexpr const char* kMinimal = R"(
+[sweep]
+banks = 2, 4
+workload = cjpeg
+)";
+
+TEST(GridSpecParse, AxesAndCrossProduct) {
+  const GridSpec spec = parse(R"(
+[grid]
+name = demo
+accesses = 50000
+
+[sweep]
+cache_size = 8192, 16k
+banks = 2, 4, 8
+workload = cjpeg, sha
+)");
+  EXPECT_EQ(spec.name(), "demo");
+  EXPECT_EQ(spec.accesses(), 50000u);
+  ASSERT_EQ(spec.axes().size(), 3u);
+  EXPECT_EQ(spec.axes()[0].key, "cache_size");
+  // Numeric values canonicalize ("16k" -> "16384").
+  EXPECT_EQ(spec.axes()[0].values,
+            (std::vector<std::string>{"8192", "16384"}));
+  EXPECT_EQ(spec.cross_product_size(), 2u * 3u * 2u);
+  EXPECT_EQ(spec.describe_axes(),
+            "cache_size x2, banks x3, workload x2");
+}
+
+TEST(GridSpecParse, RangeSyntax) {
+  const GridSpec spec = parse(R"(
+[sweep]
+banks = 1..32 log2
+updates = 2..8 step 3
+breakeven = 3..5
+workload = cjpeg
+)");
+  EXPECT_EQ(spec.find_axis("banks")->values,
+            (std::vector<std::string>{"1", "2", "4", "8", "16", "32"}));
+  EXPECT_EQ(spec.find_axis("updates")->values,
+            (std::vector<std::string>{"2", "5", "8"}));
+  EXPECT_EQ(spec.find_axis("breakeven")->values,
+            (std::vector<std::string>{"3", "4", "5"}));
+  // A step larger than the whole range yields just the start value
+  // (regression: `hi - step` used to underflow).
+  const GridSpec one = parse("[sweep]\nbanks = 1..1 step 2\nworkload = cjpeg\n");
+  EXPECT_EQ(one.find_axis("banks")->values, (std::vector<std::string>{"1"}));
+  // k/M suffixes that would overflow 64 bits fail instead of wrapping.
+  EXPECT_THROW(
+      parse("[sweep]\ncache_size = 18014398509481985k\nworkload = cjpeg\n"),
+      ParseError);
+}
+
+TEST(GridSpecParse, MediabenchExpandsToAllWorkloads) {
+  const GridSpec spec = parse(R"(
+[sweep]
+workload = mediabench
+)");
+  EXPECT_EQ(spec.find_axis("workload")->values.size(),
+            mediabench_signatures().size());
+  EXPECT_EQ(spec.find_axis("workload")->values.front(),
+            mediabench_signatures().front().name);
+}
+
+TEST(GridSpecParse, MalformedRangesRejected) {
+  // Descending, zero step, trailing garbage, non-numeric — all named
+  // with the offending line.
+  EXPECT_THROW(parse("[sweep]\nbanks = 8..2\nworkload = cjpeg\n"),
+               ParseError);
+  EXPECT_THROW(parse("[sweep]\nbanks = 2..8 step 0\nworkload = cjpeg\n"),
+               ParseError);
+  EXPECT_THROW(parse("[sweep]\nbanks = 2..8 warp\nworkload = cjpeg\n"),
+               ParseError);
+  EXPECT_THROW(parse("[sweep]\nbanks = 2..8 log2 9\nworkload = cjpeg\n"),
+               ParseError);
+  EXPECT_THROW(parse("[sweep]\nbanks = banana\nworkload = cjpeg\n"),
+               ParseError);
+  EXPECT_THROW(parse("[sweep]\nbanks = -4\nworkload = cjpeg\n"),
+               ParseError);
+  try {
+    parse("[sweep]\nworkload = cjpeg\nbanks = 8..2\n");
+    FAIL() << "descending range accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GridSpecParse, EmptyAxisIsEmptyCrossProduct) {
+  EXPECT_THROW(parse("[sweep]\nbanks =\nworkload = cjpeg\n"), ParseError);
+  EXPECT_THROW(parse("[sweep]\nbanks = 2,,4\nworkload = cjpeg\n"),
+               ParseError);
+  // No [sweep] section at all.
+  EXPECT_THROW(parse("[grid]\nname = x\n"), ConfigError);
+  // Axes but no workload axis.
+  EXPECT_THROW(parse("[sweep]\nbanks = 4\n"), ConfigError);
+}
+
+TEST(GridSpecParse, DuplicateKeysRejected) {
+  try {
+    parse("[sweep]\nbanks = 2\nbanks = 4\nworkload = cjpeg\n");
+    FAIL() << "duplicate key accepted";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate key 'sweep.banks'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(GridSpecParse, UnknownKeysAndSectionsRejected) {
+  try {
+    parse("[sweep]\nbankz = 2\nworkload = cjpeg\n");
+    FAIL() << "unknown axis accepted";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown sweep axis 'bankz'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("banks"), std::string::npos)
+        << "error should list the valid axes: " << what;
+  }
+  EXPECT_THROW(parse("[grid]\ncolour = blue\n"), ParseError);
+  EXPECT_THROW(parse("[settings]\nbanks = 2\n"), ParseError);
+  EXPECT_THROW(parse("banks = 2\n"), ParseError);  // key before any section
+  EXPECT_THROW(parse("[sweep]\nworkload = quake3\n"), ParseError);
+  EXPECT_THROW(parse("[sweep]\npolicy = sleepy\nworkload = cjpeg\n"),
+               ParseError);
+}
+
+TEST(GridSpecParse, OverridesReplaceAndAppend) {
+  const GridSpec spec =
+      parse(kMinimal, {"sweep.banks=8, 16", "grid.name=patched",
+                       "sweep.line_size=32"});
+  EXPECT_EQ(spec.name(), "patched");
+  EXPECT_EQ(spec.find_axis("banks")->values,
+            (std::vector<std::string>{"8", "16"}));
+  // New keys append as innermost axes.
+  EXPECT_EQ(spec.axes().back().key, "line_size");
+  EXPECT_THROW(parse(kMinimal, {"nonsense"}), ParseError);
+  EXPECT_THROW(parse(kMinimal, {"sweep.banks=0x"}), ParseError);
+}
+
+TEST(GridSpecExpand, FirstAxisIsOutermostLoop) {
+  const GridSpec spec = parse(R"(
+[sweep]
+cache_size = 8192, 16384
+banks = 2, 4
+workload = cjpeg
+)");
+  const std::vector<GridJob> jobs = spec.expand(5000);
+  ASSERT_EQ(jobs.size(), 4u);
+  // Last axis spins fastest — a bench's loop nest in declaration order.
+  EXPECT_EQ(jobs[0].coords, (std::vector<std::string>{"8192", "2", "cjpeg"}));
+  EXPECT_EQ(jobs[1].coords, (std::vector<std::string>{"8192", "4", "cjpeg"}));
+  EXPECT_EQ(jobs[2].coords, (std::vector<std::string>{"16384", "2", "cjpeg"}));
+  EXPECT_EQ(jobs[3].coords, (std::vector<std::string>{"16384", "4", "cjpeg"}));
+  EXPECT_EQ(jobs[3].config.cache.size_bytes, 16384u);
+  EXPECT_EQ(jobs[3].config.partition.num_banks, 4u);
+  EXPECT_EQ(jobs[3].workload, "cjpeg");
+}
+
+TEST(GridSpecExpand, AppliesConfigAxes) {
+  const GridSpec spec = parse(R"(
+[grid]
+unit_pricing = true
+
+[sweep]
+granularity = way
+ways = 4
+indexing = scrambling
+policy = drowsy
+drowsy_window = 64
+updates = 32
+breakeven = 48
+seed = 9
+workload = uniform
+)");
+  const std::vector<GridJob> jobs = spec.expand(5000);
+  ASSERT_EQ(jobs.size(), 1u);
+  const SimConfig& cfg = jobs[0].config;
+  EXPECT_EQ(cfg.granularity, Granularity::kWay);
+  EXPECT_EQ(cfg.cache.ways, 4u);
+  EXPECT_EQ(cfg.indexing, IndexingKind::kScrambling);
+  EXPECT_EQ(cfg.policy, PowerPolicy::kDrowsyHybrid);
+  EXPECT_EQ(cfg.drowsy_window_cycles, 64u);
+  EXPECT_EQ(cfg.reindex_updates, 32u);
+  EXPECT_EQ(cfg.breakeven_override, 48u);
+  EXPECT_EQ(cfg.indexing_seed, 9u);
+  EXPECT_TRUE(cfg.force_unit_pricing);
+}
+
+TEST(GridSpecExpand, L2AxisBuildsHierarchy) {
+  const GridSpec spec = parse(R"(
+[grid]
+l2_banks = 8
+l2_breakeven = 96
+
+[sweep]
+l2_size = 0, 65536
+workload = cjpeg
+)");
+  const std::vector<GridJob> jobs = spec.expand(5000);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_FALSE(jobs[0].config.l2_enabled());
+  ASSERT_TRUE(jobs[1].config.l2_enabled());
+  EXPECT_EQ(jobs[1].config.l2->cache.size_bytes, 65536u);
+  EXPECT_EQ(jobs[1].config.l2->partition.num_banks, 8u);
+  EXPECT_EQ(jobs[1].config.l2->breakeven_cycles, 96u);
+}
+
+TEST(GridSpecExpand, InvalidGridPointNamesItsCoordinates) {
+  // 8kB cache with 3 banks: not a power-of-two partition.
+  const GridSpec spec = parse(R"(
+[sweep]
+banks = 3
+workload = cjpeg
+)");
+  try {
+    spec.expand(5000);
+    FAIL() << "invalid grid point accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("banks=3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GridSpecExpand, PctTraceWorkloadOpensPerJobSources) {
+  const std::string path = ::testing::TempDir() + "/grid_spec_test.pct";
+  Trace trace("packed", {});
+  for (std::uint64_t i = 0; i < 100; ++i)
+    trace.push_back({i * 64, i % 3 == 0 ? AccessKind::kWrite
+                                        : AccessKind::kRead});
+  write_pct_file(trace, path);
+
+  const GridSpec spec = parse("[sweep]\nbanks = 2, 4\nworkload = trace:" +
+                              path + "\n");
+  const std::vector<GridJob> jobs = spec.expand(1000);
+  ASSERT_EQ(jobs.size(), 2u);
+  // Each factory invocation yields an independent source (own mapping,
+  // own cursor): drain one fully, then check the other still starts at
+  // the beginning.
+  auto a = jobs[0].make_source();
+  auto b = jobs[1].make_source();
+  std::uint64_t n = 0;
+  while (a->next()) ++n;
+  EXPECT_EQ(n, 100u);
+  const auto first = b->next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->address, 0u);
+
+  // An accesses limit below the trace length truncates the replay.
+  const std::vector<GridJob> limited = spec.expand(10);
+  auto c = limited[0].make_source();
+  n = 0;
+  while (c->next()) ++n;
+  EXPECT_EQ(n, 10u);
+}
+
+TEST(GridSpecExpand, TextTraceWorkloadSharesOneParse) {
+  const std::string path = ::testing::TempDir() + "/grid_spec_test.trace";
+  {
+    Trace trace("text", {});
+    for (std::uint64_t i = 0; i < 50; ++i)
+      trace.push_back({0x1000 + i * 16, AccessKind::kRead});
+    save_trace_file(trace, path, /*binary=*/false);
+  }
+  const GridSpec spec = parse("[sweep]\nbanks = 2, 4\nworkload = trace:" +
+                              path + "\n");
+  const std::vector<GridJob> jobs = spec.expand(1000);
+  auto a = jobs[0].make_source();
+  auto b = jobs[1].make_source();
+  // Independent cursors over the shared parse.
+  EXPECT_TRUE(a->next().has_value());
+  EXPECT_EQ(b->size_hint(), std::optional<std::uint64_t>(50));
+  std::uint64_t n = 1;
+  while (a->next()) ++n;
+  EXPECT_EQ(n, 50u);
+  EXPECT_TRUE(b->next().has_value());
+}
+
+TEST(GridSpecExpand, MissingTraceFileFailsExpansion) {
+  const GridSpec spec =
+      parse("[sweep]\nbanks = 2\nworkload = trace:/no/such/file.pct\n");
+  EXPECT_THROW(spec.expand(1000), Error);
+}
+
+TEST(GridSpecTable, ParsesPivotAndPaper) {
+  const GridSpec spec = parse(R"(
+[sweep]
+cache_size = 8192, 16384
+banks = 2, 4
+workload = cjpeg
+
+[table]
+rows = cache_size
+row_header = size
+row_format = size
+cols = banks
+col_prefix = M=
+cells = idleness:Idl:pct:0, lifetime:LT:num:2
+reduce = mean
+
+[paper]
+Idl = 10 20 ; 30 40
+)");
+  ASSERT_TRUE(spec.has_table());
+  const TableSpec& t = spec.table();
+  EXPECT_EQ(t.rows, "cache_size");
+  EXPECT_EQ(t.row_header, "size");
+  ASSERT_EQ(t.metrics.size(), 2u);
+  EXPECT_EQ(t.metrics[0].label, "Idl");
+  EXPECT_TRUE(t.metrics[0].percent);
+  EXPECT_EQ(t.metrics[0].decimals, 0);
+  ASSERT_EQ(t.metrics[0].paper.size(), 2u);
+  EXPECT_EQ(t.metrics[0].paper[1][1], 40.0);
+  EXPECT_TRUE(t.metrics[1].paper.empty());
+}
+
+TEST(GridSpecTable, MalformedTableRejected) {
+  const std::string base =
+      "[sweep]\ncache_size = 8192\nbanks = 2, 4\nworkload = cjpeg\n";
+  // rows must name an axis; rows != cols; unknown metric; paper label
+  // and shape mismatches; paper without table.
+  EXPECT_THROW(parse(base + "[table]\nrows = nope\ncells = lifetime\n"),
+               ConfigError);
+  EXPECT_THROW(parse(base + "[table]\nrows = banks\ncols = banks\n"
+                            "cells = lifetime\n"),
+               ConfigError);
+  EXPECT_THROW(parse(base + "[table]\nrows = banks\ncells = vibes\n"),
+               ParseError);
+  EXPECT_THROW(parse(base + "[table]\nrows = banks\ncells = lifetime\n"
+                            "reduce = max\n"),
+               ParseError);
+  EXPECT_THROW(parse(base + "[table]\nrows = banks\ncells = lifetime:LT\n"
+                            "[paper]\nWrong = 1 2\n"),
+               ParseError);
+  EXPECT_THROW(parse(base + "[table]\nrows = banks\ncells = lifetime:LT\n"
+                            "[paper]\nLT = 1 2 3\n"),
+               ParseError);  // 1 paper row, banks axis has 2 values
+  EXPECT_THROW(parse(base + "[paper]\nLT = 1 2\n"), ParseError);
+}
+
+// End-to-end: a small grid through the SweepRunner renders the same
+// pivot at any worker count (the CLI-level determinism CI re-checks on
+// the full table4 grid).
+TEST(GridSpecRun, PivotTableIsThreadCountInvariant) {
+  const GridSpec spec = parse(R"(
+[grid]
+accesses = 20000
+
+[sweep]
+cache_size = 8192, 16384
+banks = 2, 4
+workload = cjpeg, sha
+
+[table]
+rows = cache_size
+row_format = size
+cols = banks
+col_prefix = M=
+cells = idleness:Idl:pct:1, hit_rate:hit:num:4
+)");
+  const std::vector<GridJob> jobs = spec.expand(spec.accesses());
+  std::vector<SweepJob> sweep_jobs;
+  for (const GridJob& g : jobs)
+    sweep_jobs.push_back(SweepJob{g.config, g.make_source, nullptr, {}});
+
+  std::string rendered[2];
+  const unsigned threads[2] = {1, 4};
+  for (int t = 0; t < 2; ++t) {
+    SweepRunner runner(threads[t]);
+    const auto outcomes = runner.run(sweep_jobs);
+    for (const SweepOutcome& o : outcomes) o.rethrow_if_error();
+    std::ostringstream os;
+    spec.render_table(jobs, outcomes).render(os);
+    rendered[t] = os.str();
+  }
+  EXPECT_EQ(rendered[0], rendered[1]);
+  // Row labels went through the size formatter.
+  EXPECT_NE(rendered[0].find("8kB"), std::string::npos) << rendered[0];
+  EXPECT_NE(rendered[0].find("M=4:hit"), std::string::npos) << rendered[0];
+}
+
+TEST(GridSpecRun, GenericTableListsEveryJob) {
+  const GridSpec spec = parse(kMinimal);
+  const std::vector<GridJob> jobs = spec.expand(5000);
+  std::vector<SweepJob> sweep_jobs;
+  for (const GridJob& g : jobs)
+    sweep_jobs.push_back(SweepJob{g.config, g.make_source, nullptr, {}});
+  SweepRunner runner(1);
+  const auto outcomes = runner.run(sweep_jobs);
+  const TextTable table = spec.render_table(jobs, outcomes);
+  EXPECT_EQ(table.rows(), jobs.size());
+  // job + 2 axes + Idl/LT/Esav/hit.
+  EXPECT_EQ(table.cols(), 1u + 2u + 4u);
+}
+
+TEST(GridSpecLoad, NameDefaultsToFileBasename) {
+  const std::string path = ::testing::TempDir() + "/my_grid.sweep";
+  {
+    std::ofstream f(path);
+    f << kMinimal;
+  }
+  EXPECT_EQ(GridSpec::load(path).name(), "my_grid");
+  EXPECT_THROW(GridSpec::load("/no/such/spec.sweep"), ParseError);
+}
+
+}  // namespace
+}  // namespace pcal

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over BENCH_*.json perf records (stdlib only).
+
+Every sweep run — the bench binaries and the pcalsweep CLI — drops a
+BENCH_<name>.json record (written by src/core/bench_record.cc).  CI
+uploads them as artifacts; this gate rejects records that indicate a
+silently broken run before they ever become "the new baseline":
+
+  - malformed JSON, or a missing/mistyped core schema key;
+  - failed_jobs != 0, zero jobs, or zero total accesses;
+  - pcalsweep records whose job count disagrees with the spec's declared
+    cross-product, or whose per-job result rows are missing, short, or
+    carry a zero/negative energy (the honest-energy invariant: every
+    backend prices every run — see docs/ENERGY_MODEL.md);
+  - drowsy_comparison-style backend_energy sections with a zero-energy
+    backend.
+
+Usage: check_bench_json.py <dir-or-BENCH_file.json> [...]
+Exits nonzero on any violation, and also when no records are found at
+all (an empty gate would pass vacuously exactly when the smoke steps
+stopped producing records).
+"""
+import glob
+import json
+import os
+import sys
+
+# key -> allowed types; bool is excluded from the numeric keys (in
+# Python bool is an int subclass, and a "jobs": true record is garbage).
+CORE_SCHEMA = {
+    "bench": (str,),
+    "jobs": (int,),
+    "failed_jobs": (int,),
+    "threads": (int,),
+    "wall_seconds": (int, float),
+    "total_accesses": (int,),
+    "accesses_per_second": (int, float),
+    "intervals_observed": (int,),
+    "steals": (int,),
+}
+
+RESULT_ROW_SCHEMA = {
+    "workload": (str,),
+    "config": (str,),
+    "accesses": (int,),
+    "energy_pj": (int, float),
+    "idleness": (int, float),
+    "lifetime_years": (int, float),
+}
+
+
+def typed(value, types):
+    return isinstance(value, types) and not (
+        isinstance(value, bool) and bool not in types
+    )
+
+
+def check_record(path):
+    errors = []
+
+    def bad(msg):
+        errors.append("%s: %s" % (os.path.basename(path), msg))
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            record = json.load(f)
+    except (OSError, ValueError) as e:
+        bad("unreadable or malformed JSON (%s)" % e)
+        return errors
+    if not isinstance(record, dict):
+        bad("top level is not a JSON object")
+        return errors
+
+    for key, types in CORE_SCHEMA.items():
+        if key not in record:
+            bad("missing key '%s'" % key)
+        elif not typed(record[key], types):
+            bad("key '%s' has type %s" % (key, type(record[key]).__name__))
+    if errors:
+        return errors
+
+    if record["jobs"] <= 0:
+        bad("ran no jobs")
+    if record["failed_jobs"] != 0:
+        bad("%d failed jobs" % record["failed_jobs"])
+    if record["threads"] <= 0:
+        bad("nonpositive thread count")
+    if record["total_accesses"] <= 0:
+        bad("zero total accesses")
+
+    # pcalsweep extras: the job count must match the spec's declared
+    # cross-product, and every result row must carry nonzero energy.
+    if "cross_product" in record and record["jobs"] != record["cross_product"]:
+        bad(
+            "jobs (%s) != spec cross-product (%s)"
+            % (record["jobs"], record["cross_product"])
+        )
+    if "results" in record:
+        rows = record["results"]
+        if not isinstance(rows, list):
+            bad("'results' is not a list")
+        elif len(rows) != record["jobs"]:
+            bad("%d result rows for %d jobs" % (len(rows), record["jobs"]))
+        else:
+            for i, row in enumerate(rows):
+                if not isinstance(row, dict):
+                    bad("result row %d is not an object" % i)
+                    continue
+                for key, types in RESULT_ROW_SCHEMA.items():
+                    if key not in row or not typed(row[key], types):
+                        bad("result row %d: bad or missing '%s'" % (i, key))
+                if not row.get("ok", True):
+                    bad("result row %d: job failed" % i)
+                if not row.get("energy_pj", 0) > 0:
+                    bad(
+                        "result row %d (%s on %s): zero energy"
+                        % (i, row.get("workload"), row.get("config"))
+                    )
+
+    # drowsy_comparison-style per-backend energy sections.
+    if "backend_energy" in record:
+        backends = record["backend_energy"]
+        if not isinstance(backends, dict) or not backends:
+            bad("'backend_energy' is not a non-empty object")
+        else:
+            for name, facts in backends.items():
+                if not isinstance(facts, dict) or not facts.get(
+                    "min_total_pj", 0
+                ) > 0:
+                    bad("backend '%s' reports zero energy" % name)
+
+    return errors
+
+
+def main(argv):
+    paths = []
+    for arg in argv:
+        if os.path.isdir(arg):
+            paths.extend(sorted(glob.glob(os.path.join(arg, "BENCH_*.json"))))
+        else:
+            paths.append(arg)
+    if not paths:
+        print("check_bench_json: no BENCH_*.json records found", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for path in paths:
+        errors = check_record(path)
+        if errors:
+            failures += 1
+            for e in errors:
+                print("FAIL %s" % e, file=sys.stderr)
+        else:
+            print("ok   %s" % os.path.basename(path))
+    if failures:
+        print(
+            "check_bench_json: %d of %d records failed" % (failures, len(paths)),
+            file=sys.stderr,
+        )
+        return 1
+    print("check_bench_json: %d records ok" % len(paths))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

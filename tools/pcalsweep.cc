@@ -1,0 +1,239 @@
+// pcalsweep — declarative grid sweeps over the simulator.
+//
+// Reads a .sweep spec (core/grid_spec.h), expands the declared
+// cross-product of axes into independent simulation jobs, runs them on
+// the SweepRunner thread pool, and reports:
+//   - stdout: the result table (the spec's [table] pivot, or one row per
+//     job) followed by its CSV block — and nothing else, so output can
+//     be diffed across worker counts and against the bench binaries;
+//   - stderr: progress and sweep statistics;
+//   - BENCH_<name>.json: the machine-readable perf record (same path and
+//     schema as the bench binaries; tools/check_bench_json.py gates it).
+//
+// Usage:
+//   pcalsweep <spec.sweep> [section.key=value ...]
+//   pcalsweep --dry-run <spec.sweep> [...]   # expand + validate only
+//   pcalsweep --example                      # print an annotated spec
+//
+// Environment (same knobs as the bench binaries):
+//   PCAL_BENCH_ACCESSES   override accesses per job (> 1000)
+//   PCAL_BENCH_THREADS    worker count (else PCAL_SWEEP_THREADS / cores)
+//   PCAL_BENCH_JSON_DIR   where BENCH_<name>.json lands (default: cwd)
+//   PCAL_BENCH_JSON=0     suppress the JSON record
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/bench_record.h"
+#include "core/experiment.h"
+#include "core/grid_spec.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace pcal;
+
+constexpr const char* kExampleSpec = R"(# pcalsweep example specification
+#
+# A .sweep file declares a grid of independent simulator runs: every key
+# under [sweep] is one axis, and the cross-product of all axis values is
+# executed in one parallel sweep.  See docs/SWEEP_CLI.md for the full
+# grammar and axis reference.
+
+# Comments occupy whole lines ('#' or ';'); there are no trailing
+# comments, so a value can never be truncated by accident.
+
+[grid]
+# `name` names the BENCH_<name>.json perf record; `accesses` is the
+# per-job trace length (trace-file workloads cap at their own length).
+name = example
+accesses = 2000000
+
+[sweep]
+# Declaration order is loop order: the first axis is the outermost loop.
+# Numeric axes take comma lists and ranges: "1..16 log2" = 1 2 4 8 16,
+# "2..8 step 2" = 2 4 6 8, and k/M size suffixes ("8k" = 8192).
+cache_size = 8192, 16384, 32768
+line_size = 16
+banks = 1..16 log2
+policy = gated
+# Workloads: MediaBench names, `mediabench` (all 18 of them),
+# uniform / streaming / hotspot, and trace:<file> (.pct or text).
+workload = cjpeg, rijndael_i
+
+# Optional: pivot the results into a paper-style table instead of the
+# default one-row-per-job listing.  Cells are metric:label:fmt:decimals;
+# reduce = mean averages over the remaining axes (here: workload).
+[table]
+rows = cache_size
+row_header = size
+row_format = size
+cols = banks
+col_prefix = M=
+cells = idleness:Idl:pct:0, lifetime:LT:num:2
+reduce = mean
+)";
+
+/// Accesses per job: PCAL_BENCH_ACCESSES wins (same contract as the
+/// bench binaries), else the spec's [grid] accesses.
+std::uint64_t accesses_or_env(std::uint64_t spec_accesses) {
+  if (const char* env = std::getenv("PCAL_BENCH_ACCESSES")) {
+    const long long v = std::atoll(env);
+    if (v > 1000) return static_cast<std::uint64_t>(v);
+  }
+  return spec_accesses;
+}
+
+/// Worker threads: PCAL_BENCH_THREADS if set, else the SweepRunner
+/// default (PCAL_SWEEP_THREADS / hardware concurrency).
+unsigned threads_or_env() {
+  if (const char* env = std::getenv("PCAL_BENCH_THREADS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  return SweepRunner::default_threads();
+}
+
+std::string coords_of(const GridSpec& spec, const GridJob& job) {
+  std::string out;
+  for (std::size_t i = 0; i < spec.axes().size(); ++i)
+    out += (i ? " " : "") + spec.axes()[i].key + "=" + job.coords[i];
+  return out;
+}
+
+int usage() {
+  std::cerr << "usage: pcalsweep <spec.sweep> [section.key=value ...]\n"
+               "       pcalsweep --dry-run <spec.sweep> [...]\n"
+               "       pcalsweep --example\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool dry_run = false;
+  std::string spec_path;
+  std::vector<std::string> overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--example") {
+      std::cout << kExampleSpec;
+      return 0;
+    }
+    // An override is "section.key=value" — a dot before the '=' and no
+    // path separator in the key part, so a spec path containing '='
+    // still resolves as a path.
+    const std::size_t eq = arg.find('=');
+    const std::size_t dot = arg.find('.');
+    const bool is_override = eq != std::string::npos &&
+                             dot != std::string::npos && dot < eq &&
+                             arg.find('/') >= eq;
+    if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (is_override) {
+      overrides.push_back(arg);
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (spec_path.empty()) return usage();
+
+  try {
+    const GridSpec spec = GridSpec::load(spec_path, overrides);
+    const std::uint64_t accesses = accesses_or_env(spec.accesses());
+    std::cerr << "[pcalsweep] " << spec.name() << ": "
+              << spec.cross_product_size() << " jobs ("
+              << spec.describe_axes() << "), " << accesses
+              << " accesses/job\n";
+
+    // expand() also validates trace-file workloads (missing files, bad
+    // .pct headers) — which is everything --dry-run wants checked.
+    const std::vector<GridJob> jobs = spec.expand(accesses);
+    if (dry_run) {
+      std::cout << spec.name() << ": " << jobs.size() << " jobs ("
+                << spec.describe_axes() << ")"
+                << (spec.has_table() ? ", [table] pivot" : "") << "\n";
+      return 0;
+    }
+
+    AgingContext aging;
+    std::vector<SweepJob> sweep_jobs;
+    sweep_jobs.reserve(jobs.size());
+    for (const GridJob& g : jobs) {
+      SweepJob j;
+      j.config = g.config;
+      j.make_source = g.make_source;
+      j.lut = &aging.lut();
+      sweep_jobs.push_back(std::move(j));
+    }
+
+    SweepRunner runner(threads_or_env());
+    const std::vector<SweepOutcome> outcomes = runner.run(sweep_jobs);
+    const SweepStats& stats = runner.last_stats();
+
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].ok()) continue;
+      ++failed;
+      try {
+        outcomes[i].rethrow_if_error();
+      } catch (const std::exception& e) {
+        std::cerr << "[pcalsweep] job " << i << " ("
+                  << coords_of(spec, jobs[i]) << ") failed: " << e.what()
+                  << "\n";
+      }
+    }
+
+    // The perf record is written even on failure — failed_jobs > 0 is
+    // exactly what the CI bench-JSON gate wants to see and reject.
+    write_bench_json(spec.name(), stats, [&](std::ostream& f) {
+      f << "  \"spec\": \"" << json_escape(basename_of(spec_path))
+        << "\",\n"
+        << "  \"cross_product\": " << spec.cross_product_size() << ",\n";
+      f << "  \"axes\": {";
+      for (std::size_t i = 0; i < spec.axes().size(); ++i)
+        f << (i ? ", " : "") << "\"" << json_escape(spec.axes()[i].key)
+          << "\": " << spec.axes()[i].values.size();
+      f << "},\n";
+      f << "  \"results\": [\n";
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const SimResult& r = outcomes[i].result;
+        f << "    {\"workload\": \"" << json_escape(jobs[i].workload)
+          << "\", \"config\": \"" << json_escape(r.config_label)
+          << "\", \"ok\": " << (outcomes[i].ok() ? "true" : "false")
+          << ", \"accesses\": " << r.accesses
+          << ", \"energy_pj\": " << r.energy.partitioned.total_pj()
+          << ", \"idleness\": " << r.avg_residency()
+          << ", \"lifetime_years\": " << r.lifetime_years() << "}"
+          << (i + 1 < outcomes.size() ? ",\n" : "\n");
+      }
+      f << "  ],\n";
+    });
+
+    std::cerr << "[pcalsweep] " << spec.name() << ": " << stats.jobs
+              << " jobs on " << stats.threads << " threads, "
+              << TextTable::num(stats.wall_seconds, 2) << "s, "
+              << TextTable::num(stats.accesses_per_second() / 1e6, 1)
+              << "M accesses/s\n";
+    if (failed > 0) {
+      std::cerr << "[pcalsweep] " << failed << " of " << outcomes.size()
+                << " jobs failed\n";
+      return 1;
+    }
+
+    // stdout carries exactly what bench_common.h's print_table() emits,
+    // so a spec's pivot can be diffed against its bench binary.
+    const TextTable table = spec.render_table(jobs, outcomes);
+    table.render(std::cout);
+    std::cout << "\n--- CSV ---\n";
+    table.render_csv(std::cout);
+    std::cout << std::endl;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pcalsweep: error: " << e.what() << "\n";
+    return 1;
+  }
+}
