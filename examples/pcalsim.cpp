@@ -24,11 +24,21 @@
 //   updates = 16
 //   policy = gated           # gated | drowsy
 //   drowsy_window = 0        # extra idle cycles at the drowsy voltage
+//   [latency]                # stall cycles (0 = idealized clock)
+//   hit = 0
+//   miss = 0
+//   drowsy_wake = 0
+//   gated_wake = 0
 //   [l2]                     # optional second level (size 0 = disabled)
 //   size = 0
 //   banks = 4
 //   granularity = bank
 //   breakeven = 64
+//   inclusion = noninclusive # noninclusive | inclusive | exclusive | victim
+//   hit_latency = 0
+//   miss_latency = 0
+//   [l3]                     # optional third level (same keys as [l2])
+//   size = 0
 #include <algorithm>
 #include <iostream>
 
@@ -61,11 +71,23 @@ updates = 16
 policy = gated
 drowsy_window = 0
 
+[latency]
+hit = 0
+miss = 0
+drowsy_wake = 0
+gated_wake = 0
+
 [l2]
 size = 0
 banks = 4
 granularity = bank
 breakeven = 64
+inclusion = noninclusive
+hit_latency = 0
+miss_latency = 0
+
+[l3]
+size = 0
 )";
 
 std::unique_ptr<TraceSource> make_source(const ConfigFile& cfg,
@@ -124,23 +146,41 @@ int main(int argc, char** argv) {
         cfg.get_string("partition", "policy", "gated"));
     sim.drowsy_window_cycles =
         cfg.get_u64("partition", "drowsy_window", 0);
-    // Optional second level: [l2] size = 0 keeps the run single-level.
-    if (cfg.get_u64("l2", "size", 0) > 0) {
-      CacheTopology l2;
-      l2.cache.size_bytes = cfg.get_u64("l2", "size", 0);
-      l2.cache.line_bytes =
-          cfg.get_u64("l2", "line", sim.cache.line_bytes);
-      l2.cache.ways = cfg.get_u64("l2", "ways", sim.cache.ways);
-      l2.granularity = granularity_from_string(
-          cfg.get_string("l2", "granularity", "bank"));
-      l2.partition.num_banks = cfg.get_u64("l2", "banks", 4);
-      l2.indexing = indexing_kind_from_string(
-          cfg.get_string("l2", "indexing", "static"));
-      l2.breakeven_cycles = cfg.get_u64("l2", "breakeven", 64);
-      l2.policy = power_policy_from_string(
-          cfg.get_string("l2", "policy", "gated"));
-      l2.drowsy_window_cycles = cfg.get_u64("l2", "drowsy_window", 0);
-      sim.l2 = l2;
+    // The L1 latency point; all-zero (the default) keeps the idealized
+    // one-access-per-cycle clock.  Wakeup latencies are shared by every
+    // level unless a level overrides them.
+    sim.latency.hit_cycles = cfg.get_u64("latency", "hit", 0);
+    sim.latency.miss_cycles = cfg.get_u64("latency", "miss", 0);
+    sim.latency.drowsy_wake_cycles =
+        cfg.get_u64("latency", "drowsy_wake", 0);
+    sim.latency.gated_wake_cycles = cfg.get_u64("latency", "gated_wake", 0);
+    // Optional lower levels: [l2] / [l3], size = 0 disables a level.
+    for (const char* section : {"l2", "l3"}) {
+      if (cfg.get_u64(section, "size", 0) == 0) continue;
+      LevelConfig level =
+          sim.make_level(cfg.get_u64(section, "size", 0));
+      level.inclusion = inclusion_policy_from_string(
+          cfg.get_string(section, "inclusion", "noninclusive"));
+      CacheTopology& topo = level.topology;
+      topo.cache.line_bytes =
+          cfg.get_u64(section, "line", sim.cache.line_bytes);
+      topo.cache.ways = cfg.get_u64(section, "ways", sim.cache.ways);
+      topo.granularity = granularity_from_string(
+          cfg.get_string(section, "granularity", "bank"));
+      topo.partition.num_banks = cfg.get_u64(section, "banks", 4);
+      topo.indexing = indexing_kind_from_string(
+          cfg.get_string(section, "indexing", "static"));
+      topo.breakeven_cycles = cfg.get_u64(section, "breakeven", 64);
+      topo.policy = power_policy_from_string(
+          cfg.get_string(section, "policy", "gated"));
+      topo.drowsy_window_cycles = cfg.get_u64(section, "drowsy_window", 0);
+      topo.latency.hit_cycles = cfg.get_u64(section, "hit_latency", 0);
+      topo.latency.miss_cycles = cfg.get_u64(section, "miss_latency", 0);
+      topo.latency.drowsy_wake_cycles = cfg.get_u64(
+          section, "drowsy_wake", sim.latency.drowsy_wake_cycles);
+      topo.latency.gated_wake_cycles = cfg.get_u64(
+          section, "gated_wake", sim.latency.gated_wake_cycles);
+      sim.lower_levels.push_back(level);
     }
     sim.validate();
 
@@ -156,7 +196,10 @@ int main(int argc, char** argv) {
               << "accesses: " << r.accesses
               << ", breakeven: " << r.breakeven_cycles << " cycles"
               << ", re-indexing updates: " << r.reindex_updates_applied
-              << "\n\n";
+              << "\n"
+              << "cycles: " << r.total_cycles << " total, "
+              << r.stall_cycles << " stalled, avg access latency "
+              << TextTable::num(r.avg_access_latency(), 3) << "\n\n";
 
     // At line granularity there are hundreds of units; cap the table.
     const std::size_t shown = std::min<std::size_t>(r.units.size(), 32);
@@ -180,11 +223,12 @@ int main(int argc, char** argv) {
               << r.cache_stats.hits << " hits, " << r.cache_stats.misses
               << " misses, " << r.cache_stats.writebacks
               << " writebacks, " << r.cache_stats.flushes << " flushes)\n";
-    if (r.l2_stats) {
-      std::cout << "L2: hit rate "
-                << TextTable::num(r.l2_stats->hit_rate(), 4) << " ("
-                << r.l2_stats->accesses << " accesses = L1 misses, "
-                << r.l2_stats->hits << " hits)\n";
+    for (std::size_t lvl = 1; lvl < r.num_levels(); ++lvl) {
+      const CacheStats& s = r.level_stats[lvl];
+      std::cout << "L" << (lvl + 1) << ": hit rate "
+                << TextTable::num(s.hit_rate(), 4) << " (" << s.accesses
+                << " accesses, " << s.hits << " hits, " << s.misses
+                << " misses)\n";
     }
 
     const EnergyBreakdown& e = r.energy.partitioned;

@@ -9,11 +9,18 @@ BankedCache::BankedCache(const BankedCacheConfig& config)
                make_indexing_policy(config.indexing,
                                     config.partition.num_banks,
                                     config.indexing_seed)),
-      block_control_(config.partition.num_banks, config.breakeven_cycles) {
+      block_control_(config.partition.num_banks, config.breakeven_cycles),
+      gate_cycles_(config.gate_cycles != 0 ? config.gate_cycles
+                                           : config.breakeven_cycles) {
   config_.validate();
 }
 
 BankedAccessOutcome BankedCache::access(std::uint64_t address, bool is_write) {
+  return run_access(address, is_write, /*allocate=*/true);
+}
+
+BankedAccessOutcome BankedCache::run_access(std::uint64_t address,
+                                            bool is_write, bool allocate) {
   PCAL_ASSERT_MSG(!finished_, "cache already finished");
   const std::uint64_t set_index = config_.cache.set_index_of(address);
   const DecodedIndex d = decoder_.decode(set_index);
@@ -22,11 +29,20 @@ BankedAccessOutcome BankedCache::access(std::uint64_t address, bool is_write) {
   out.logical_bank = d.logical_bank;
   out.physical_bank = d.physical_bank;
   out.woke_bank = block_control_.is_sleeping(d.physical_bank, cycle_);
+  out.wake =
+      classify_wake(out.woke_bank,
+                    block_control_.idle_gap(d.physical_bank, cycle_),
+                    gate_cycles_);
 
+  const std::uint64_t tag = config_.cache.tag_of(address);
   const CacheAccessResult r =
-      cache_.access(config_.cache.tag_of(address), d.physical_set, is_write);
+      allocate ? cache_.access(tag, d.physical_set, is_write, address)
+               : cache_.probe(tag, d.physical_set);
   out.hit = r.hit;
   out.writeback = r.writeback;
+  out.evicted = r.evicted;
+  out.victim_address = r.victim_address;
+  out.stall_cycles = config_.latency.event_stall(r.hit, out.wake);
 
   block_control_.on_access(d.physical_bank, cycle_);
   ++cycle_;
@@ -55,6 +71,19 @@ double BankedCache::bank_residency(std::uint64_t bank) const {
   return block_control_.sleep_residency(bank, cycle_);
 }
 
+AccessOutcome BankedCache::do_probe(std::uint64_t address) {
+  const BankedAccessOutcome b =
+      run_access(address, /*is_write=*/false, /*allocate=*/false);
+  AccessOutcome out;
+  out.hit = b.hit;
+  out.logical_unit = b.logical_bank;
+  out.physical_unit = b.physical_bank;
+  out.woke_unit = b.woke_bank;
+  out.wake = b.wake;
+  out.stall_cycles = b.stall_cycles;
+  return out;
+}
+
 AccessOutcome BankedCache::do_access(std::uint64_t address, bool is_write) {
   const BankedAccessOutcome b = access(address, is_write);
   AccessOutcome out;
@@ -63,6 +92,10 @@ AccessOutcome BankedCache::do_access(std::uint64_t address, bool is_write) {
   out.logical_unit = b.logical_bank;
   out.physical_unit = b.physical_bank;
   out.woke_unit = b.woke_bank;
+  out.wake = b.wake;
+  out.stall_cycles = b.stall_cycles;
+  out.evicted = b.evicted;
+  out.victim_address = b.victim_address;
   return out;
 }
 

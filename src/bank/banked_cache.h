@@ -28,6 +28,12 @@ struct BankedCacheConfig {
   /// from the power model (power::breakeven_cycles); a plain number here
   /// keeps src/bank independent of src/power.
   std::uint64_t breakeven_cycles = 32;
+  /// Idle cycles past which a sleeping bank has power-gated (wakeups from
+  /// deeper sleep stall longer).  0 means "== breakeven_cycles": every
+  /// wakeup is a gated wakeup, the pure-gated-policy semantics.
+  std::uint64_t gate_cycles = 0;
+  /// Event costs in stall cycles (all-zero = the idealized clock).
+  LatencyParams latency;
 
   void validate() const {
     cache.validate();
@@ -43,6 +49,13 @@ struct BankedAccessOutcome {
   /// True if this access had to wake the bank from retention (it was
   /// sleeping in the previous cycle) — costs a transition.
   bool woke_bank = false;
+  /// How deep the bank was sleeping, and what the event stalls beyond
+  /// its base cycle (see core/timing.h).
+  WakeDepth wake = WakeDepth::kAwake;
+  std::uint64_t stall_cycles = 0;
+  /// A valid line was evicted; its line-aligned address.
+  bool evicted = false;
+  std::uint64_t victim_address = 0;
 };
 
 class BankedCache : public ManagedCache {
@@ -97,11 +110,15 @@ class BankedCache : public ManagedCache {
 
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+  AccessOutcome do_probe(std::uint64_t address) override;
+  BankedAccessOutcome run_access(std::uint64_t address, bool is_write,
+                                 bool allocate);
 
   BankedCacheConfig config_;
   CacheModel cache_;
   BankDecoder decoder_;
   BlockControl block_control_;
+  std::uint64_t gate_cycles_;  // resolved: 0-sentinel -> breakeven
   std::uint64_t cycle_ = 0;
   bool finished_ = false;
 };

@@ -38,6 +38,12 @@ bool BlockControl::is_sleeping(std::uint64_t bank, std::uint64_t cycle) const {
   return cycle >= b.next_free && (cycle - b.next_free) >= breakeven_;
 }
 
+std::uint64_t BlockControl::idle_gap(std::uint64_t bank,
+                                     std::uint64_t cycle) const {
+  const BankState& b = at(bank);
+  return cycle >= b.next_free ? cycle - b.next_free : 0;
+}
+
 std::uint64_t BlockControl::accesses(std::uint64_t bank) const {
   return at(bank).accesses;
 }

@@ -67,6 +67,12 @@ class BlockControl {
   /// idle counter has saturated).
   bool is_sleeping(std::uint64_t bank, std::uint64_t cycle) const;
 
+  /// Idle cycles the bank has accumulated by `cycle` since its last
+  /// access (0 while it is still busy).  This is what lets the timing
+  /// core classify a wakeup's depth: gap >= the gate threshold means the
+  /// unit had already power-gated, a shorter gap means it was drowsy.
+  std::uint64_t idle_gap(std::uint64_t bank, std::uint64_t cycle) const;
+
   std::uint64_t num_banks() const { return banks_.size(); }
   std::uint64_t breakeven_cycles() const { return breakeven_; }
 

@@ -10,6 +10,8 @@ LineManagedCache::LineManagedCache(const LineManagedConfig& config)
     : config_(config),
       cache_(config.cache),
       num_sets_(config.cache.num_sets()),
+      gate_cycles_(config.gate_cycles != 0 ? config.gate_cycles
+                                           : config.breakeven_cycles),
       control_(config.cache.num_sets(), config.breakeven_cycles) {
   config_.validate();
   if (config_.indexing == IndexingKind::kScrambling) {
@@ -33,18 +35,44 @@ std::uint64_t LineManagedCache::map_set(std::uint64_t logical_set) const {
 
 LineAccessOutcome LineManagedCache::access(std::uint64_t address,
                                            bool is_write) {
+  return run_access(address, is_write, /*allocate=*/true);
+}
+
+LineAccessOutcome LineManagedCache::run_access(std::uint64_t address,
+                                               bool is_write,
+                                               bool allocate) {
   PCAL_ASSERT_MSG(!finished_, "cache already finished");
   LineAccessOutcome out;
   out.logical_set = config_.cache.set_index_of(address);
   out.physical_set = map_set(out.logical_set);
   out.woke_line = control_.is_sleeping(out.physical_set, cycle_);
+  out.wake = classify_wake(out.woke_line,
+                           control_.idle_gap(out.physical_set, cycle_),
+                           gate_cycles_);
+  const std::uint64_t tag = config_.cache.tag_of(address);
   const CacheAccessResult r =
-      cache_.access(config_.cache.tag_of(address), out.physical_set,
-                    is_write);
+      allocate ? cache_.access(tag, out.physical_set, is_write, address)
+               : cache_.probe(tag, out.physical_set);
   out.hit = r.hit;
   out.writeback = r.writeback;
+  out.evicted = r.evicted;
+  out.victim_address = r.victim_address;
+  out.stall_cycles = config_.latency.event_stall(r.hit, out.wake);
   control_.on_access(out.physical_set, cycle_);
   ++cycle_;
+  return out;
+}
+
+AccessOutcome LineManagedCache::do_probe(std::uint64_t address) {
+  const LineAccessOutcome l =
+      run_access(address, /*is_write=*/false, /*allocate=*/false);
+  AccessOutcome out;
+  out.hit = l.hit;
+  out.logical_unit = l.logical_set;
+  out.physical_unit = l.physical_set;
+  out.woke_unit = l.woke_line;
+  out.wake = l.wake;
+  out.stall_cycles = l.stall_cycles;
   return out;
 }
 
@@ -89,6 +117,10 @@ AccessOutcome LineManagedCache::do_access(std::uint64_t address,
   out.logical_unit = l.logical_set;
   out.physical_unit = l.physical_set;
   out.woke_unit = l.woke_line;
+  out.wake = l.wake;
+  out.stall_cycles = l.stall_cycles;
+  out.evicted = l.evicted;
+  out.victim_address = l.victim_address;
   return out;
 }
 

@@ -34,6 +34,11 @@ struct LineManagedConfig {
   /// transition energy is tiny, so this is comparable to the bank-level
   /// breakeven despite the much smaller unit.
   std::uint64_t breakeven_cycles = 28;
+  /// Idle cycles past which a sleeping line has power-gated (0 means
+  /// "== breakeven_cycles": every wakeup is a gated wakeup).
+  std::uint64_t gate_cycles = 0;
+  /// Event costs in stall cycles (all-zero = the idealized clock).
+  LatencyParams latency;
 
   void validate() const { cache.validate(); }
 };
@@ -44,6 +49,12 @@ struct LineAccessOutcome {
   std::uint64_t logical_set = 0;
   std::uint64_t physical_set = 0;
   bool woke_line = false;
+  /// Wake depth and stall of this event (core/timing.h).
+  WakeDepth wake = WakeDepth::kAwake;
+  std::uint64_t stall_cycles = 0;
+  /// A valid line was evicted; its line-aligned address.
+  bool evicted = false;
+  std::uint64_t victim_address = 0;
 };
 
 class LineManagedCache : public ManagedCache {
@@ -86,12 +97,16 @@ class LineManagedCache : public ManagedCache {
 
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+  AccessOutcome do_probe(std::uint64_t address) override;
+  LineAccessOutcome run_access(std::uint64_t address, bool is_write,
+                               bool allocate);
 
   std::uint64_t map_set(std::uint64_t logical_set) const;
 
   LineManagedConfig config_;
   CacheModel cache_;
   std::uint64_t num_sets_;
+  std::uint64_t gate_cycles_;  // resolved: 0-sentinel -> breakeven
   // Full-index rotation state: a counter for probing, an LFSR pattern for
   // scrambling (reusing IndexingPolicy with M = num_sets would demand
   // pow-2 <= 16 banks; lines need the general form, so the small state

@@ -12,22 +12,43 @@ WayGrainCache::WayGrainCache(const CacheTopology& topology)
       num_banks_(topology.partition.num_banks),
       ways_(topology.cache.ways),
       control_(topology.partition.num_banks * topology.cache.ways,
-               topology.breakeven_cycles) {}
+               topology.breakeven_cycles),
+      latency_(topology.latency),
+      gate_cycles_(topology.gate_cycles()) {}
 
 AccessOutcome WayGrainCache::do_access(std::uint64_t address, bool is_write) {
+  return run_access(address, is_write, /*allocate=*/true);
+}
+
+AccessOutcome WayGrainCache::do_probe(std::uint64_t address) {
+  // A probe miss touches no way; CacheModel reports way 0, so the cost
+  // is attributed to the set's first way-column.
+  return run_access(address, /*is_write=*/false, /*allocate=*/false);
+}
+
+AccessOutcome WayGrainCache::run_access(std::uint64_t address, bool is_write,
+                                        bool allocate) {
   PCAL_ASSERT_MSG(!finished_, "cache already finished");
   const std::uint64_t set_index = config_.set_index_of(address);
   const DecodedIndex d = decoder_.decode(set_index);
 
   const CacheAccessResult r =
-      cache_.access(config_.tag_of(address), d.physical_set, is_write);
+      allocate ? cache_.access(config_.tag_of(address), d.physical_set,
+                               is_write, address)
+               : cache_.probe(config_.tag_of(address), d.physical_set);
 
   AccessOutcome out;
   out.hit = r.hit;
   out.writeback = r.writeback;
+  out.evicted = r.evicted;
+  out.victim_address = r.victim_address;
   out.logical_unit = d.logical_bank * ways_ + r.way;
   out.physical_unit = d.physical_bank * ways_ + r.way;
   out.woke_unit = control_.is_sleeping(out.physical_unit, cycle_);
+  out.wake = classify_wake(out.woke_unit,
+                           control_.idle_gap(out.physical_unit, cycle_),
+                           gate_cycles_);
+  out.stall_cycles = latency_.event_stall(r.hit, out.wake);
 
   control_.on_access(out.physical_unit, cycle_);
   ++cycle_;

@@ -57,6 +57,9 @@ class WayGrainCache final : public ManagedCache {
 
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+  AccessOutcome do_probe(std::uint64_t address) override;
+  AccessOutcome run_access(std::uint64_t address, bool is_write,
+                           bool allocate);
 
   CacheConfig config_;
   CacheModel cache_;
@@ -64,6 +67,8 @@ class WayGrainCache final : public ManagedCache {
   std::uint64_t num_banks_;
   std::uint64_t ways_;
   BlockControl control_;
+  LatencyParams latency_;
+  std::uint64_t gate_cycles_;
   std::uint64_t cycle_ = 0;
   bool finished_ = false;
 };

@@ -20,7 +20,7 @@ CacheModel::CacheModel(const CacheConfig& config) : config_(config) {
 }
 
 CacheAccessResult CacheModel::access(std::uint64_t tag, std::uint64_t set,
-                                     bool is_write) {
+                                     bool is_write, std::uint64_t address) {
   PCAL_ASSERT_MSG(set < config_.num_sets(),
                   "set " << set << " out of range " << config_.num_sets());
   ++stats_.accesses;
@@ -33,7 +33,7 @@ CacheAccessResult CacheModel::access(std::uint64_t tag, std::uint64_t set,
       ++stats_.hits;
       way.lru = lru_clock_;
       if (is_write) way.dirty = true;
-      return {true, false, w};
+      return {true, false, w, false, 0};
     }
     // Track the replacement victim: first invalid way wins, else oldest.
     if (!way.valid) {
@@ -43,20 +43,41 @@ CacheAccessResult CacheModel::access(std::uint64_t tag, std::uint64_t set,
     }
   }
   ++stats_.misses;
-  const bool writeback = victim->valid && victim->dirty;
+  const bool evicted = victim->valid;
+  const bool writeback = evicted && victim->dirty;
+  const std::uint64_t victim_address = evicted ? victim->address : 0;
   if (writeback) ++stats_.writebacks;
   victim->valid = true;
   victim->tag = tag;
+  victim->address = address & ~(config_.line_bytes - 1);
   victim->dirty = is_write;
   victim->lru = lru_clock_;
-  return {false, writeback,
-          static_cast<std::uint64_t>(victim - base)};
+  return {false, writeback, static_cast<std::uint64_t>(victim - base),
+          evicted, victim_address};
 }
 
 CacheAccessResult CacheModel::access_address(std::uint64_t address,
                                              bool is_write) {
   return access(config_.tag_of(address), config_.set_index_of(address),
-                is_write);
+                is_write, address);
+}
+
+CacheAccessResult CacheModel::probe(std::uint64_t tag, std::uint64_t set) {
+  PCAL_ASSERT_MSG(set < config_.num_sets(),
+                  "set " << set << " out of range " << config_.num_sets());
+  ++stats_.accesses;
+  ++lru_clock_;
+  Way* base = &ways_[set * config_.ways];
+  for (std::uint64_t w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      ++stats_.hits;
+      way.lru = lru_clock_;
+      return {true, false, w, false, 0};
+    }
+  }
+  ++stats_.misses;
+  return {false, false, 0, false, 0};
 }
 
 std::uint64_t CacheModel::flush() {

@@ -21,6 +21,12 @@ struct CacheAccessResult {
   /// replacement victim on a miss).  0 for direct-mapped caches; lets
   /// way-grain power management attribute the access to its unit.
   std::uint64_t way = 0;
+  /// A valid line (dirty or clean) was evicted to make room.  Its
+  /// line-aligned address is `victim_address` — only meaningful when the
+  /// caller supplies addresses to access() (hierarchy levels do; legacy
+  /// (tag, set)-only callers get 0).
+  bool evicted = false;
+  std::uint64_t victim_address = 0;
 };
 
 struct CacheStats {
@@ -46,8 +52,17 @@ class CacheModel {
   const CacheConfig& config() const { return config_; }
 
   /// Access by pre-computed (tag, set).  `set` must be < num_sets().
+  /// `address` is remembered per line so evictions can report their
+  /// victim's address (dynamic re-indexing makes the (tag, set) -> address
+  /// inverse time-varying, so the original address is stored, not
+  /// reconstructed); pass 0 when the eviction stream is not consumed.
   CacheAccessResult access(std::uint64_t tag, std::uint64_t set,
-                           bool is_write);
+                           bool is_write, std::uint64_t address = 0);
+
+  /// Lookup without allocation: counts one access and a hit/miss, touches
+  /// LRU on a hit, but a miss installs nothing and evicts nothing.  The
+  /// exclusive-hierarchy probe — the line, if absent, stays absent.
+  CacheAccessResult probe(std::uint64_t tag, std::uint64_t set);
 
   /// Convenience for monolithic (non-banked) use: derives tag/set from the
   /// address per the configured geometry.
@@ -69,7 +84,8 @@ class CacheModel {
  private:
   struct Way {
     std::uint64_t tag = 0;
-    std::uint64_t lru = 0;  // higher = more recently used
+    std::uint64_t address = 0;  // line-aligned, for victim reporting
+    std::uint64_t lru = 0;      // higher = more recently used
     bool valid = false;
     bool dirty = false;
   };

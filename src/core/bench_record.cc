@@ -34,6 +34,20 @@ void write_bench_json(const std::string& bench_name, const SweepStats& stats,
     << "}\n";
 }
 
+void write_result_row(std::ostream& os, const SimResult& result,
+                      const std::string& workload, bool ok) {
+  os << "{\"workload\": \"" << json_escape(workload) << "\", \"config\": \""
+     << json_escape(result.config_label)
+     << "\", \"ok\": " << (ok ? "true" : "false")
+     << ", \"accesses\": " << result.accesses
+     << ", \"total_cycles\": " << result.total_cycles
+     << ", \"stall_cycles\": " << result.stall_cycles
+     << ", \"avg_latency\": " << result.avg_access_latency()
+     << ", \"energy_pj\": " << result.energy.partitioned.total_pj()
+     << ", \"idleness\": " << result.avg_residency()
+     << ", \"lifetime_years\": " << result.lifetime_years() << "}";
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

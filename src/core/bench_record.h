@@ -24,6 +24,15 @@ namespace pcal {
 void write_bench_json(const std::string& bench_name, const SweepStats& stats,
                       const std::function<void(std::ostream&)>& extra = {});
 
+/// Writes one element of a record's "results" array (no trailing comma
+/// or newline): the per-job row shape tools/check_bench_json.py
+/// validates — workload, config label, ok flag, accesses, the timing
+/// core's total/stall/avg-latency, energy, idleness, lifetime.  The one
+/// emitter for every producer (pcalsweep, bench binaries), so the row
+/// schema cannot drift between them.
+void write_result_row(std::ostream& os, const SimResult& result,
+                      const std::string& workload, bool ok);
+
 /// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
 /// control characters).
 std::string json_escape(const std::string& s);

@@ -79,6 +79,9 @@ class DrowsyHybridCache final : public ManagedCache {
   AccessOutcome do_access(std::uint64_t address, bool is_write) override {
     return base_->access(address, is_write);
   }
+  AccessOutcome do_probe(std::uint64_t address) override {
+    return base_->probe(address);
+  }
 
   std::unique_ptr<ManagedCache> base_;
   std::uint64_t drowsy_cycles_;

@@ -1,6 +1,7 @@
 #include "core/grid_spec.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -22,14 +23,27 @@ constexpr std::size_t kMaxAxisValues = 4096;
 constexpr std::size_t kMaxJobs = 1'000'000;
 
 constexpr const char* kNumericAxes[] = {
-    "cache_size", "line_size", "ways",   "banks",   "updates",
-    "breakeven",  "drowsy_window", "l2_size", "seed"};
-constexpr const char* kStringAxes[] = {"granularity", "indexing", "policy",
-                                       "workload"};
+    "cache_size", "line_size", "ways", "banks", "updates",
+    "breakeven", "drowsy_window", "seed",
+    // Hierarchy axes: lower-level sizes (0 = level disabled) and the
+    // L2 topology knobs the [grid] scalars do not cover.
+    "l2_size", "l3_size", "l2_drowsy_window",
+    // Timing axes (core/timing.h): L1 and L2 event costs, and the wakeup
+    // latencies shared by every level.
+    "hit_latency", "miss_latency", "l2_hit_latency", "l2_miss_latency",
+    "drowsy_wake", "gated_wake"};
+constexpr const char* kStringAxes[] = {
+    "granularity", "indexing",    "policy",     "workload", "inclusion",
+    "l2_granularity", "l2_indexing", "l2_policy"};
+// EnergyParams axes take real-valued lists ("0.1, 0.25").
+constexpr const char* kFloatAxes[] = {
+    "energy_drowsy_leak", "energy_gated_leak", "energy_sleep_overhead",
+    "energy_control_leak_uw", "energy_gate_fixed_pj"};
 
 constexpr const char* kMetricNames[] = {
     "idleness",  "min_idleness", "lifetime",     "energy_saving",
-    "hit_rate",  "energy_pj",    "drowsy_share", "accesses"};
+    "hit_rate",  "energy_pj",    "drowsy_share", "accesses",
+    "avg_latency", "total_cycles", "stall_cycles"};
 
 bool is_numeric_axis(const std::string& key) {
   for (const char* k : kNumericAxes)
@@ -37,9 +51,16 @@ bool is_numeric_axis(const std::string& key) {
   return false;
 }
 
+bool is_float_axis(const std::string& key) {
+  for (const char* k : kFloatAxes)
+    if (key == k) return true;
+  return false;
+}
+
 std::string valid_axes_hint() {
   std::string out;
   for (const char* k : kNumericAxes) out += std::string(k) + " ";
+  for (const char* k : kFloatAxes) out += std::string(k) + " ";
   for (const char* k : kStringAxes) out += std::string(k) + " ";
   out.pop_back();
   return out;
@@ -82,6 +103,20 @@ std::uint64_t parse_number(const std::string& s, const std::string& where) {
   } catch (const std::exception&) {
   }
   fail(where, "'" + s + "' is not a non-negative integer");
+}
+
+/// Finite non-negative real number ("0.25"); used by the EnergyParams
+/// axes.  "inf"/"nan" are rejected — they would serialize as invalid
+/// JSON in the BENCH record, far from the offending spec line.
+double parse_real(const std::string& s, const std::string& where) {
+  const std::string t{trim(s)};
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(t, &consumed);
+    if (consumed == t.size() && std::isfinite(v) && v >= 0.0) return v;
+  } catch (const std::exception&) {
+  }
+  fail(where, "'" + s + "' is not a finite non-negative real number");
 }
 
 bool parse_bool(const std::string& s, const std::string& where) {
@@ -167,6 +202,16 @@ std::vector<std::string> expand_numeric_axis(const std::string& axis,
                       std::to_string(kMaxAxisValues) + " values");
   }
   return out;
+}
+
+/// Real-valued axis: plain comma lists, each item validated and kept in
+/// its original spelling (so coords and table rows read as written).
+std::vector<std::string> expand_float_axis(const std::string& axis,
+                                           const std::string& value,
+                                           const std::string& where) {
+  std::vector<std::string> items = split_items(value, where, axis);
+  for (const std::string& item : items) parse_real(item, where);
+  return items;
 }
 
 std::vector<std::string> expand_workload_axis(const std::string& value,
@@ -287,12 +332,14 @@ TraceSourceFactory make_workload_factory(const std::string& value,
   };
 }
 
-/// Applies one axis value to the job config.  "workload" and "l2_size"
-/// are the caller's to handle; any other unlisted key is a logic error
-/// (the parser only admits known axes).
+/// Applies one L1/global axis value to the job config.  "workload" and
+/// the hierarchy axes ("l2_*", "l3_size", "inclusion") are the caller's
+/// to handle; any other unlisted key is a logic error (the parser only
+/// admits known axes).
 void apply_axis(SimConfig& cfg, const std::string& key,
                 const std::string& value) {
   const auto number = [&] { return parse_number(value, "axis " + key); };
+  const auto real = [&] { return parse_real(value, "axis " + key); };
   if (key == "cache_size")
     cfg.cache.size_bytes = number();
   else if (key == "line_size")
@@ -309,6 +356,24 @@ void apply_axis(SimConfig& cfg, const std::string& key,
     cfg.drowsy_window_cycles = number();
   else if (key == "seed")
     cfg.indexing_seed = number();
+  else if (key == "hit_latency")
+    cfg.latency.hit_cycles = number();
+  else if (key == "miss_latency")
+    cfg.latency.miss_cycles = number();
+  else if (key == "drowsy_wake")
+    cfg.latency.drowsy_wake_cycles = number();
+  else if (key == "gated_wake")
+    cfg.latency.gated_wake_cycles = number();
+  else if (key == "energy_drowsy_leak")
+    cfg.energy_params.drowsy_leak_fraction = real();
+  else if (key == "energy_gated_leak")
+    cfg.energy_params.gated_leak_fraction = real();
+  else if (key == "energy_sleep_overhead")
+    cfg.energy_params.sleep_area_leak_overhead = real();
+  else if (key == "energy_control_leak_uw")
+    cfg.energy_params.control_leak_uw_per_unit = real();
+  else if (key == "energy_gate_fixed_pj")
+    cfg.energy_params.gate_transition_fixed_pj = real();
   else if (key == "granularity")
     cfg.granularity = granularity_from_string(value);
   else if (key == "indexing")
@@ -488,15 +553,20 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
     axis.key = e.key;
     if (e.key == "workload")
       axis.values = expand_workload_axis(e.value, e.where);
-    else if (e.key == "granularity")
+    else if (e.key == "granularity" || e.key == "l2_granularity")
       axis.values = expand_enum_axis(e.key, e.value, e.where,
                                      granularity_from_string);
-    else if (e.key == "indexing")
+    else if (e.key == "indexing" || e.key == "l2_indexing")
       axis.values = expand_enum_axis(e.key, e.value, e.where,
                                      indexing_kind_from_string);
-    else if (e.key == "policy")
+    else if (e.key == "policy" || e.key == "l2_policy")
       axis.values = expand_enum_axis(e.key, e.value, e.where,
                                      power_policy_from_string);
+    else if (e.key == "inclusion")
+      axis.values = expand_enum_axis(e.key, e.value, e.where,
+                                     inclusion_policy_from_string);
+    else if (is_float_axis(e.key))
+      axis.values = expand_float_axis(e.key, e.value, e.where);
     else if (is_numeric_axis(e.key))
       axis.values = expand_numeric_axis(e.key, e.value, e.where);
     else
@@ -511,6 +581,29 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
     throw ConfigError(
         "sweep spec has no workload axis: declare `workload = ...` under "
         "[sweep]");
+  // Lower-level axes are inert without a level to apply to — a spec
+  // sweeping e.g. `inclusion` with no (nonzero) l2_size/l3_size would
+  // expand duplicate single-level jobs and quietly show the axis having
+  // no effect.
+  const auto has_enabled_level = [&] {
+    for (const char* size_key : {"l2_size", "l3_size"}) {
+      if (const GridAxis* axis = spec.find_axis(size_key))
+        for (const std::string& v : axis->values)
+          if (v != "0") return true;
+    }
+    return false;
+  };
+  if (!has_enabled_level()) {
+    for (const char* key :
+         {"inclusion", "l2_granularity", "l2_indexing", "l2_policy",
+          "l2_drowsy_window", "l2_hit_latency", "l2_miss_latency"}) {
+      if (spec.find_axis(key))
+        throw ConfigError(
+            "sweep axis '" + std::string(key) +
+            "' needs a lower level: declare an l2_size (or l3_size) axis "
+            "with a nonzero value");
+    }
+  }
   std::size_t total = 1;
   for (const GridAxis& axis : spec.axes_) {
     total *= axis.values.size();
@@ -646,31 +739,67 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
   for (;;) {
     GridJob job;
     job.coords.reserve(axes_.size());
-    std::uint64_t l2_size = 0;
+    // Hierarchy coordinates are collected first (axis order must not
+    // matter) and assembled into lower levels below.
+    std::uint64_t l2_size = 0, l3_size = 0;
+    Granularity l2_granularity = Granularity::kBank;
+    IndexingKind l2_indexing = IndexingKind::kStatic;
+    PowerPolicy l2_policy = PowerPolicy::kGated;
+    std::uint64_t l2_drowsy_window = 0;
+    std::uint64_t l2_hit_latency = 0, l2_miss_latency = 0;
+    InclusionPolicy inclusion = InclusionPolicy::kNonInclusive;
     SimConfig cfg;
     cfg.force_unit_pricing = unit_pricing_;
     for (std::size_t i = 0; i < axes_.size(); ++i) {
       const std::string& value = axes_[i].values[odometer[i]];
+      const std::string& key = axes_[i].key;
       job.coords.push_back(value);
-      if (axes_[i].key == "workload") {
+      if (key == "workload") {
         job.workload = value;
-      } else if (axes_[i].key == "l2_size") {
+      } else if (key == "l2_size") {
         l2_size = parse_number(value, "axis l2_size");
+      } else if (key == "l3_size") {
+        l3_size = parse_number(value, "axis l3_size");
+      } else if (key == "l2_granularity") {
+        l2_granularity = granularity_from_string(value);
+      } else if (key == "l2_indexing") {
+        l2_indexing = indexing_kind_from_string(value);
+      } else if (key == "l2_policy") {
+        l2_policy = power_policy_from_string(value);
+      } else if (key == "l2_drowsy_window") {
+        l2_drowsy_window = parse_number(value, "axis l2_drowsy_window");
+      } else if (key == "l2_hit_latency") {
+        l2_hit_latency = parse_number(value, "axis l2_hit_latency");
+      } else if (key == "l2_miss_latency") {
+        l2_miss_latency = parse_number(value, "axis l2_miss_latency");
+      } else if (key == "inclusion") {
+        inclusion = inclusion_policy_from_string(value);
       } else {
-        apply_axis(cfg, axes_[i].key, value);
+        apply_axis(cfg, key, value);
       }
     }
-    if (l2_size > 0) {
-      CacheTopology l2;
-      l2.cache.size_bytes = l2_size;
-      l2.cache.line_bytes = cfg.cache.line_bytes;
-      l2.cache.ways = cfg.cache.ways;
-      l2.granularity = Granularity::kBank;
-      l2.partition.num_banks = l2_banks_;
-      l2.indexing = IndexingKind::kStatic;
-      l2.breakeven_cycles = l2_breakeven_;
-      cfg.l2 = l2;
-    }
+    // Lower levels: L2 then L3, each enabled by a nonzero size.  The
+    // [grid] l2_banks/l2_breakeven scalars shape both; the l2_* axes
+    // refine the L2; `inclusion` applies to every lower level; wakeup
+    // latencies are shared down the stack (one sleep technology).
+    const auto add_level = [&](std::uint64_t size) {
+      LevelConfig level = cfg.make_level(size);  // depth seed + geometry
+      level.inclusion = inclusion;
+      CacheTopology& topo = level.topology;
+      topo.granularity = l2_granularity;
+      topo.partition.num_banks = l2_banks_;
+      topo.indexing = l2_indexing;
+      topo.breakeven_cycles = l2_breakeven_;
+      topo.policy = l2_policy;
+      topo.drowsy_window_cycles = l2_drowsy_window;
+      topo.latency.hit_cycles = l2_hit_latency;
+      topo.latency.miss_cycles = l2_miss_latency;
+      topo.latency.drowsy_wake_cycles = cfg.latency.drowsy_wake_cycles;
+      topo.latency.gated_wake_cycles = cfg.latency.gated_wake_cycles;
+      cfg.lower_levels.push_back(level);
+    };
+    if (l2_size > 0) add_level(l2_size);
+    if (l3_size > 0) add_level(l3_size);
     try {
       cfg.validate();
     } catch (const Error& e) {
@@ -703,6 +832,9 @@ double grid_metric_value(const SimResult& r, const std::string& metric) {
   if (metric == "energy_pj") return r.energy.partitioned.total_pj();
   if (metric == "drowsy_share") return r.drowsy_residency();
   if (metric == "accesses") return static_cast<double>(r.accesses);
+  if (metric == "avg_latency") return r.avg_access_latency();
+  if (metric == "total_cycles") return static_cast<double>(r.total_cycles);
+  if (metric == "stall_cycles") return static_cast<double>(r.stall_cycles);
   throw ConfigError("unknown table metric '" + metric + "'");
 }
 

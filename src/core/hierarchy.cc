@@ -1,64 +1,206 @@
 #include "core/hierarchy.h"
 
+#include <sstream>
+
 #include "util/error.h"
 
 namespace pcal {
 
-HierarchicalCache::HierarchicalCache(const CacheTopology& l1,
-                                     const CacheTopology& l2)
-    : l1_(make_managed_cache(l1)),
-      l2_(make_managed_cache(l2)),
-      l1_rotates_(l1.rotates()),
-      l2_rotates_(l2.rotates()) {}
+const char* to_string(InclusionPolicy policy) {
+  switch (policy) {
+    case InclusionPolicy::kNonInclusive: return "noninclusive";
+    case InclusionPolicy::kInclusive: return "inclusive";
+    case InclusionPolicy::kExclusive: return "exclusive";
+    case InclusionPolicy::kVictim: return "victim";
+  }
+  return "?";
+}
+
+InclusionPolicy inclusion_policy_from_string(const std::string& s) {
+  if (s == "noninclusive" || s == "non-inclusive")
+    return InclusionPolicy::kNonInclusive;
+  if (s == "inclusive") return InclusionPolicy::kInclusive;
+  if (s == "exclusive") return InclusionPolicy::kExclusive;
+  if (s == "victim") return InclusionPolicy::kVictim;
+  throw ConfigError(
+      "unknown inclusion policy: \"" + s +
+      "\" (expected noninclusive | inclusive | exclusive | victim)");
+}
+
+void HierarchyConfig::validate() const {
+  PCAL_CONFIG_CHECK(!levels.empty(), "hierarchy needs at least one level");
+  for (const LevelConfig& level : levels) {
+    PCAL_CONFIG_CHECK(level.enabled(),
+                      "hierarchy level has zero size (drop disabled levels "
+                      "before building the hierarchy)");
+    level.topology.validate();
+  }
+}
+
+std::string HierarchyConfig::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) {
+      os << " | L" << (i + 1);
+      if (levels[i].inclusion != InclusionPolicy::kNonInclusive)
+        os << "/" << to_string(levels[i].inclusion);
+      os << " ";
+    }
+    os << levels[i].topology.describe();
+  }
+  return os.str();
+}
+
+HierarchicalCache::HierarchicalCache(const HierarchyConfig& config) {
+  config.validate();
+  levels_.reserve(config.levels.size());
+  for (const LevelConfig& lc : config.levels) {
+    Level level;
+    level.cache = make_managed_cache(lc.topology);
+    level.inclusion = lc.inclusion;
+    level.rotates = lc.topology.rotates();
+    level.unit_offset = total_units_;
+    total_units_ += level.cache->num_units();
+    levels_.push_back(std::move(level));
+  }
+}
 
 AccessOutcome HierarchicalCache::do_access(std::uint64_t address,
                                            bool is_write) {
-  const AccessOutcome out = l1_->access(address, is_write);
-  if (out.hit) {
-    l2_->advance_idle(1);
-  } else {
-    // The fill is a read; a dirty L1 victim rides along as a write
-    // (single-port approximation, see the header comment).
-    l2_->access(address, out.writeback);
+  AccessOutcome top = levels_.front().cache->access(address, is_write);
+  std::uint64_t stall = top.stall_cycles;
+
+  // Route one event per level down the hierarchy; once a level is not
+  // referenced (its policy has nothing for it this cycle), it and every
+  // level below idle the cycle away.
+  AccessOutcome cur = top;
+  std::uint64_t cur_address = address;
+  bool active = true;
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    Level& level = levels_[i];
+    if (active) {
+      bool referenced = false;
+      std::uint64_t event_address = 0;
+      bool event_write = false;
+      switch (level.inclusion) {
+        case InclusionPolicy::kNonInclusive:
+        case InclusionPolicy::kInclusive:
+          // The upper miss stream: the fill, with a dirty upper victim
+          // folded in as a write (single-port approximation).
+          if (!cur.hit) {
+            referenced = true;
+            event_address = cur_address;
+            event_write = cur.writeback;
+          }
+          break;
+        case InclusionPolicy::kExclusive:
+          if (!cur.hit) {
+            referenced = true;
+            if (cur.evicted) {
+              event_address = cur.victim_address;  // the victim moves down
+              event_write = cur.writeback;
+            } else {
+              // Victimless (cold) miss: a non-allocating probe — the
+              // missed line fills the level above, never this one, so
+              // exclusivity survives post-flush refill bursts.
+              cur = level.cache->probe(cur_address);
+              stall += cur.stall_cycles;
+              continue;
+            }
+          }
+          break;
+        case InclusionPolicy::kVictim:
+          if (!cur.hit && cur.evicted) {
+            referenced = true;
+            event_address = cur.victim_address;
+            event_write = cur.writeback;
+          }
+          break;
+      }
+      if (referenced) {
+        cur = level.cache->access(event_address, event_write);
+        cur_address = event_address;
+        stall += cur.stall_cycles;
+        continue;
+      }
+      active = false;
+    }
+    level.cache->advance_idle(1);
   }
+
+  top.stall_cycles = stall;
+  return top;
+}
+
+AccessOutcome HierarchicalCache::do_probe(std::uint64_t address) {
+  // A probe of the hierarchy probes the CPU-facing level only; the
+  // levels below idle the cycle (nothing propagates — a probe neither
+  // fills nor evicts).
+  AccessOutcome out = levels_.front().cache->probe(address);
+  for (std::size_t i = 1; i < levels_.size(); ++i)
+    levels_[i].cache->advance_idle(1);
   return out;
 }
 
 std::uint64_t HierarchicalCache::update_indexing() {
+  // The update signal enters every rotating level; a non-rotating level
+  // has nothing to re-map and is not flushed — the same rule the
+  // Simulator applies to single-level runs.
+  std::vector<bool> flush(levels_.size(), false);
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    flush[i] = levels_[i].rotates;
+  // Back-invalidation cascade: flushing an inclusive level invalidates
+  // content its upper neighbour may still hold, so the neighbour is
+  // flushed too (and so on up through further inclusive links).
+  for (std::size_t i = levels_.size(); i-- > 1;)
+    if (flush[i] && levels_[i].inclusion == InclusionPolicy::kInclusive)
+      flush[i - 1] = true;
+
   std::uint64_t dirty = 0;
-  if (l1_rotates_) dirty += l1_->update_indexing();
-  if (l2_rotates_) dirty += l2_->update_indexing();
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    if (flush[i]) dirty += levels_[i].cache->update_indexing();
   ++updates_;
   return dirty;
 }
 
 void HierarchicalCache::advance_idle(std::uint64_t cycles) {
-  l1_->advance_idle(cycles);
-  l2_->advance_idle(cycles);
+  for (Level& level : levels_) level.cache->advance_idle(cycles);
 }
 
 void HierarchicalCache::finish() {
-  l1_->finish();
-  l2_->finish();
+  for (Level& level : levels_) level.cache->finish();
+}
+
+const HierarchicalCache::Level& HierarchicalCache::level_of_unit(
+    std::uint64_t unit, std::uint64_t* local) const {
+  PCAL_ASSERT_MSG(unit < total_units_, "unit out of range");
+  for (std::size_t i = levels_.size(); i-- > 0;) {
+    if (unit >= levels_[i].unit_offset) {
+      *local = unit - levels_[i].unit_offset;
+      return levels_[i];
+    }
+  }
+  *local = unit;
+  return levels_.front();
 }
 
 double HierarchicalCache::unit_residency(std::uint64_t unit) const {
-  const std::uint64_t n1 = l1_->num_units();
-  return unit < n1 ? l1_->unit_residency(unit)
-                   : l2_->unit_residency(unit - n1);
+  std::uint64_t local = 0;
+  const Level& level = level_of_unit(unit, &local);
+  return level.cache->unit_residency(local);
 }
 
 UnitActivity HierarchicalCache::unit_activity(std::uint64_t unit) const {
-  const std::uint64_t n1 = l1_->num_units();
-  return unit < n1 ? l1_->unit_activity(unit)
-                   : l2_->unit_activity(unit - n1);
+  std::uint64_t local = 0;
+  const Level& level = level_of_unit(unit, &local);
+  return level.cache->unit_activity(local);
 }
 
 const IntervalAccumulator& HierarchicalCache::unit_intervals(
     std::uint64_t unit) const {
-  const std::uint64_t n1 = l1_->num_units();
-  return unit < n1 ? l1_->unit_intervals(unit)
-                   : l2_->unit_intervals(unit - n1);
+  std::uint64_t local = 0;
+  const Level& level = level_of_unit(unit, &local);
+  return level.cache->unit_intervals(local);
 }
 
 }  // namespace pcal

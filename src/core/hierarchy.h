@@ -1,79 +1,168 @@
-// Two-level (L1+L2) cache hierarchy as one ManagedCache.
+// N-level cache hierarchy with inclusion policies, as one ManagedCache.
 //
-// Each level is an independently-configured ManagedCache (any granularity,
-// any indexing, any power policy — both are built through
-// make_managed_cache), and L1 misses generate the L2 access stream: an L1
-// hit costs L2 one idle cycle (advance_idle keeps L2 on the global clock,
-// so its residencies and leakage are priced against real time, not its
-// access count), an L1 miss becomes one L2 access at the same cycle.  A
-// dirty L1 victim is folded into that miss access as a write (a standard
-// single-port approximation: the victim writeback and the fill share the
-// L2 port in the same cycle).
+// A HierarchyConfig is an ordered list of levels — level 0 faces the CPU,
+// each further level backs the one above it.  Every level is an
+// independently-configured ManagedCache (any granularity, indexing,
+// power policy and latency point, all built through make_managed_cache),
+// and its InclusionPolicy selects which stream of its upper neighbour it
+// consumes, one event per global cycle (the single-port approximation:
+// whatever rides together in a cycle shares the port):
 //
-// The hierarchy presents the combined unit vector — L1's units first, then
-// L2's — so the one Simulator engine reports per-unit idleness, energy and
-// lifetime across both levels, and the PR-2 sweep engine parallelizes
-// hierarchy jobs like any other.  stats() is L1's tag store (the level the
-// CPU sees); l2_stats() exposes the second level.  update_indexing fires
-// the update signal into every level whose indexing actually rotates —
-// a static-indexed or single-unit level has nothing to re-map and is not
-// flushed, the same rule the Simulator applies to single-level runs (so
-// a static L2 keeps backing the L1 across L1 re-index flushes, and a
-// monolithic L1 is never flushed just because an L2 is attached).
+//   kNonInclusive  the upper level's *miss* stream: an upper miss becomes
+//                  one access at the missed address, with a dirty upper
+//                  victim folded in as a write.  This is the legacy
+//                  L1+L2 semantics, preserved bit for bit.
+//   kInclusive     the same miss stream, plus back-invalidation coupling:
+//                  whenever this level's re-index update flushes it, the
+//                  level above is flushed too (its content must stay a
+//                  subset), cascading upward through further inclusive
+//                  links.
+//   kExclusive     the upper level's *eviction* stream: an upper miss
+//                  that evicted a valid victim installs that victim here
+//                  (a write iff it was dirty); a victimless upper miss
+//                  probes the missed address instead (the lookup that
+//                  would catch a previously-installed line).  Content
+//                  converges to "lines evicted from above".
+//   kVictim        the eviction stream only: victims are installed,
+//                  every other cycle idles.  A pure victim sink — the
+//                  maximal-idleness lower level.
 //
-// Known modeling asymmetry: dirty lines written back by a *flush* (the
-// re-index update) leave the hierarchy without touching L2, while dirty
-// victims of ordinary misses are folded into the L2 miss access.  Flush
-// writebacks have no per-line addresses in the tag-store model, so
-// replaying them into L2 is not possible; L2 traffic is therefore
-// slightly undercounted at update boundaries of a rotating dirty L1.
+// Levels that are not referenced in a cycle advance_idle(1), so every
+// level lives on the same global clock and its residencies and leakage
+// are priced against real time.  Stalls compose: an access's
+// AccessOutcome::stall_cycles is the sum over every level it actually
+// referenced (each level priced by its own CacheTopology::latency), and
+// the driver stretches the global clock by that sum.
 //
-// Degeneracy: with no L2 the Simulator builds the bare L1 backend, and a
-// zero-size L2 config means "no L2" — pinned by tests/hierarchy_test.cc.
+// The hierarchy presents the concatenated unit vector — level 0's units
+// first, then each level below in order — so the one Simulator engine
+// reports per-unit idleness, energy and lifetime across all levels.
+// stats() is level 0's tag store (what the CPU sees); level_stats(i)
+// exposes the others.  update_indexing fires the update signal into every
+// level whose indexing actually rotates (a static-indexed or single-unit
+// level has nothing to re-map and is not flushed), then applies the
+// inclusive back-invalidation cascade described above.
+//
+// Known modeling asymmetries (unchanged from the two-level ancestor):
+// dirty lines written back by a *flush* leave the hierarchy without
+// touching the level below (flush writebacks have no per-line addresses
+// in the tag-store model), and exclusivity is approximate — a line moved
+// conceptually upward by a probe hit cannot be invalidated below, so it
+// may be double-counted until its lower frame is reused.
+//
+// Degeneracies (pinned in tests/hierarchy_test.cc and the backend parity
+// suite at 1 and 8 sweep workers): a 1-level hierarchy is the bare
+// backend bit for bit; a 2-level non-inclusive hierarchy is the legacy
+// SimConfig L1+L2 path bit for bit; zero latencies keep the idealized
+// clock.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/managed_cache.h"
 
 namespace pcal {
 
+/// What a level holds relative to its upper neighbour, i.e. which of the
+/// neighbour's streams it consumes.  Level 0 has no upper neighbour; its
+/// policy is ignored.
+enum class InclusionPolicy : std::uint8_t {
+  kNonInclusive = 0,  // miss stream, no content coupling (the default)
+  kInclusive = 1,     // miss stream + back-invalidation flush coupling
+  kExclusive = 2,     // eviction installs, probe on victimless misses
+  kVictim = 3,        // eviction installs only (pure victim sink)
+};
+
+const char* to_string(InclusionPolicy policy);
+
+/// Parses "noninclusive" | "non-inclusive" | "inclusive" | "exclusive" |
+/// "victim"; throws ConfigError otherwise.
+InclusionPolicy inclusion_policy_from_string(const std::string& s);
+
+/// One level of a hierarchy: its cache architecture plus how it relates
+/// to the level above it.
+struct LevelConfig {
+  CacheTopology topology;
+  InclusionPolicy inclusion = InclusionPolicy::kNonInclusive;
+
+  /// A zero-size level is disabled — configs drop it before building
+  /// the hierarchy (the degeneracy the parity tests pin).
+  bool enabled() const { return topology.cache.size_bytes > 0; }
+};
+
+/// Ordered description of a whole hierarchy; levels[0] faces the CPU.
+struct HierarchyConfig {
+  std::vector<LevelConfig> levels;
+
+  std::size_t num_levels() const { return levels.size(); }
+
+  /// Requires at least one level, every level non-empty and valid.
+  void validate() const;
+
+  /// "8kB/16B/DM M=4 probing | L2 64kB/16B/DM M=4 static | L3/victim ..."
+  /// — level 0 bare, lower levels tagged L<k> with a /policy suffix for
+  /// non-default inclusion, each carrying its full topology describe()
+  /// so hierarchy rows are distinguishable in BENCH JSON records.
+  std::string describe() const;
+};
+
 class HierarchicalCache final : public ManagedCache {
  public:
-  /// Builds both levels via make_managed_cache.  Throws ConfigError on
-  /// invalid topologies.
-  HierarchicalCache(const CacheTopology& l1, const CacheTopology& l2);
+  /// Builds every level via make_managed_cache.  Throws ConfigError on
+  /// an empty hierarchy or invalid level topologies.
+  explicit HierarchicalCache(const HierarchyConfig& config);
 
-  // ManagedCache (units are L1's units followed by L2's):
+  // ManagedCache (units are level 0's units, then level 1's, ...):
   std::uint64_t update_indexing() override;
   void advance_idle(std::uint64_t cycles) override;
   void finish() override;
-  std::uint64_t cycles() const override { return l1_->cycles(); }
-  std::uint64_t num_units() const override {
-    return l1_->num_units() + l2_->num_units();
-  }
+  std::uint64_t cycles() const override { return levels_.front().cache->cycles(); }
+  std::uint64_t num_units() const override { return total_units_; }
   double unit_residency(std::uint64_t unit) const override;
-  /// L1's tag-store statistics (the level the CPU sees).
-  const CacheStats& stats() const override { return l1_->stats(); }
+  /// Level 0's tag-store statistics (the level the CPU sees).
+  const CacheStats& stats() const override {
+    return levels_.front().cache->stats();
+  }
   std::uint64_t indexing_updates() const override { return updates_; }
   UnitActivity unit_activity(std::uint64_t unit) const override;
   const IntervalAccumulator& unit_intervals(
       std::uint64_t unit) const override;
 
   // ---- level access ----
-  const ManagedCache& l1() const { return *l1_; }
-  const ManagedCache& l2() const { return *l2_; }
-  const CacheStats& l2_stats() const { return l2_->stats(); }
-  std::uint64_t l1_units() const { return l1_->num_units(); }
+  std::size_t num_levels() const { return levels_.size(); }
+  const ManagedCache& level(std::size_t i) const {
+    return *levels_.at(i).cache;
+  }
+  const CacheStats& level_stats(std::size_t i) const {
+    return levels_.at(i).cache->stats();
+  }
+  InclusionPolicy level_inclusion(std::size_t i) const {
+    return levels_.at(i).inclusion;
+  }
+  /// Number of power-management units of one level.
+  std::uint64_t level_units(std::size_t i) const {
+    return levels_.at(i).cache->num_units();
+  }
+  /// Units of level 0 (they lead the concatenated unit vector).
+  std::uint64_t l1_units() const { return levels_.front().cache->num_units(); }
 
  private:
-  AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+  struct Level {
+    std::unique_ptr<ManagedCache> cache;
+    InclusionPolicy inclusion;
+    bool rotates;
+    std::uint64_t unit_offset;  // index of its first unit in the vector
+  };
 
-  std::unique_ptr<ManagedCache> l1_;
-  std::unique_ptr<ManagedCache> l2_;
-  bool l1_rotates_;
-  bool l2_rotates_;
+  AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+  AccessOutcome do_probe(std::uint64_t address) override;
+  const Level& level_of_unit(std::uint64_t unit, std::uint64_t* local) const;
+
+  std::vector<Level> levels_;
+  std::uint64_t total_units_ = 0;
   std::uint64_t updates_ = 0;
 };
 

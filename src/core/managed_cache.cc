@@ -42,9 +42,10 @@ const char* to_string(PowerPolicy policy) {
 
 PowerPolicy power_policy_from_string(const std::string& s) {
   if (s == "gated") return PowerPolicy::kGated;
-  if (s == "drowsy") return PowerPolicy::kDrowsyHybrid;
+  // Both the short spelling and the enum's own name round-trip.
+  if (s == "drowsy" || s == "drowsy_hybrid") return PowerPolicy::kDrowsyHybrid;
   throw ConfigError("unknown power policy: \"" + s +
-                    "\" (expected gated | drowsy)");
+                    "\" (expected gated | drowsy | drowsy_hybrid)");
 }
 
 std::uint64_t CacheTopology::num_units() const {
@@ -83,6 +84,9 @@ std::string CacheTopology::describe() const {
   }
   os << " " << to_string(indexing);
   if (drowsy_active()) os << " drowsy+" << drowsy_window_cycles;
+  // Timed levels carry their latency point; untimed labels are unchanged
+  // (the zero-latency degeneracy extends to config labels).
+  if (!latency.zero()) os << " lat=" << latency.describe();
   return os.str();
 }
 
@@ -129,6 +133,8 @@ std::unique_ptr<ManagedCache> make_gated_backend(
       bc.indexing = topology.indexing;
       bc.indexing_seed = topology.indexing_seed;
       bc.breakeven_cycles = topology.breakeven_cycles;
+      bc.gate_cycles = topology.gate_cycles();
+      bc.latency = topology.latency;
       return std::make_unique<BankedCache>(bc);
     }
     case Granularity::kLine: {
@@ -137,6 +143,8 @@ std::unique_ptr<ManagedCache> make_gated_backend(
       lc.indexing = topology.indexing;
       lc.indexing_seed = topology.indexing_seed;
       lc.breakeven_cycles = topology.breakeven_cycles;
+      lc.gate_cycles = topology.gate_cycles();
+      lc.latency = topology.latency;
       return std::make_unique<LineManagedCache>(lc);
     }
     case Granularity::kWay:

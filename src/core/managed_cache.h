@@ -43,6 +43,7 @@
 #include "bank/partition_config.h"
 #include "cache/cache.h"
 #include "cache/cache_config.h"
+#include "core/timing.h"
 #include "indexing/index_policy.h"
 
 namespace pcal {
@@ -77,7 +78,8 @@ enum class PowerPolicy : std::uint8_t {
 
 const char* to_string(PowerPolicy policy);
 
-/// Parses "gated" | "drowsy"; throws ConfigError otherwise.
+/// Parses "gated" | "drowsy" | "drowsy_hybrid" (the enum's own spelling
+/// round-trips alongside the short form); throws ConfigError otherwise.
 PowerPolicy power_policy_from_string(const std::string& s);
 
 /// Outcome of one access through the unified interface.  `unit` is the
@@ -90,6 +92,21 @@ struct AccessOutcome {
   std::uint64_t physical_unit = 0;
   /// The access had to wake its unit from retention (costs a transition).
   bool woke_unit = false;
+  /// How deep that unit was sleeping (kAwake when !woke_unit; kGated for
+  /// every wakeup under the pure gated policy; the hybrid distinguishes
+  /// drowsy wakeups within the window from gated ones past it).
+  WakeDepth wake = WakeDepth::kAwake;
+  /// Stall cycles this access costs beyond its one base cycle, priced by
+  /// the level's CacheTopology::latency (0 under the default all-zero
+  /// latencies — the idealized clock).  Hierarchies report the sum over
+  /// every level the access actually referenced.
+  std::uint64_t stall_cycles = 0;
+  /// A valid line was evicted by this access (whether or not it was
+  /// dirty; `writeback` flags the dirty case).  `victim_address` is its
+  /// line-aligned address — the eviction stream a victim or exclusive
+  /// lower level consumes.
+  bool evicted = false;
+  std::uint64_t victim_address = 0;
 };
 
 /// Per-unit activity facts, valid after finish().
@@ -129,6 +146,9 @@ struct CacheTopology {
   /// drowsy voltage before it is power-gated.  0 disables the drowsy
   /// window (the hybrid then *is* the gated backend, bit for bit).
   std::uint64_t drowsy_window_cycles = 0;
+  /// Event costs of this level in stall cycles (core/timing.h).  The
+  /// all-zero default keeps the idealized one-access-per-cycle clock.
+  LatencyParams latency;
 
   /// Number of power-management units this topology yields.
   std::uint64_t num_units() const;
@@ -175,6 +195,15 @@ class ManagedCache {
     return do_access(address, is_write);
   }
 
+  /// Simulates one lookup at the next cycle *without allocating on a
+  /// miss*: the serving unit is activated exactly as for access() (it
+  /// wakes if sleeping, its idle counter resets, hit/miss statistics
+  /// and stall cycles count), but a missing line stays absent — nothing
+  /// is installed, nothing evicted.  This is the exclusive hierarchy's
+  /// probe path (core/hierarchy.h): the probed line, if found,
+  /// conceptually moves up rather than filling this level.
+  AccessOutcome probe(std::uint64_t address) { return do_probe(address); }
+
   /// Fires the update signal: advances the time-varying indexing and
   /// flushes the cache.  Returns the number of dirty lines written back.
   virtual std::uint64_t update_indexing() = 0;
@@ -219,6 +248,7 @@ class ManagedCache {
 
  private:
   virtual AccessOutcome do_access(std::uint64_t address, bool is_write) = 0;
+  virtual AccessOutcome do_probe(std::uint64_t address) = 0;
 };
 
 /// Builds the backend for a topology: MonolithicCache, BankedCache,

@@ -7,16 +7,36 @@ namespace pcal {
 // CacheModel validates the geometry and BlockControl the breakeven, both
 // before first use; no further checks needed here.
 MonolithicCache::MonolithicCache(const CacheTopology& topology)
-    : cache_(topology.cache), control_(1, topology.breakeven_cycles) {}
+    : cache_(topology.cache),
+      control_(1, topology.breakeven_cycles),
+      latency_(topology.latency),
+      gate_cycles_(topology.gate_cycles()) {}
 
 AccessOutcome MonolithicCache::do_access(std::uint64_t address,
                                          bool is_write) {
+  return run_access(address, is_write, /*allocate=*/true);
+}
+
+AccessOutcome MonolithicCache::do_probe(std::uint64_t address) {
+  return run_access(address, /*is_write=*/false, /*allocate=*/false);
+}
+
+AccessOutcome MonolithicCache::run_access(std::uint64_t address,
+                                          bool is_write, bool allocate) {
   PCAL_ASSERT_MSG(!finished_, "cache already finished");
   AccessOutcome out;
   out.woke_unit = control_.is_sleeping(0, cycle_);
-  const CacheAccessResult r = cache_.access_address(address, is_write);
+  out.wake = classify_wake(out.woke_unit, control_.idle_gap(0, cycle_),
+                           gate_cycles_);
+  const CacheConfig& cc = cache_.config();
+  const CacheAccessResult r =
+      allocate ? cache_.access_address(address, is_write)
+               : cache_.probe(cc.tag_of(address), cc.set_index_of(address));
   out.hit = r.hit;
   out.writeback = r.writeback;
+  out.evicted = r.evicted;
+  out.victim_address = r.victim_address;
+  out.stall_cycles = latency_.event_stall(r.hit, out.wake);
   control_.on_access(0, cycle_);
   ++cycle_;
   return out;

@@ -40,9 +40,14 @@ class MonolithicCache final : public ManagedCache {
 
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;
+  AccessOutcome do_probe(std::uint64_t address) override;
+  AccessOutcome run_access(std::uint64_t address, bool is_write,
+                           bool allocate);
 
   CacheModel cache_;
   BlockControl control_;
+  LatencyParams latency_;
+  std::uint64_t gate_cycles_;
   std::uint64_t cycle_ = 0;
   std::uint64_t updates_ = 0;
   bool finished_ = false;

@@ -34,7 +34,7 @@ PartitionConfig effective_partition(const SimConfig& config) {
 /// explicitly forced onto the per-unit model.  Everything else goes
 /// through the per-unit model.
 bool uses_legacy_pricing(const SimConfig& config) {
-  return !config.force_unit_pricing && !config.l2_enabled() &&
+  return !config.force_unit_pricing && !config.hierarchy_enabled() &&
          !(config.policy == PowerPolicy::kDrowsyHybrid &&
            config.drowsy_window_cycles > 0) &&
          (config.granularity == Granularity::kMonolithic ||
@@ -42,6 +42,27 @@ bool uses_legacy_pricing(const SimConfig& config) {
 }
 
 }  // namespace
+
+std::vector<LevelConfig> SimConfig::enabled_lower_levels() const {
+  std::vector<LevelConfig> enabled;
+  for (const LevelConfig& level : lower_levels)
+    if (level.enabled()) enabled.push_back(level);
+  return enabled;
+}
+
+LevelConfig SimConfig::make_level(std::uint64_t size_bytes) const {
+  LevelConfig level;
+  CacheTopology& topo = level.topology;
+  topo.granularity = Granularity::kBank;
+  topo.cache = cache;
+  topo.cache.size_bytes = size_bytes;
+  topo.partition.num_banks = 4;
+  topo.indexing = IndexingKind::kStatic;
+  // Depth-offset seed: stacked levels must never share rotation phase.
+  topo.indexing_seed = indexing_seed + lower_levels.size() + 1;
+  topo.breakeven_cycles = 64;
+  return level;
+}
 
 void SimConfig::validate() const {
   cache.validate();
@@ -52,7 +73,8 @@ void SimConfig::validate() const {
       granularity == Granularity::kWay)
     partition.validate(cache);
   energy_params.validate();
-  if (l2_enabled()) l2->validate();
+  for (const LevelConfig& level : lower_levels)
+    if (level.enabled()) level.topology.validate();
 }
 
 CacheTopology SimConfig::topology(std::uint64_t breakeven_cycles) const {
@@ -65,6 +87,7 @@ CacheTopology SimConfig::topology(std::uint64_t breakeven_cycles) const {
   topo.breakeven_cycles = breakeven_cycles;
   topo.policy = policy;
   topo.drowsy_window_cycles = drowsy_window_cycles;
+  topo.latency = latency;
   return topo;
 }
 
@@ -83,11 +106,11 @@ double SimResult::min_residency() const {
 }
 
 double SimResult::drowsy_residency() const {
-  if (units.empty() || accesses == 0) return 0.0;
+  if (units.empty() || total_cycles == 0) return 0.0;
   double drowsy = 0.0;
   for (const auto& u : units)
     drowsy += static_cast<double>(u.drowsy_cycles);
-  return drowsy / (static_cast<double>(accesses) *
+  return drowsy / (static_cast<double>(total_cycles) *
                    static_cast<double>(units.size()));
 }
 
@@ -119,11 +142,18 @@ std::uint64_t Simulator::breakeven_cycles() const {
 SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
                          const IntervalObserver& observer) const {
   const CacheTopology topo = config_.topology(breakeven_cycles());
-  const bool hierarchy = config_.l2_enabled();
+  // The hierarchy description: L1 first, then every enabled lower level.
+  // A single level skips the HierarchicalCache wrapper entirely (the
+  // 1-level degeneracy the parity tests pin holds either way).
+  HierarchyConfig hconfig;
+  hconfig.levels.push_back({topo, InclusionPolicy::kNonInclusive});
+  for (const LevelConfig& level : config_.enabled_lower_levels())
+    hconfig.levels.push_back(level);
+  const bool hierarchy = hconfig.levels.size() > 1;
   std::unique_ptr<ManagedCache> cache;
   const HierarchicalCache* hier = nullptr;
   if (hierarchy) {
-    auto h = std::make_unique<HierarchicalCache>(topo, *config_.l2);
+    auto h = std::make_unique<HierarchicalCache>(hconfig);
     hier = h.get();
     cache = std::move(h);
   } else {
@@ -136,13 +166,14 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
   // a single unit has nothing to rotate over.
   source.reset();
   const auto hint = source.size_hint();
-  // A hierarchy rotates if either level does (HierarchicalCache applies
-  // the same CacheTopology::rotates() rule per level when forwarding the
-  // update signal, so e.g. a monolithic L1 is never flushed just
-  // because a rotating L2 sits behind it).
-  const bool updates_enabled =
-      (topo.rotates() || (hierarchy && config_.l2->rotates())) &&
-      config_.reindex_updates > 0;
+  // A hierarchy rotates if any level does (HierarchicalCache applies the
+  // same CacheTopology::rotates() rule per level when forwarding the
+  // update signal, so e.g. a monolithic L1 is never flushed just because
+  // a rotating L2 sits behind it).
+  bool any_rotates = false;
+  for (const LevelConfig& level : hconfig.levels)
+    any_rotates = any_rotates || level.topology.rotates();
+  const bool updates_enabled = any_rotates && config_.reindex_updates > 0;
   std::uint64_t update_interval = 0;
   if (updates_enabled && hint && *hint > config_.reindex_updates)
     update_interval = *hint / (config_.reindex_updates + 1);
@@ -150,6 +181,11 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
   if (interval == 0 && observer && hint)
     interval = std::max<std::uint64_t>(1, *hint / kDefaultObserverIntervals);
 
+  // The latency-aware clock: every access consumes its base cycle inside
+  // the backend; its reported stall stretches the global clock with no
+  // access consumed (all units idle — see core/timing.h).  With all-zero
+  // latencies no stall ever occurs and the loop is the idealized engine.
+  TimingModel timing;
   MemAccess batch[kBatchSize];
   std::uint64_t since_boundary = 0;
   std::uint64_t boundary_index = 0;
@@ -157,8 +193,10 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
     const std::size_t n = source.next_batch(batch, kBatchSize);
     if (n == 0) break;
     for (std::size_t i = 0; i < n; ++i) {
-      cache->access(batch[i].address,
-                    batch[i].kind == AccessKind::kWrite);
+      const AccessOutcome out = cache->access(
+          batch[i].address, batch[i].kind == AccessKind::kWrite);
+      if (out.stall_cycles != 0) cache->advance_idle(out.stall_cycles);
+      timing.on_access(out.stall_cycles);
       if (interval != 0 && ++since_boundary >= interval) {
         since_boundary = 0;
         ++boundary_index;
@@ -183,21 +221,36 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
   }
   cache->finish();
 
-  const std::uint64_t cycles = cache->cycles();
+  // One clock: the driver's stall accounting and the backend's cycle
+  // counter must agree (total = accesses + stalls is a CI-gated record
+  // invariant; a new non-access clock advance would break it here, next
+  // to its cause, rather than in the bench-JSON gate).
+  const std::uint64_t cycles = timing.total_cycles();
+  PCAL_ASSERT_MSG(cycles == cache->cycles(),
+                  "driver clock " << cycles << " != backend clock "
+                                  << cache->cycles());
   const std::uint64_t num_units = cache->num_units();
 
   SimResult r;
   r.workload = source.name();
-  r.config_label = topo.describe();
-  if (hierarchy) r.config_label += " | L2 " + config_.l2->describe();
+  r.config_label = hierarchy ? hconfig.describe() : topo.describe();
   r.granularity = config_.granularity;
   r.policy = config_.policy;
-  r.accesses = cycles;
+  r.accesses = timing.accesses();
+  r.total_cycles = cycles;
+  r.stall_cycles = timing.stall_cycles();
   r.breakeven_cycles = topo.breakeven_cycles;
   r.reindex_updates_applied = cache->indexing_updates();
   r.cache_stats = cache->stats();
-  r.l1_units = hierarchy ? hier->l1_units() : num_units;
-  if (hierarchy) r.l2_stats = hier->l2_stats();
+  if (hierarchy) {
+    for (std::size_t i = 0; i < hier->num_levels(); ++i) {
+      r.level_stats.push_back(hier->level_stats(i));
+      r.level_units.push_back(hier->level_units(i));
+    }
+  } else {
+    r.level_stats.push_back(cache->stats());
+    r.level_units.push_back(num_units);
+  }
 
   std::vector<UnitActivity> activity(num_units);
   std::vector<double> residency(num_units);
@@ -230,17 +283,19 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
     r.energy = price_unit_run(model, activity, cycles);
   } else {
     // Price each level with its own unit model and add the reports; the
-    // baseline is the never-sleeping monolithic L1 + L2 pair.
-    const auto n1 = static_cast<std::ptrdiff_t>(hier->l1_units());
-    const std::vector<UnitActivity> a1(activity.begin(),
-                                       activity.begin() + n1);
-    const std::vector<UnitActivity> a2(activity.begin() + n1,
-                                       activity.end());
-    const UnitEnergyModel m1(config_.energy_params, config_.tech, topo);
-    const UnitEnergyModel m2(config_.energy_params, config_.tech,
-                             *config_.l2);
-    r.energy = price_unit_run(m1, a1, cycles);
-    r.energy += price_unit_run(m2, a2, cycles);
+    // baseline is the never-sleeping monolithic stack of the same
+    // levels.  Leakage is priced over the stall-stretched wall clock.
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < hconfig.levels.size(); ++i) {
+      const std::uint64_t n = hier->level_units(i);
+      const std::vector<UnitActivity> slice(
+          activity.begin() + static_cast<std::ptrdiff_t>(offset),
+          activity.begin() + static_cast<std::ptrdiff_t>(offset + n));
+      const UnitEnergyModel model(config_.energy_params, config_.tech,
+                                  hconfig.levels[i].topology);
+      r.energy += price_unit_run(model, slice, cycles);
+      offset += n;
+    }
   }
 
   if (lut != nullptr) {
@@ -308,16 +363,23 @@ SimConfig two_level_variant(const SimConfig& config,
                             std::uint64_t l2_banks,
                             std::uint64_t l2_breakeven) {
   SimConfig two = config;
-  CacheTopology l2;
-  l2.granularity = Granularity::kBank;
-  l2.cache = config.cache;
-  l2.cache.size_bytes = l2_size_bytes;
-  l2.partition.num_banks = l2_banks;
-  l2.indexing = config.indexing;
-  l2.indexing_seed = config.indexing_seed + 1;
-  l2.breakeven_cycles = l2_breakeven;
-  two.l2 = l2;
-  return two;
+  two.lower_levels.clear();
+  return with_lower_level(two, l2_size_bytes, l2_banks, l2_breakeven,
+                          InclusionPolicy::kNonInclusive);
+}
+
+SimConfig with_lower_level(const SimConfig& config,
+                           std::uint64_t size_bytes, std::uint64_t banks,
+                           std::uint64_t breakeven,
+                           InclusionPolicy inclusion) {
+  SimConfig out = config;
+  LevelConfig level = config.make_level(size_bytes);
+  level.inclusion = inclusion;
+  level.topology.partition.num_banks = banks;
+  level.topology.indexing = config.indexing;
+  level.topology.breakeven_cycles = breakeven;
+  out.lower_levels.push_back(level);
+  return out;
 }
 
 }  // namespace pcal

@@ -3,13 +3,23 @@
 // Drives a TraceSource through any ManagedCache backend (monolithic,
 // banked, line-grain, way-grain — selected by SimConfig::granularity and
 // built via make_managed_cache; optionally wrapped in the drowsy/gated
-// hybrid, and optionally topped with an independently-configured L2 into
-// a two-level HierarchicalCache), firing re-indexing updates on a
-// configurable cadence (the paper piggybacks them on cache flushes that
-// happen anyway; here the cadence is the number of updates spread evenly
-// over the run).  Produces the complete set of per-run observables the
-// paper's evaluation reports: per-unit useful idleness, energy saving vs
-// a monolithic baseline, and — given an aging LUT — the cache lifetime.
+// hybrid, and optionally stacked over further levels into an N-level
+// HierarchicalCache with per-level inclusion policies), firing
+// re-indexing updates on a configurable cadence (the paper piggybacks
+// them on cache flushes that happen anyway; here the cadence is the
+// number of updates spread evenly over the run).  Produces the complete
+// set of per-run observables the paper's evaluation reports: per-unit
+// useful idleness, energy saving vs a monolithic baseline, and — given
+// an aging LUT — the cache lifetime.
+//
+// Timing: the driver runs on the latency-aware clock of core/timing.h.
+// Every access consumes one base cycle plus the stall its outcome
+// reports (per-level hit latency, miss penalty, wakeup cost); stalls
+// advance the global clock with no access consumed, so SimResult carries
+// total_cycles, stall_cycles and the average access latency, and
+// leakage is priced against the stretched wall clock.  All-zero
+// latencies — the default — reproduce the idealized one-access-per-cycle
+// engine bit for bit.
 //
 // Energy pricing: single-level gated monolithic/bank runs keep the
 // legacy paper-calibrated EnergyAccounting path bit for bit; every other
@@ -25,7 +35,9 @@
 #include <vector>
 
 #include "aging/lifetime.h"
+#include "core/hierarchy.h"
 #include "core/managed_cache.h"
+#include "core/timing.h"
 #include "power/accounting.h"
 #include "power/unit_energy.h"
 #include "trace/trace.h"
@@ -55,11 +67,17 @@ struct SimConfig {
   /// gated backend bit for bit, energy included.
   std::uint64_t drowsy_window_cycles = 0;
 
-  /// Optional second level: when set (and non-zero-sized), the run
-  /// drives a HierarchicalCache whose L2 sees the L1 miss stream.  A
-  /// nullopt or zero-size L2 means single-level — results are identical
-  /// by construction (pinned in tests/hierarchy_test.cc).
-  std::optional<CacheTopology> l2;
+  /// Levels below L1, in order (L2 first, then L3, ...).  Each level is
+  /// a full CacheTopology plus the InclusionPolicy that selects which
+  /// stream of its upper neighbour it consumes (core/hierarchy.h).
+  /// Zero-size levels are dropped (a disabled level is absent, the
+  /// degeneracy the hierarchy tests pin); an empty or all-disabled list
+  /// means a single-level run, bit for bit.
+  std::vector<LevelConfig> lower_levels;
+
+  /// L1 event costs in stall cycles (core/timing.h); lower levels carry
+  /// theirs in their own topology.  All-zero keeps the idealized clock.
+  LatencyParams latency;
 
   /// Number of re-indexing updates fired over the run, spread evenly.
   /// The paper's uniformity argument needs at least M updates for Probing;
@@ -78,7 +96,22 @@ struct SimConfig {
   /// fractions (bench/drowsy_comparison.cc does).
   bool force_unit_pricing = false;
 
-  bool l2_enabled() const { return l2 && l2->cache.size_bytes > 0; }
+  /// The lower levels that are actually enabled (non-zero-sized).
+  std::vector<LevelConfig> enabled_lower_levels() const;
+
+  /// Starting point for one more level behind the current stack: a
+  /// bank-granularity level of `size_bytes` inheriting this config's
+  /// line size and associativity, static indexing, and — the invariant
+  /// every front-end must share — an indexing seed offset by the
+  /// level's depth so stacked levels never rotate in phase.  Callers
+  /// override the remaining knobs before appending to lower_levels.
+  LevelConfig make_level(std::uint64_t size_bytes) const;
+
+  bool hierarchy_enabled() const {
+    for (const LevelConfig& level : lower_levels)
+      if (level.enabled()) return true;
+    return false;
+  }
 
   void validate() const;
 
@@ -88,7 +121,7 @@ struct SimConfig {
 
 /// Per-unit observables of one run (a unit is a bank, a line, a way
 /// column, or the whole cache, per SimConfig::granularity; hierarchy runs
-/// list L1's units first, then L2's).
+/// list L1's units first, then each lower level's in order).
 struct UnitResult {
   std::uint64_t accesses = 0;
   std::uint64_t sleep_cycles = 0;
@@ -110,19 +143,28 @@ struct SimResult {
   std::string config_label;
   Granularity granularity = Granularity::kBank;
   PowerPolicy policy = PowerPolicy::kGated;
+  /// Accesses consumed from the trace.
   std::uint64_t accesses = 0;
+  /// Simulated cycles: one per access plus every stall the timing model
+  /// charged (== accesses under the default zero latencies).
+  std::uint64_t total_cycles = 0;
+  /// Cycles the run stalled beyond the access stream (wakeups, hit
+  /// latencies, miss penalties — see core/timing.h).
+  std::uint64_t stall_cycles = 0;
   std::uint64_t breakeven_cycles = 0;
   std::uint64_t reindex_updates_applied = 0;
 
   CacheStats cache_stats;
   std::vector<UnitResult> units;  // one per power-management unit
-  /// Number of leading entries of `units` that belong to L1
-  /// (== units.size() for single-level runs).
-  std::uint64_t l1_units = 0;
-  /// L2 tag-store statistics; present iff the run was two-level.
-  std::optional<CacheStats> l2_stats;
+  /// Per-level tag-store statistics, level 0 (== cache_stats) first;
+  /// size 1 for single-level runs.
+  std::vector<CacheStats> level_stats;
+  /// Per-level unit counts: `units` holds level 0's units first, then
+  /// each level below in order; level_units[i] entries belong to level i.
+  std::vector<std::uint64_t> level_units;
   /// Nonzero at every granularity: legacy bank pricing for single-level
-  /// gated mono/bank runs, the per-unit model for everything else.
+  /// gated mono/bank runs, the per-unit model for everything else
+  /// (hierarchies price each level with its own unit model and sum).
   EnergyReport energy;
 
   std::optional<CacheLifetimeResult> lifetime;
@@ -136,6 +178,17 @@ struct SimResult {
     return lifetime ? lifetime->lifetime_years : 0.0;
   }
   double energy_saving() const { return energy.saving(); }
+  /// Mean cycles per access (>= 1; the paper's idealized clock is 1.0).
+  double avg_access_latency() const {
+    return accesses > 0 ? static_cast<double>(total_cycles) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+  }
+  /// Number of leading entries of `units` that belong to L1.
+  std::uint64_t l1_units() const {
+    return level_units.empty() ? units.size() : level_units.front();
+  }
+  std::size_t num_levels() const { return level_stats.size(); }
 };
 
 /// Streaming view of a run in flight, handed to the interval observer at
@@ -199,10 +252,19 @@ SimConfig drowsy_hybrid_variant(const SimConfig& config,
 
 /// Convenience: `config` with an L2 of `l2_size_bytes` behind it (same
 /// line size, bank granularity with `l2_banks` banks, same indexing,
-/// breakeven `l2_breakeven`).
+/// breakeven `l2_breakeven`, non-inclusive — the legacy two-level
+/// semantics, preserved bit for bit by the N-level hierarchy).
 SimConfig two_level_variant(const SimConfig& config,
                             std::uint64_t l2_size_bytes,
                             std::uint64_t l2_banks = 4,
                             std::uint64_t l2_breakeven = 64);
+
+/// Convenience: appends one more level behind `config`'s current stack
+/// (same line size/ways as L1, bank granularity with `banks` banks, the
+/// indexing seed offset by the level's depth) and returns the new config.
+SimConfig with_lower_level(
+    const SimConfig& config, std::uint64_t size_bytes,
+    std::uint64_t banks = 4, std::uint64_t breakeven = 64,
+    InclusionPolicy inclusion = InclusionPolicy::kNonInclusive);
 
 }  // namespace pcal

@@ -139,6 +139,13 @@ double UnitEnergyModel::baseline_pj(std::uint64_t accesses,
          base_.leakage_mw(topology_.cache.size_bytes) * t_ns;
 }
 
+LatencyParams wake_latencies(const EnergyParams& params) {
+  LatencyParams latency;
+  latency.drowsy_wake_cycles = params.drowsy_wake_cycles;
+  latency.gated_wake_cycles = params.gated_wake_cycles;
+  return latency;
+}
+
 EnergyReport price_unit_run(const UnitEnergyModel& model,
                             const std::vector<UnitActivity>& activity,
                             std::uint64_t total_cycles) {

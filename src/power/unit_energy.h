@@ -62,9 +62,11 @@ struct EnergyParams {
   double drowsy_transition_fraction = 0.12;
   /// Fixed part of one drowsy round trip (pJ).
   double drowsy_transition_fixed_pj = 0.25;
-  /// Wakeup latencies (documented model constants; the one-access-per-
-  /// cycle trace model does not stall, but the report carries them so
-  /// downstream consumers can price stall cycles if they want to).
+  /// Wakeup latencies of the sleep hardware.  These are the recommended
+  /// values for the timing core's LatencyParams wake costs (see
+  /// wake_latencies() below); the driver stalls the clock by them when a
+  /// run opts into timing, and leakage is then priced against the
+  /// stall-stretched wall clock.
   std::uint64_t drowsy_wake_cycles = 1;
   std::uint64_t gated_wake_cycles = 3;
 
@@ -137,8 +139,20 @@ class UnitEnergyModel {
 /// (drowsy split included — pure-gated backends report drowsy_cycles = 0
 /// and gated_episodes = sleep_episodes, so one formula covers both).
 /// `activity.size()` must equal the topology's unit count.
+///
+/// Stall-aware: `total_cycles` is the timing core's stretched wall clock
+/// (accesses + stall cycles), so wakeup and miss stalls are priced as
+/// real time — active or sleeping leakage for every unit — on both the
+/// managed side and the never-sleeping monolithic baseline, which lives
+/// on the same clock.
 EnergyReport price_unit_run(const UnitEnergyModel& model,
                             const std::vector<UnitActivity>& activity,
                             std::uint64_t total_cycles);
+
+/// The timing-core wake costs this energy model recommends: a
+/// LatencyParams with the drowsy/gated wakeup latencies filled in and
+/// hit/miss costs left at zero (those are a cache-geometry property, not
+/// a sleep-hardware one).
+LatencyParams wake_latencies(const EnergyParams& params);
 
 }  // namespace pcal

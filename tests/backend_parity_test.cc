@@ -1,9 +1,13 @@
-// The three PR-3 degeneracy parities, executed through the SweepRunner
-// pool so they hold at any worker count:
+// The degeneracy parities, executed through the SweepRunner pool so they
+// hold at any worker count:
 //
 //   1. drowsy hybrid with a disabled window  == gated backend
 //   2. way-grain at 1 way/bank               == banked backend
 //   3. L1 + zero-size L2                     == single-level run
+//   4. explicit all-zero latencies           == the default clock
+//   5. 1-level hierarchy                     == single-level run
+//   6. 2-level non-inclusive hierarchy       == the legacy L1+L2 path
+//      (two_level_variant), stats, residencies and energy bit for bit
 //
 // CMake registers this binary three times: default pool width, pinned to
 // PCAL_SWEEP_THREADS=1, and pinned to 8 — the acceptance criterion that
@@ -109,15 +113,92 @@ TEST(BackendParitySweep, WayGrainAtOneWayEqualsBanked) {
 TEST(BackendParitySweep, ZeroSizeL2EqualsSingleLevel) {
   const SimConfig single = paper_config(8192, 16, 4);
   SimConfig zero_l2 = single;
-  CacheTopology l2;
-  l2.cache.size_bytes = 0;
-  zero_l2.l2 = l2;
+  LevelConfig l2;
+  l2.topology.cache.size_bytes = 0;
+  zero_l2.lower_levels.push_back(l2);
   std::vector<SweepJob> jobs;
   for (const auto& w : workloads()) {
     jobs.push_back(job_for(single, w));
     jobs.push_back(job_for(zero_l2, w));
   }
   expect_pairwise_identical(jobs);
+}
+
+TEST(BackendParitySweep, ZeroLatencyEqualsDefaultClock) {
+  // Explicitly spelled-out zero latencies are the default idealized
+  // clock, across a single level and a two-level hierarchy; the timed
+  // observables agree too (no stalls, total == accesses).
+  const SimConfig bank = paper_config(8192, 16, 4);
+  SimConfig timed_zero = bank;
+  timed_zero.latency = LatencyParams{};  // all zero, spelled out
+  SimConfig two = two_level_variant(bank, 64 * 1024, 4, 64);
+  SimConfig two_zero = two;
+  two_zero.lower_levels[0].topology.latency = LatencyParams{};
+  std::vector<SweepJob> jobs;
+  for (const auto& w : workloads()) {
+    jobs.push_back(job_for(bank, w));
+    jobs.push_back(job_for(timed_zero, w));
+    jobs.push_back(job_for(two, w));
+    jobs.push_back(job_for(two_zero, w));
+  }
+  SweepRunner runner;
+  const std::vector<SweepOutcome> out = runner.run(jobs);
+  for (const SweepOutcome& o : out) {
+    ASSERT_TRUE(o.ok());
+    EXPECT_EQ(o.result.stall_cycles, 0u);
+    EXPECT_EQ(o.result.total_cycles, o.result.accesses);
+    EXPECT_DOUBLE_EQ(o.result.avg_access_latency(), 1.0);
+  }
+  expect_pairwise_identical(jobs);
+}
+
+TEST(BackendParitySweep, TwoLevelNonInclusiveEqualsLegacyTwoLevel) {
+  // The N-level rewrite must keep the legacy two-level semantics bit for
+  // bit: a hand-assembled 2-level non-inclusive stack equals the
+  // two_level_variant helper (which reproduces the old SimConfig::l2
+  // construction exactly).
+  const SimConfig base = paper_config(8192, 16, 4);
+  const SimConfig legacy = two_level_variant(base, 64 * 1024, 4, 64);
+  SimConfig manual = base;
+  LevelConfig l2;
+  l2.inclusion = InclusionPolicy::kNonInclusive;
+  l2.topology.granularity = Granularity::kBank;
+  l2.topology.cache = base.cache;
+  l2.topology.cache.size_bytes = 64 * 1024;
+  l2.topology.partition.num_banks = 4;
+  l2.topology.indexing = base.indexing;
+  l2.topology.indexing_seed = base.indexing_seed + 1;
+  l2.topology.breakeven_cycles = 64;
+  manual.lower_levels.push_back(l2);
+  std::vector<SweepJob> jobs;
+  for (const auto& w : workloads()) {
+    jobs.push_back(job_for(legacy, w));
+    jobs.push_back(job_for(manual, w));
+  }
+  expect_pairwise_identical(jobs);
+}
+
+TEST(BackendParitySweep, TwoLevelKeepsSeedObservables) {
+  // Anchor the legacy L1+L2 semantics themselves (not just helper
+  // equality): the L2 consumes exactly the L1 miss stream, both levels
+  // share the global clock, and the stack's config label names both
+  // levels — the facts the pre-refactor engine established.
+  const SimConfig two =
+      two_level_variant(paper_config(8192, 16, 4), 64 * 1024, 4, 64);
+  std::vector<SweepJob> jobs;
+  for (const auto& w : workloads()) jobs.push_back(job_for(two, w));
+  SweepRunner runner;
+  const std::vector<SweepOutcome> out = runner.run(jobs);
+  for (const SweepOutcome& o : out) {
+    ASSERT_TRUE(o.ok());
+    const SimResult& r = o.result;
+    ASSERT_EQ(r.num_levels(), 2u);
+    EXPECT_EQ(r.level_stats[1].accesses, r.cache_stats.misses);
+    EXPECT_EQ(r.total_cycles, r.accesses);
+    EXPECT_EQ(r.units.size(), 8u);
+    EXPECT_NE(r.config_label.find(" | L2 "), std::string::npos);
+    EXPECT_GT(r.energy.partitioned.total_pj(), 0.0);
+  }
 }
 
 }  // namespace

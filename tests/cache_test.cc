@@ -94,6 +94,44 @@ TEST(Cache, DirtyEvictionReportsWriteback) {
   EXPECT_FALSE(r2.writeback);
 }
 
+TEST(Cache, EvictionReportsLineAlignedVictimAddress) {
+  // The eviction stream a victim/exclusive hierarchy level consumes:
+  // every eviction of a valid line names that line's address.
+  CacheModel cache(small_dm());
+  const auto cold = cache.access_address(0x108, false);
+  EXPECT_FALSE(cold.hit);
+  EXPECT_FALSE(cold.evicted);  // cold fill: no victim
+  const auto conflict = cache.access_address(0x508, true);
+  EXPECT_FALSE(conflict.hit);
+  EXPECT_TRUE(conflict.evicted);
+  EXPECT_FALSE(conflict.writeback);  // victim was clean
+  EXPECT_EQ(conflict.victim_address, 0x100u);  // line-aligned
+  const auto again = cache.access_address(0x100, false);
+  EXPECT_TRUE(again.evicted);
+  EXPECT_TRUE(again.writeback);  // 0x508 was written
+  EXPECT_EQ(again.victim_address, 0x500u);
+}
+
+TEST(Cache, ProbeLooksUpWithoutAllocating) {
+  CacheModel cache(small_dm());
+  const CacheConfig cfg = small_dm();
+  const auto miss =
+      cache.probe(cfg.tag_of(0x100), cfg.set_index_of(0x100));
+  EXPECT_FALSE(miss.hit);
+  EXPECT_FALSE(miss.evicted);
+  // The probe installed nothing: the line still misses, and probing
+  // again still misses.
+  EXPECT_FALSE(
+      cache.probe(cfg.tag_of(0x100), cfg.set_index_of(0x100)).hit);
+  EXPECT_FALSE(cache.access_address(0x100, false).hit);
+  // Once resident, probes hit (and count accesses/hits).
+  EXPECT_TRUE(
+      cache.probe(cfg.tag_of(0x100), cfg.set_index_of(0x100)).hit);
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.valid_lines(), 1u);
+}
+
 TEST(Cache, WriteHitMarksDirty) {
   CacheModel cache(small_dm());
   cache.access_address(0x0, false);  // clean fill

@@ -225,11 +225,132 @@ workload = cjpeg
 )");
   const std::vector<GridJob> jobs = spec.expand(5000);
   ASSERT_EQ(jobs.size(), 2u);
-  EXPECT_FALSE(jobs[0].config.l2_enabled());
-  ASSERT_TRUE(jobs[1].config.l2_enabled());
-  EXPECT_EQ(jobs[1].config.l2->cache.size_bytes, 65536u);
-  EXPECT_EQ(jobs[1].config.l2->partition.num_banks, 8u);
-  EXPECT_EQ(jobs[1].config.l2->breakeven_cycles, 96u);
+  EXPECT_FALSE(jobs[0].config.hierarchy_enabled());
+  ASSERT_TRUE(jobs[1].config.hierarchy_enabled());
+  ASSERT_EQ(jobs[1].config.lower_levels.size(), 1u);
+  const CacheTopology& l2 = jobs[1].config.lower_levels[0].topology;
+  EXPECT_EQ(l2.cache.size_bytes, 65536u);
+  EXPECT_EQ(l2.partition.num_banks, 8u);
+  EXPECT_EQ(l2.breakeven_cycles, 96u);
+  EXPECT_EQ(jobs[1].config.lower_levels[0].inclusion,
+            InclusionPolicy::kNonInclusive);
+}
+
+TEST(GridSpecExpand, HierarchyAxesBuildThreeLevelsWithPoliciesAndTiming) {
+  const GridSpec spec = parse(R"(
+[grid]
+l2_banks = 4
+l2_breakeven = 64
+
+[sweep]
+l2_size = 32k
+l3_size = 128k
+inclusion = victim
+l2_indexing = probing
+l2_policy = drowsy_hybrid
+l2_drowsy_window = 64
+hit_latency = 1
+miss_latency = 8
+l2_hit_latency = 2
+l2_miss_latency = 30
+drowsy_wake = 1
+gated_wake = 3
+workload = cjpeg
+)");
+  const std::vector<GridJob> jobs = spec.expand(5000);
+  ASSERT_EQ(jobs.size(), 1u);
+  const SimConfig& cfg = jobs[0].config;
+  ASSERT_EQ(cfg.lower_levels.size(), 2u);
+  EXPECT_EQ(cfg.latency.hit_cycles, 1u);
+  EXPECT_EQ(cfg.latency.miss_cycles, 8u);
+  EXPECT_EQ(cfg.latency.drowsy_wake_cycles, 1u);
+  EXPECT_EQ(cfg.latency.gated_wake_cycles, 3u);
+  const LevelConfig& l2 = cfg.lower_levels[0];
+  EXPECT_EQ(l2.inclusion, InclusionPolicy::kVictim);
+  EXPECT_EQ(l2.topology.cache.size_bytes, 32u * 1024);
+  EXPECT_EQ(l2.topology.indexing, IndexingKind::kProbing);
+  EXPECT_EQ(l2.topology.policy, PowerPolicy::kDrowsyHybrid);
+  EXPECT_EQ(l2.topology.drowsy_window_cycles, 64u);
+  EXPECT_EQ(l2.topology.latency.hit_cycles, 2u);
+  EXPECT_EQ(l2.topology.latency.miss_cycles, 30u);
+  EXPECT_EQ(l2.topology.latency.gated_wake_cycles, 3u);
+  const LevelConfig& l3 = cfg.lower_levels[1];
+  EXPECT_EQ(l3.inclusion, InclusionPolicy::kVictim);
+  EXPECT_EQ(l3.topology.cache.size_bytes, 128u * 1024);
+}
+
+TEST(GridSpecExpand, EnergyAxesApplyToEnergyParams) {
+  const GridSpec spec = parse(R"(
+[sweep]
+energy_drowsy_leak = 0.3, 0.5
+energy_control_leak_uw = 2.5
+workload = cjpeg
+)");
+  const GridAxis* axis = spec.find_axis("energy_drowsy_leak");
+  ASSERT_NE(axis, nullptr);
+  EXPECT_EQ(axis->values, (std::vector<std::string>{"0.3", "0.5"}));
+  const std::vector<GridJob> jobs = spec.expand(5000);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(jobs[0].config.energy_params.drowsy_leak_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(jobs[1].config.energy_params.drowsy_leak_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(jobs[0].config.energy_params.control_leak_uw_per_unit,
+                   2.5);
+}
+
+TEST(GridSpecParse, RejectsBadEnumAndFloatAxisValues) {
+  EXPECT_THROW(parse(R"(
+[sweep]
+l2_size = 32k
+inclusion = sideways
+workload = cjpeg
+)"),
+               ParseError);
+  EXPECT_THROW(parse(R"(
+[sweep]
+energy_gated_leak = -0.5
+workload = cjpeg
+)"),
+               ParseError);
+  // inf/nan would serialize as invalid JSON in the BENCH record.
+  EXPECT_THROW(parse(R"(
+[sweep]
+energy_gated_leak = inf
+workload = cjpeg
+)"),
+               ParseError);
+}
+
+TEST(GridSpecParse, RejectsLowerLevelAxesWithoutALowerLevel) {
+  // An inclusion/l2_* axis with no l2_size or l3_size would expand
+  // duplicate single-level jobs and quietly show the axis having no
+  // effect.
+  EXPECT_THROW(parse(R"(
+[sweep]
+inclusion = noninclusive, victim
+workload = cjpeg
+)"),
+               ConfigError);
+  EXPECT_THROW(parse(R"(
+[sweep]
+l2_hit_latency = 0, 2
+workload = cjpeg
+)"),
+               ConfigError);
+  // An all-zero size axis enables nothing either.
+  EXPECT_THROW(parse(R"(
+[sweep]
+l2_size = 0
+inclusion = noninclusive, victim
+workload = cjpeg
+)"),
+               ConfigError);
+  // With a lower level the same axes are fine — l3_size alone counts.
+  EXPECT_NO_THROW(parse(R"(
+[sweep]
+l3_size = 128k
+inclusion = noninclusive, victim
+workload = cjpeg
+)"));
 }
 
 TEST(GridSpecExpand, InvalidGridPointNamesItsCoordinates) {

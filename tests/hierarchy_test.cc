@@ -1,17 +1,21 @@
-// HierarchicalCache: the two-level L1+L2 driver.
+// HierarchicalCache: the N-level composition with inclusion policies.
 //
-// Contracts: a disabled (absent or zero-size) L2 means single-level
-// results, bit for bit; with an L2, its access stream is exactly the L1
-// miss stream, both levels live on the same global clock, and the unit
-// vector is L1's units followed by L2's.
+// Contracts: a 1-level hierarchy is the bare backend bit for bit; absent
+// or zero-size lower levels mean single-level results, bit for bit; a
+// non-inclusive level's access stream is exactly its upper neighbour's
+// miss stream on the same global clock; exclusive/victim levels consume
+// the eviction stream; inclusive levels add back-invalidation flush
+// coupling; and the unit vector concatenates the levels in order.
 #include "core/hierarchy.h"
 
 #include <gtest/gtest.h>
 
+#include "bank/banked_cache.h"
 #include "core/experiment.h"
 #include "core/simulator.h"
 #include "trace/trace.h"
 #include "trace/workloads.h"
+#include "util/error.h"
 
 namespace pcal {
 namespace {
@@ -28,40 +32,106 @@ CacheTopology small_topology(std::uint64_t size_bytes,
   return topo;
 }
 
-TEST(Hierarchy, L2StreamIsTheL1MissStream) {
-  const CacheTopology l1 = small_topology(4096, 4);
-  const CacheTopology l2 = small_topology(32768, 4);
-  HierarchicalCache hier(l1, l2);
+HierarchyConfig two_level(const CacheTopology& l1, const CacheTopology& l2,
+                          InclusionPolicy inclusion =
+                              InclusionPolicy::kNonInclusive) {
+  HierarchyConfig config;
+  config.levels.push_back({l1, InclusionPolicy::kNonInclusive});
+  config.levels.push_back({l2, inclusion});
+  return config;
+}
 
-  SyntheticTraceSource src(make_mediabench_workload("cjpeg"), 60'000);
-  Trace trace = Trace::materialize(src);
+Trace workload_trace(const char* name, std::uint64_t accesses) {
+  SyntheticTraceSource src(make_mediabench_workload(name), accesses);
+  return Trace::materialize(src);
+}
+
+void drive(ManagedCache& cache, const Trace& trace) {
   for (std::size_t i = 0; i < trace.size(); ++i)
-    hier.access(trace[i].address, trace[i].kind == AccessKind::kWrite);
-  hier.finish();
+    cache.access(trace[i].address, trace[i].kind == AccessKind::kWrite);
+  cache.finish();
+}
+
+TEST(Hierarchy, L2StreamIsTheL1MissStream) {
+  HierarchicalCache hier(
+      two_level(small_topology(4096, 4), small_topology(32768, 4)));
+
+  const Trace trace = workload_trace("cjpeg", 60'000);
+  drive(hier, trace);
 
   EXPECT_EQ(hier.stats().accesses, trace.size());
-  EXPECT_EQ(hier.l2_stats().accesses, hier.stats().misses);
-  EXPECT_GT(hier.l2_stats().accesses, 0u);
+  EXPECT_EQ(hier.level_stats(1).accesses, hier.stats().misses);
+  EXPECT_GT(hier.level_stats(1).accesses, 0u);
   // A 8x larger L2 behind a small L1 must catch some of its misses.
-  EXPECT_GT(hier.l2_stats().hit_rate(), 0.0);
+  EXPECT_GT(hier.level_stats(1).hit_rate(), 0.0);
   // Both levels live on the global clock.
   EXPECT_EQ(hier.cycles(), trace.size());
-  EXPECT_EQ(hier.l2().cycles(), trace.size());
+  EXPECT_EQ(hier.level(1).cycles(), trace.size());
   // Units concatenate: L1's 4 banks then L2's 4 banks.
   EXPECT_EQ(hier.num_units(), 8u);
   EXPECT_EQ(hier.l1_units(), 4u);
 }
 
+TEST(Hierarchy, ThreeLevelsChainTheMissStreams) {
+  HierarchyConfig config;
+  config.levels.push_back(
+      {small_topology(4096, 4), InclusionPolicy::kNonInclusive});
+  config.levels.push_back(
+      {small_topology(16384, 4), InclusionPolicy::kNonInclusive});
+  config.levels.push_back(
+      {small_topology(65536, 4), InclusionPolicy::kNonInclusive});
+  HierarchicalCache hier(config);
+
+  const Trace trace = workload_trace("dijkstra", 80'000);
+  drive(hier, trace);
+
+  ASSERT_EQ(hier.num_levels(), 3u);
+  // Each level consumes exactly its upper neighbour's miss stream ...
+  EXPECT_EQ(hier.level_stats(1).accesses, hier.level_stats(0).misses);
+  EXPECT_EQ(hier.level_stats(2).accesses, hier.level_stats(1).misses);
+  EXPECT_GT(hier.level_stats(2).accesses, 0u);
+  // ... and every level stays on the global clock.
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(hier.level(i).cycles(), trace.size());
+  EXPECT_EQ(hier.num_units(), 12u);
+}
+
+TEST(Hierarchy, OneLevelHierarchyEqualsBareBackend) {
+  // The 1-level degeneracy: the hierarchy wrapper adds nothing.
+  CacheTopology topo = small_topology(8192, 4);
+  topo.indexing = IndexingKind::kProbing;
+  HierarchyConfig config;
+  config.levels.push_back({topo, InclusionPolicy::kNonInclusive});
+  HierarchicalCache hier(config);
+  auto bare = make_managed_cache(topo);
+
+  const Trace trace = workload_trace("sha", 60'000);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool w = trace[i].kind == AccessKind::kWrite;
+    const AccessOutcome a = hier.access(trace[i].address, w);
+    const AccessOutcome b = bare->access(trace[i].address, w);
+    ASSERT_EQ(a.hit, b.hit);
+    ASSERT_EQ(a.physical_unit, b.physical_unit);
+    ASSERT_EQ(a.stall_cycles, b.stall_cycles);
+  }
+  hier.finish();
+  bare->finish();
+
+  EXPECT_EQ(hier.stats().hits, bare->stats().hits);
+  EXPECT_EQ(hier.cycles(), bare->cycles());
+  ASSERT_EQ(hier.num_units(), bare->num_units());
+  for (std::uint64_t u = 0; u < bare->num_units(); ++u)
+    EXPECT_DOUBLE_EQ(hier.unit_residency(u), bare->unit_residency(u));
+}
+
 TEST(Hierarchy, L2SleepsMoreThanItWouldStandalone) {
   // The L2 only wakes for L1 misses, so with a filter in front its
   // residency must beat the same cache absorbing the full stream.
-  const CacheTopology l1 = small_topology(8192, 4);
   const CacheTopology l2 = small_topology(32768, 4);
-  HierarchicalCache hier(l1, l2);
+  HierarchicalCache hier(two_level(small_topology(8192, 4), l2));
   auto standalone = make_managed_cache(l2);
 
-  SyntheticTraceSource src(make_mediabench_workload("sha"), 80'000);
-  Trace trace = Trace::materialize(src);
+  const Trace trace = workload_trace("sha", 80'000);
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const bool w = trace[i].kind == AccessKind::kWrite;
     hier.access(trace[i].address, w);
@@ -78,15 +148,16 @@ TEST(Hierarchy, L2SleepsMoreThanItWouldStandalone) {
   EXPECT_GT(hier_l2, alone);
 }
 
-// The ISSUE's degeneracy: a zero-size L2 config means single-level, and
-// the results match the plain run bit for bit.
+// The ISSUE's degeneracy: a zero-size lower level means single-level,
+// and the results match the plain run bit for bit.
 TEST(Hierarchy, ZeroSizeL2MatchesSingleLevel) {
   const SimConfig single = paper_config(8192, 16, 4);
   SimConfig zero_l2 = single;
-  CacheTopology l2 = small_topology(32768, 4);
-  l2.cache.size_bytes = 0;  // disabled
-  zero_l2.l2 = l2;
-  EXPECT_FALSE(zero_l2.l2_enabled());
+  LevelConfig l2;
+  l2.topology = small_topology(32768, 4);
+  l2.topology.cache.size_bytes = 0;  // disabled
+  zero_l2.lower_levels.push_back(l2);
+  EXPECT_FALSE(zero_l2.hierarchy_enabled());
 
   SyntheticTraceSource sa(make_mediabench_workload("cjpeg"), 100'000);
   SyntheticTraceSource sb(make_mediabench_workload("cjpeg"), 100'000);
@@ -96,8 +167,8 @@ TEST(Hierarchy, ZeroSizeL2MatchesSingleLevel) {
   EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
   EXPECT_EQ(a.config_label, b.config_label);
   ASSERT_EQ(a.units.size(), b.units.size());
-  EXPECT_EQ(b.l1_units, b.units.size());
-  EXPECT_FALSE(b.l2_stats.has_value());
+  EXPECT_EQ(b.l1_units(), b.units.size());
+  EXPECT_EQ(b.num_levels(), 1u);
   for (std::size_t u = 0; u < a.units.size(); ++u) {
     EXPECT_EQ(a.units[u].sleep_cycles, b.units[u].sleep_cycles);
     EXPECT_DOUBLE_EQ(a.units[u].sleep_residency,
@@ -108,16 +179,18 @@ TEST(Hierarchy, ZeroSizeL2MatchesSingleLevel) {
   EXPECT_DOUBLE_EQ(a.energy.baseline_pj, b.energy.baseline_pj);
 }
 
-TEST(Hierarchy, SimulatorRunReportsBothLevels) {
+TEST(Hierarchy, SimulatorRunReportsAllLevels) {
   const SimConfig two =
       two_level_variant(paper_config(8192, 16, 4), 64 * 1024, 4, 64);
   SyntheticTraceSource src(make_mediabench_workload("dijkstra"), 120'000);
   const SimResult r = Simulator(two).run(src);
 
-  ASSERT_TRUE(r.l2_stats.has_value());
-  EXPECT_EQ(r.l2_stats->accesses, r.cache_stats.misses);
+  ASSERT_EQ(r.num_levels(), 2u);
+  EXPECT_EQ(r.level_stats[1].accesses, r.cache_stats.misses);
   EXPECT_EQ(r.units.size(), 8u);
-  EXPECT_EQ(r.l1_units, 4u);
+  EXPECT_EQ(r.l1_units(), 4u);
+  ASSERT_EQ(r.level_units.size(), 2u);
+  EXPECT_EQ(r.level_units[0] + r.level_units[1], r.units.size());
   // Both levels are priced by the per-unit model: nonzero energy.
   EXPECT_GT(r.energy.partitioned.total_pj(), 0.0);
   EXPECT_GT(r.energy.baseline_pj, 0.0);
@@ -131,7 +204,29 @@ TEST(Hierarchy, SimulatorRunReportsBothLevels) {
   EXPECT_GT(l2_res, l1_res);
 }
 
-TEST(Hierarchy, LifetimeCoversBothLevels) {
+TEST(Hierarchy, ConfigLabelCarriesEveryLevelTopology) {
+  // BENCH JSON rows must distinguish hierarchy configurations: the label
+  // concatenates each level's describe(), tagged with its depth and any
+  // non-default inclusion policy.
+  SimConfig three =
+      two_level_variant(paper_config(8192, 16, 4), 64 * 1024, 4, 64);
+  three = with_lower_level(three, 256 * 1024, 8, 128,
+                           InclusionPolicy::kVictim);
+  SyntheticTraceSource src(make_mediabench_workload("cjpeg"), 40'000);
+  const SimResult r = Simulator(three).run(src);
+
+  EXPECT_NE(r.config_label.find("8kB/16B/DM M=4 probing"),
+            std::string::npos)
+      << r.config_label;
+  EXPECT_NE(r.config_label.find("| L2 64kB/16B/DM M=4"),
+            std::string::npos)
+      << r.config_label;
+  EXPECT_NE(r.config_label.find("| L3/victim 256kB/16B/DM M=8"),
+            std::string::npos)
+      << r.config_label;
+}
+
+TEST(Hierarchy, LifetimeCoversAllLevels) {
   AgingContext aging;
   const SimConfig two =
       two_level_variant(paper_config(8192, 16, 4), 32 * 1024, 4, 64);
@@ -150,7 +245,7 @@ TEST(Hierarchy, MonolithicL1IsNotFlushedByAttachingAnL2) {
   SimConfig mono = paper_config(8192, 16, 4);
   mono.granularity = Granularity::kMonolithic;  // indexing stays probing
   SimConfig mono_l2 = two_level_variant(mono, 64 * 1024, 4, 64);
-  mono_l2.l2->indexing = IndexingKind::kStatic;
+  mono_l2.lower_levels[0].topology.indexing = IndexingKind::kStatic;
 
   SyntheticTraceSource sa(make_mediabench_workload("rijndael_i"), 80'000);
   SyntheticTraceSource sb(make_mediabench_workload("rijndael_i"), 80'000);
@@ -160,8 +255,8 @@ TEST(Hierarchy, MonolithicL1IsNotFlushedByAttachingAnL2) {
   EXPECT_EQ(a.cache_stats.flushes, 0u);
   EXPECT_EQ(b.cache_stats.flushes, 0u);
   EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
-  ASSERT_TRUE(b.l2_stats.has_value());
-  EXPECT_EQ(b.l2_stats->flushes, 0u);
+  ASSERT_EQ(b.num_levels(), 2u);
+  EXPECT_EQ(b.level_stats[1].flushes, 0u);
 }
 
 TEST(Hierarchy, StaticL2SurvivesL1ReindexFlushes) {
@@ -170,33 +265,158 @@ TEST(Hierarchy, StaticL2SurvivesL1ReindexFlushes) {
   // catch exactly those refill misses).
   SimConfig two =
       two_level_variant(paper_config(8192, 16, 4), 64 * 1024, 4, 64);
-  two.l2->indexing = IndexingKind::kStatic;
+  two.lower_levels[0].topology.indexing = IndexingKind::kStatic;
   SyntheticTraceSource src(make_mediabench_workload("rijndael_i"),
                            100'000);
   const SimResult r = Simulator(two).run(src);
   EXPECT_EQ(r.reindex_updates_applied, 16u);
   EXPECT_EQ(r.cache_stats.flushes, 16u);       // L1 flushes on update
-  ASSERT_TRUE(r.l2_stats.has_value());
-  EXPECT_EQ(r.l2_stats->flushes, 0u);          // L2 does not
-  EXPECT_GT(r.l2_stats->hit_rate(), 0.5);      // and backs the refills
+  ASSERT_EQ(r.num_levels(), 2u);
+  EXPECT_EQ(r.level_stats[1].flushes, 0u);     // L2 does not
+  EXPECT_GT(r.level_stats[1].hit_rate(), 0.5); // and backs the refills
+}
+
+TEST(Hierarchy, InclusiveFlushCouplingBackInvalidatesTheUpperLevel) {
+  // Flushing an inclusive level invalidates content its upper neighbour
+  // may still hold, so the update cascade flushes the neighbour too —
+  // even one that does not rotate itself.
+  CacheTopology l1 = small_topology(8192, 4);  // static: never rotates
+  CacheTopology l2 = small_topology(65536, 4);
+  l2.indexing = IndexingKind::kProbing;        // rotates on update
+
+  HierarchicalCache inclusive(
+      two_level(l1, l2, InclusionPolicy::kInclusive));
+  HierarchicalCache noninclusive(
+      two_level(l1, l2, InclusionPolicy::kNonInclusive));
+
+  const Trace trace = workload_trace("cjpeg", 30'000);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool w = trace[i].kind == AccessKind::kWrite;
+    inclusive.access(trace[i].address, w);
+    noninclusive.access(trace[i].address, w);
+  }
+  inclusive.update_indexing();
+  noninclusive.update_indexing();
+  inclusive.finish();
+  noninclusive.finish();
+
+  // Both flush the rotating L2; only the inclusive link drags L1 along.
+  EXPECT_EQ(inclusive.level_stats(1).flushes, 1u);
+  EXPECT_EQ(noninclusive.level_stats(1).flushes, 1u);
+  EXPECT_EQ(inclusive.level_stats(0).flushes, 1u);
+  EXPECT_EQ(noninclusive.level_stats(0).flushes, 0u);
+}
+
+TEST(Hierarchy, VictimLevelConsumesExactlyTheEvictionStream) {
+  const CacheTopology l1 = small_topology(4096, 4);
+  const CacheTopology vc = small_topology(16384, 4);
+  HierarchicalCache hier(two_level(l1, vc, InclusionPolicy::kVictim));
+  auto reference = make_managed_cache(l1);
+
+  const Trace trace = workload_trace("dijkstra", 60'000);
+  std::uint64_t evictions = 0, dirty_evictions = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool w = trace[i].kind == AccessKind::kWrite;
+    hier.access(trace[i].address, w);
+    const AccessOutcome out = reference->access(trace[i].address, w);
+    if (!out.hit && out.evicted) {
+      ++evictions;
+      if (out.writeback) ++dirty_evictions;
+    }
+  }
+  hier.finish();
+  reference->finish();
+
+  // The victim level was referenced once per L1 eviction — never for
+  // hits or victimless (cold) misses — and dirty victims arrive as
+  // writes.
+  EXPECT_GT(evictions, 0u);
+  EXPECT_EQ(hier.level_stats(1).accesses, evictions);
+  EXPECT_LT(hier.level_stats(1).accesses, hier.stats().misses);
+  // Clocks still agree: unreferenced cycles idle.
+  EXPECT_EQ(hier.level(1).cycles(), trace.size());
+}
+
+TEST(Hierarchy, ExclusiveLevelProbesColdMissesAndInstallsVictims) {
+  const CacheTopology l1 = small_topology(4096, 4);
+  const CacheTopology l2 = small_topology(16384, 4);
+  HierarchicalCache hier(two_level(l1, l2, InclusionPolicy::kExclusive));
+  auto reference = make_managed_cache(l1);
+
+  const Trace trace = workload_trace("dijkstra", 60'000);
+  std::uint64_t evictions = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const bool w = trace[i].kind == AccessKind::kWrite;
+    hier.access(trace[i].address, w);
+    const AccessOutcome out = reference->access(trace[i].address, w);
+    if (!out.hit && out.evicted) ++evictions;
+  }
+  hier.finish();
+  reference->finish();
+
+  // Every L1 miss references the exclusive level exactly once (install
+  // or probe), so its access count equals the L1 miss count — but only
+  // the eviction stream *fills* it: probes allocate nothing, so the
+  // level never holds more lines than were evicted from above.
+  EXPECT_EQ(hier.level_stats(1).accesses, hier.stats().misses);
+  EXPECT_GT(hier.level_stats(1).accesses, 0u);
+  const auto& l2_backend =
+      dynamic_cast<const BankedCache&>(hier.level(1));
+  EXPECT_GT(evictions, 0u);
+  EXPECT_LE(l2_backend.cache().valid_lines(), evictions);
+  EXPECT_EQ(hier.level(1).cycles(), trace.size());
+}
+
+TEST(Hierarchy, ExclusiveAndNonInclusiveHoldDifferentContent) {
+  // Non-inclusive fills allocate the missed line below; exclusive
+  // installs the evicted victim instead.  After the same trace the two
+  // lower levels must have diverged.  (An irregular workload and a
+  // set-associative L1 are both needed: under a pure cyclic scan the
+  // LRU eviction stream is the miss stream shifted by one, which makes
+  // the two lower levels coincide.)
+  CacheTopology l1 = small_topology(4096, 4);
+  l1.cache.ways = 4;
+  const CacheTopology l2 = small_topology(16384, 4);
+  HierarchicalCache exclusive(
+      two_level(l1, l2, InclusionPolicy::kExclusive));
+  HierarchicalCache noninclusive(
+      two_level(l1, l2, InclusionPolicy::kNonInclusive));
+
+  SyntheticTraceSource src(make_hotspot_workload(64 * 1024), 60'000);
+  const Trace trace = Trace::materialize(src);
+  drive(exclusive, trace);
+  drive(noninclusive, trace);
+
+  EXPECT_NE(exclusive.level_stats(1).hits,
+            noninclusive.level_stats(1).hits);
 }
 
 TEST(Hierarchy, HybridPolicyComposesPerLevel) {
   // An L1 gated / L2 drowsy hierarchy: the policy is per-topology.
   SimConfig two =
       two_level_variant(paper_config(8192, 16, 4), 32 * 1024, 4, 64);
-  two.l2->policy = PowerPolicy::kDrowsyHybrid;
-  two.l2->drowsy_window_cycles = 128;
+  two.lower_levels[0].topology.policy = PowerPolicy::kDrowsyHybrid;
+  two.lower_levels[0].topology.drowsy_window_cycles = 128;
   SyntheticTraceSource src(make_mediabench_workload("sha"), 100'000);
   const SimResult r = Simulator(two).run(src);
   // Only the L2 units can report drowsy cycles.
-  for (std::size_t u = 0; u < r.l1_units; ++u)
+  for (std::size_t u = 0; u < r.l1_units(); ++u)
     EXPECT_EQ(r.units[u].drowsy_cycles, 0u);
   std::uint64_t l2_drowsy = 0;
-  for (std::size_t u = r.l1_units; u < r.units.size(); ++u)
+  for (std::size_t u = r.l1_units(); u < r.units.size(); ++u)
     l2_drowsy += r.units[u].drowsy_cycles;
   EXPECT_GT(l2_drowsy, 0u);
   EXPECT_GT(r.energy.partitioned.leakage_drowsy_pj, 0.0);
+}
+
+TEST(Hierarchy, RejectsEmptyAndZeroSizeLevels) {
+  HierarchyConfig empty;
+  EXPECT_THROW({ HierarchicalCache cache(empty); }, ConfigError);
+  HierarchyConfig zero;
+  CacheTopology dead = small_topology(8192, 4);
+  dead.cache.size_bytes = 0;
+  zero.levels.push_back({dead, InclusionPolicy::kNonInclusive});
+  EXPECT_THROW({ HierarchicalCache cache(zero); }, ConfigError);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "bank/banked_cache.h"
 #include "bank/line_managed_cache.h"
 #include "cache/cache.h"
+#include "core/hierarchy.h"
 #include "core/monolithic_cache.h"
 #include "trace/trace.h"
 #include "trace/workloads.h"
@@ -48,6 +49,31 @@ TEST(IndexingKindStrings, RoundTrip) {
                          IndexingKind::kScrambling})
     EXPECT_EQ(indexing_kind_from_string(to_string(k)), k);
   EXPECT_THROW(indexing_kind_from_string("probe"), ConfigError);
+}
+
+TEST(PowerPolicyStrings, RoundTrip) {
+  // to_string spells the hybrid "drowsy"; the parser must accept both
+  // that short form and the enum's own "drowsy_hybrid" spelling, so
+  // every to_string output round-trips.
+  for (PowerPolicy p : {PowerPolicy::kGated, PowerPolicy::kDrowsyHybrid})
+    EXPECT_EQ(power_policy_from_string(to_string(p)), p);
+  EXPECT_EQ(power_policy_from_string("drowsy_hybrid"),
+            PowerPolicy::kDrowsyHybrid);
+  EXPECT_EQ(power_policy_from_string("drowsy"),
+            PowerPolicy::kDrowsyHybrid);
+  EXPECT_THROW(power_policy_from_string("drowsyhybrid"), ConfigError);
+  EXPECT_THROW(power_policy_from_string("sleepy"), ConfigError);
+}
+
+TEST(InclusionPolicyStrings, RoundTrip) {
+  for (InclusionPolicy p :
+       {InclusionPolicy::kNonInclusive, InclusionPolicy::kInclusive,
+        InclusionPolicy::kExclusive, InclusionPolicy::kVictim})
+    EXPECT_EQ(inclusion_policy_from_string(to_string(p)), p);
+  EXPECT_EQ(inclusion_policy_from_string("non-inclusive"),
+            InclusionPolicy::kNonInclusive);
+  EXPECT_THROW(inclusion_policy_from_string("mostly-inclusive"),
+               ConfigError);
 }
 
 TEST(CacheTopology, UnitCounts) {
@@ -214,6 +240,98 @@ TEST(Factory, RoundTripAllCombinations) {
       EXPECT_LE(cache->min_residency(), cache->avg_residency() + 1e-12);
     }
   }
+}
+
+// ---- advance_idle edge cases, at every granularity ----
+//
+// Every backend (the drowsy hybrid wrapper and a two-level hierarchy
+// included) must treat a zero-cycle advance as a no-op, reject time
+// advancing after finish(), and turn an idle-only run into full sleep
+// residency.
+
+std::vector<CacheTopology> all_backend_topologies() {
+  std::vector<CacheTopology> topos;
+  for (Granularity g : {Granularity::kMonolithic, Granularity::kBank,
+                        Granularity::kLine, Granularity::kWay})
+    topos.push_back(base_topology(g));
+  CacheTopology hybrid = base_topology(Granularity::kBank);
+  hybrid.policy = PowerPolicy::kDrowsyHybrid;
+  hybrid.drowsy_window_cycles = 40;
+  topos.push_back(hybrid);
+  return topos;
+}
+
+std::unique_ptr<ManagedCache> hierarchy_backend() {
+  HierarchyConfig config;
+  config.levels.push_back(
+      {base_topology(Granularity::kBank), InclusionPolicy::kNonInclusive});
+  CacheTopology l2 = base_topology(Granularity::kBank);
+  l2.cache.size_bytes = 32 * 1024;
+  config.levels.push_back({l2, InclusionPolicy::kNonInclusive});
+  return std::make_unique<HierarchicalCache>(config);
+}
+
+TEST(AdvanceIdle, ZeroCycleAdvanceIsANoOp) {
+  for (const CacheTopology& topo : all_backend_topologies()) {
+    auto cache = make_managed_cache(topo);
+    cache->access(0x40, false);
+    const std::uint64_t before = cache->cycles();
+    cache->advance_idle(0);
+    EXPECT_EQ(cache->cycles(), before) << topo.describe();
+  }
+  auto hier = hierarchy_backend();
+  hier->access(0x40, false);
+  hier->advance_idle(0);
+  EXPECT_EQ(hier->cycles(), 1u);
+}
+
+TEST(AdvanceIdle, RejectedAfterFinish) {
+  for (const CacheTopology& topo : all_backend_topologies()) {
+    auto cache = make_managed_cache(topo);
+    cache->access(0x40, false);
+    cache->finish();
+    cache->finish();  // idempotent
+    EXPECT_THROW(cache->advance_idle(1), Error) << topo.describe();
+    EXPECT_THROW(cache->access(0x40, false), Error) << topo.describe();
+  }
+  auto hier = hierarchy_backend();
+  hier->access(0x40, false);
+  hier->finish();
+  EXPECT_THROW(hier->advance_idle(1), Error);
+}
+
+TEST(AdvanceIdle, IdleOnlyRunSleepsFullyAtEveryGranularity) {
+  constexpr std::uint64_t kIdle = 10'000;
+  for (const CacheTopology& topo : all_backend_topologies()) {
+    auto cache = make_managed_cache(topo);
+    cache->advance_idle(kIdle);
+    cache->finish();
+    EXPECT_EQ(cache->cycles(), kIdle);
+    const double expected =
+        static_cast<double>(kIdle - topo.breakeven_cycles) /
+        static_cast<double>(kIdle);
+    for (std::uint64_t u = 0; u < cache->num_units(); ++u) {
+      EXPECT_DOUBLE_EQ(cache->unit_residency(u), expected)
+          << topo.describe() << " unit " << u;
+      const UnitActivity a = cache->unit_activity(u);
+      EXPECT_EQ(a.accesses, 0u);
+      EXPECT_EQ(a.sleep_cycles, kIdle - topo.breakeven_cycles);
+      EXPECT_EQ(a.sleep_episodes, 1u);
+      if (topo.drowsy_active()) {
+        // One interval spanning the whole run: the drowsy share is the
+        // window, the rest deepened into the gated state.
+        EXPECT_EQ(a.drowsy_cycles, topo.drowsy_window_cycles);
+        EXPECT_EQ(a.gated_episodes, 1u);
+      }
+    }
+  }
+  auto hier = hierarchy_backend();
+  hier->advance_idle(kIdle);
+  hier->finish();
+  const double expected = static_cast<double>(kIdle - 24) /
+                          static_cast<double>(kIdle);
+  for (std::uint64_t u = 0; u < hier->num_units(); ++u)
+    EXPECT_DOUBLE_EQ(hier->unit_residency(u), expected) << "unit " << u;
 }
 
 TEST(Factory, RejectsInvalidTopology) {

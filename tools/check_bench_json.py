@@ -43,6 +43,9 @@ RESULT_ROW_SCHEMA = {
     "workload": (str,),
     "config": (str,),
     "accesses": (int,),
+    "total_cycles": (int,),
+    "stall_cycles": (int,),
+    "avg_latency": (int, float),
     "energy_pj": (int, float),
     "idleness": (int, float),
     "lifetime_years": (int, float),
@@ -116,6 +119,26 @@ def check_record(path):
                         "result row %d (%s on %s): zero energy"
                         % (i, row.get("workload"), row.get("config"))
                     )
+                # Timing-core invariants: the clock never runs backwards
+                # (total = accesses + stalls) and the reported average
+                # latency agrees with it.
+                acc = row.get("accesses", 0)
+                total = row.get("total_cycles", 0)
+                stall = row.get("stall_cycles", 0)
+                if total != acc + stall:
+                    bad(
+                        "result row %d: total_cycles (%s) != accesses (%s)"
+                        " + stall_cycles (%s)" % (i, total, acc, stall)
+                    )
+                if acc > 0:
+                    # Records print 6 significant digits; allow that much.
+                    want = total / acc
+                    if abs(row.get("avg_latency", 0) - want) > 1e-5 * want:
+                        bad(
+                            "result row %d: avg_latency %s disagrees with "
+                            "total_cycles/accesses %s"
+                            % (i, row.get("avg_latency"), want)
+                        )
 
     # drowsy_comparison-style per-backend energy sections.
     if "backend_energy" in record:

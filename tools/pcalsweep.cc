@@ -200,15 +200,10 @@ int main(int argc, char** argv) {
       f << "},\n";
       f << "  \"results\": [\n";
       for (std::size_t i = 0; i < outcomes.size(); ++i) {
-        const SimResult& r = outcomes[i].result;
-        f << "    {\"workload\": \"" << json_escape(jobs[i].workload)
-          << "\", \"config\": \"" << json_escape(r.config_label)
-          << "\", \"ok\": " << (outcomes[i].ok() ? "true" : "false")
-          << ", \"accesses\": " << r.accesses
-          << ", \"energy_pj\": " << r.energy.partitioned.total_pj()
-          << ", \"idleness\": " << r.avg_residency()
-          << ", \"lifetime_years\": " << r.lifetime_years() << "}"
-          << (i + 1 < outcomes.size() ? ",\n" : "\n");
+        f << "    ";
+        write_result_row(f, outcomes[i].result, jobs[i].workload,
+                         outcomes[i].ok());
+        f << (i + 1 < outcomes.size() ? ",\n" : "\n");
       }
       f << "  ],\n";
     });
