@@ -39,13 +39,31 @@
 //   miss_latency = 0
 //   [l3]                     # optional third level (same keys as [l2])
 //   size = 0
+//   [multiprogram]           # optional: interleave several programs in
+//   programs = cjpeg+sha     # round-robin quanta (overrides [workload]
+//   quantum = 100000         # name); boundaries align re-indexing
+//   stride = 1m              # per-program address-space offset
+//   [multicore]              # optional: N copies of the stack above a
+//   cores = 0                # shared LLC (see docs/MULTICORE.md)
+//   llc_size = 64k           # required when cores > 0
+//   llc_ways = 8
+//   llc_banks = 4
+//   llc_breakeven = 64
+//   llc_ways_per_core = 0    # > 0 way-partitions the LLC per core
+//   [core1]                  # optional per-core workload override
+//   workload = streaming
 #include <algorithm>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
 
 #include "core/experiment.h"
+#include "core/multicore.h"
 #include "trace/multiprogram.h"
 #include "trace/trace_io.h"
 #include "util/config_file.h"
+#include "util/error.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -88,29 +106,144 @@ miss_latency = 0
 
 [l3]
 size = 0
+
+# Interleave programs in round-robin quanta (overrides workload.name):
+# [multiprogram]
+# programs = cjpeg+sha
+# quantum = 100000
+
+# N cores of the stack above over a shared LLC (docs/MULTICORE.md):
+# [multicore]
+# cores = 2
+# llc_size = 64k
+# llc_ways_per_core = 4
+# [core1]
+# workload = streaming
 )";
 
-std::unique_ptr<TraceSource> make_source(const ConfigFile& cfg,
-                                         std::uint64_t accesses) {
-  const std::string name =
-      cfg.get_string("workload", "name", "rijndael_i");
-  if (starts_with(name, "trace:")) {
-    auto trace = std::make_unique<Trace>(load_trace_file(name.substr(6)));
-    return trace;
-  }
+std::unique_ptr<TraceSource> make_named_source(const ConfigFile& cfg,
+                                               const std::string& name,
+                                               std::uint64_t accesses) {
+  const std::uint64_t footprint =
+      cfg.get_u64("workload", "footprint", 64 * 1024);
+  if (starts_with(name, "trace:"))
+    return std::make_unique<Trace>(load_trace_file(name.substr(6)));
+  if (starts_with(name, "multiprog:"))
+    return std::make_unique<MultiProgramSource>(
+        parse_multiprogram_spec(name.substr(10), footprint), accesses);
   WorkloadSpec spec;
   if (name == "uniform")
-    spec = make_uniform_workload(cfg.get_u64("workload", "footprint",
-                                             64 * 1024));
+    spec = make_uniform_workload(footprint);
   else if (name == "streaming")
-    spec = make_streaming_workload(cfg.get_u64("workload", "footprint",
-                                               64 * 1024));
+    spec = make_streaming_workload(footprint);
   else if (name == "hotspot")
-    spec = make_hotspot_workload(cfg.get_u64("workload", "footprint",
-                                             64 * 1024));
+    spec = make_hotspot_workload(footprint);
   else
     spec = make_mediabench_workload(name);
   return std::make_unique<SyntheticTraceSource>(spec, accesses);
+}
+
+std::unique_ptr<TraceSource> make_source(const ConfigFile& cfg,
+                                         std::uint64_t accesses) {
+  // A [multiprogram] section overrides the [workload] name with an
+  // interleaved multi-program stream; its quantum boundaries feed the
+  // simulator's context-switch-aligned re-indexing.
+  const std::string programs =
+      cfg.get_string("multiprogram", "programs", "");
+  if (!programs.empty()) {
+    std::string spec = programs;
+    std::replace(spec.begin(), spec.end(), ',', '+');
+    MultiProgramConfig mp = parse_multiprogram_spec(
+        spec, cfg.get_u64("workload", "footprint", 64 * 1024));
+    mp.quantum_accesses =
+        cfg.get_u64("multiprogram", "quantum", mp.quantum_accesses);
+    mp.address_stride =
+        cfg.get_u64("multiprogram", "stride", mp.address_stride);
+    mp.validate();
+    return std::make_unique<MultiProgramSource>(std::move(mp), accesses);
+  }
+  return make_named_source(
+      cfg, cfg.get_string("workload", "name", "rijndael_i"), accesses);
+}
+
+std::string hex_mask(std::uint64_t mask) {
+  std::ostringstream os;
+  os << "0x" << std::hex << mask;
+  return os.str();
+}
+
+/// The [multicore] run path: N copies of the configured stack over a
+/// shared LLC, per-core workloads from [core<k>] sections.
+int run_multicore(const ConfigFile& cfg, const SimConfig& sim,
+                  std::uint64_t num_cores, std::uint64_t accesses) {
+  const std::uint64_t llc_size = cfg.get_u64("multicore", "llc_size", 0);
+  PCAL_CONFIG_CHECK(llc_size > 0,
+                    "[multicore] cores = " << num_cores
+                                           << " needs llc_size > 0");
+  LevelConfig llc = sim.make_level(llc_size);
+  llc.inclusion = inclusion_policy_from_string(
+      cfg.get_string("multicore", "inclusion", "noninclusive"));
+  llc.topology.cache.ways = cfg.get_u64("multicore", "llc_ways", 8);
+  llc.topology.partition.num_banks =
+      cfg.get_u64("multicore", "llc_banks", 4);
+  llc.topology.breakeven_cycles =
+      cfg.get_u64("multicore", "llc_breakeven", 64);
+  MultiCoreConfig mc =
+      make_multicore(sim, num_cores, llc,
+                     cfg.get_u64("multicore", "llc_ways_per_core", 0));
+
+  const std::string default_name =
+      cfg.get_string("workload", "name", "rijndael_i");
+  std::vector<std::unique_ptr<TraceSource>> owned;
+  std::vector<TraceSource*> sources;
+  for (std::uint64_t k = 0; k < num_cores; ++k) {
+    const std::string name = cfg.get_string(
+        "core" + std::to_string(k), "workload", default_name);
+    owned.push_back(make_named_source(cfg, name, accesses));
+    sources.push_back(owned.back().get());
+  }
+
+  AgingContext aging;
+  const MultiCoreResult mr =
+      MultiCoreSystem(std::move(mc)).run(sources, &aging.lut());
+  const SimResult& r = mr.system;
+
+  std::cout << "pcalsim: " << r.workload << " on " << r.config_label
+            << "\n"
+            << "accesses: " << r.accesses << ", cycles: " << r.total_cycles
+            << " total, " << r.stall_cycles
+            << " stalled, avg access latency "
+            << TextTable::num(r.avg_access_latency(), 3) << "\n\n";
+
+  TextTable cores({"core", "workload", "accesses", "stalls", "L1 hit",
+                   "LLC acc", "LLC hit", "way mask", "energy (pJ)",
+                   "idleness"});
+  for (std::size_t k = 0; k < mr.cores.size(); ++k) {
+    const CoreResult& c = mr.cores[k];
+    cores.add_row({std::to_string(k), c.workload,
+                   std::to_string(c.accesses),
+                   std::to_string(c.stall_cycles),
+                   TextTable::num(c.l1_hit_rate(), 4),
+                   std::to_string(c.llc_stats.accesses),
+                   TextTable::num(c.llc_hit_rate(), 4),
+                   hex_mask(c.llc_way_mask),
+                   TextTable::num(c.energy.partitioned.total_pj(), 0),
+                   TextTable::pct(c.avg_residency, 2)});
+  }
+  cores.render(std::cout);
+
+  const CacheStats& llc_stats = r.level_stats.back();
+  const EnergyBreakdown& e = r.energy.partitioned;
+  std::cout << "\nLLC: hit rate " << TextTable::num(llc_stats.hit_rate(), 4)
+            << " (" << llc_stats.accesses << " accesses, " << llc_stats.hits
+            << " hits, " << llc_stats.misses << " misses)\n"
+            << "energy (pJ): total " << TextTable::num(e.total_pj(), 0)
+            << ", saving vs monolithic baseline "
+            << TextTable::pct(r.energy_saving(), 2) << " %\n"
+            << "system idleness: " << TextTable::pct(r.avg_residency(), 2)
+            << " %, lifetime " << TextTable::num(r.lifetime_years(), 3)
+            << " years\n";
+  return 0;
 }
 
 }  // namespace
@@ -186,6 +319,10 @@ int main(int argc, char** argv) {
 
     const std::uint64_t accesses =
         cfg.get_u64("workload", "accesses", 2'000'000);
+
+    const std::uint64_t num_cores = cfg.get_u64("multicore", "cores", 0);
+    if (num_cores > 0) return run_multicore(cfg, sim, num_cores, accesses);
+
     auto source = make_source(cfg, accesses);
 
     AgingContext aging;

@@ -107,6 +107,10 @@ class BankedCache : public ManagedCache {
     PCAL_ASSERT_MSG(finished_, "call finish() first");
     return block_control_.intervals(unit);
   }
+  bool set_alloc_way_mask(std::uint64_t mask) override {
+    cache_.set_alloc_way_mask(mask);
+    return true;
+  }
 
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;

@@ -49,6 +49,11 @@ class WayGrainCache final : public ManagedCache {
     return control_.intervals(unit);
   }
 
+  bool set_alloc_way_mask(std::uint64_t mask) override {
+    cache_.set_alloc_way_mask(mask);
+    return true;
+  }
+
   // ---- component access ----
   const CacheModel& cache() const { return cache_; }
   const BankDecoder& decoder() const { return decoder_; }

@@ -26,7 +26,7 @@ CacheAccessResult CacheModel::access(std::uint64_t tag, std::uint64_t set,
   ++stats_.accesses;
   ++lru_clock_;
   Way* base = &ways_[set * config_.ways];
-  Way* victim = base;
+  Way* victim = nullptr;
   for (std::uint64_t w = 0; w < config_.ways; ++w) {
     Way& way = base[w];
     if (way.valid && way.tag == tag) {
@@ -35,14 +35,21 @@ CacheAccessResult CacheModel::access(std::uint64_t tag, std::uint64_t set,
       if (is_write) way.dirty = true;
       return {true, false, w, false, 0};
     }
+    // Only allocatable ways (the alloc mask; ways >= 64 always qualify)
+    // compete for the victim slot — hits above are mask-blind.
+    if (w < 64 && !(alloc_mask_ >> w & 1)) continue;
     // Track the replacement victim: first invalid way wins, else oldest.
-    if (!way.valid) {
+    if (victim == nullptr) {
+      victim = &way;
+    } else if (!way.valid) {
       if (victim->valid) victim = &way;
     } else if (victim->valid && way.lru < victim->lru) {
       victim = &way;
     }
   }
   ++stats_.misses;
+  PCAL_ASSERT_MSG(victim != nullptr,
+                  "allocation way mask selects no way in set " << set);
   const bool evicted = victim->valid;
   const bool writeback = evicted && victim->dirty;
   const std::uint64_t victim_address = evicted ? victim->address : 0;
@@ -78,6 +85,16 @@ CacheAccessResult CacheModel::probe(std::uint64_t tag, std::uint64_t set) {
   }
   ++stats_.misses;
   return {false, false, 0, false, 0};
+}
+
+void CacheModel::set_alloc_way_mask(std::uint64_t mask) {
+  const std::uint64_t usable =
+      config_.ways >= 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << config_.ways) - 1;
+  PCAL_ASSERT_MSG((mask & usable) != 0,
+                  "allocation way mask selects none of the "
+                      << config_.ways << " configured ways");
+  alloc_mask_ = mask;
 }
 
 std::uint64_t CacheModel::flush() {

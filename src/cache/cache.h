@@ -68,6 +68,16 @@ class CacheModel {
   /// address per the configured geometry.
   CacheAccessResult access_address(std::uint64_t address, bool is_write);
 
+  /// Restricts *allocation* (miss-victim choice) to the ways whose mask
+  /// bit is set.  Hits are served from any way — a line resident outside
+  /// the mask is still found and touched — which is the standard
+  /// way-partitioning semantics a shared LLC uses for QoS isolation
+  /// (core/multicore.h).  The full mask (the default) is the unmasked
+  /// victim loop, bit for bit.  The mask must select at least one of the
+  /// configured ways.
+  void set_alloc_way_mask(std::uint64_t mask);
+  std::uint64_t alloc_way_mask() const { return alloc_mask_; }
+
   /// Invalidates everything; returns the number of dirty lines flushed
   /// (they would be written back to the next level).
   std::uint64_t flush();
@@ -93,6 +103,9 @@ class CacheModel {
   CacheConfig config_;
   std::vector<Way> ways_;  // num_sets * ways, set-major
   std::uint64_t lru_clock_ = 0;
+  /// Allocation (victim-choice) way mask; ways >= 64 are always
+  /// allocatable (the mask cannot name them).
+  std::uint64_t alloc_mask_ = ~std::uint64_t{0};
   CacheStats stats_;
 };
 

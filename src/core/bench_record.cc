@@ -35,7 +35,8 @@ void write_bench_json(const std::string& bench_name, const SweepStats& stats,
 }
 
 void write_result_row(std::ostream& os, const SimResult& result,
-                      const std::string& workload, bool ok) {
+                      const std::string& workload, bool ok,
+                      const std::vector<CoreResult>* cores) {
   os << "{\"workload\": \"" << json_escape(workload) << "\", \"config\": \""
      << json_escape(result.config_label)
      << "\", \"ok\": " << (ok ? "true" : "false")
@@ -45,7 +46,25 @@ void write_result_row(std::ostream& os, const SimResult& result,
      << ", \"avg_latency\": " << result.avg_access_latency()
      << ", \"energy_pj\": " << result.energy.partitioned.total_pj()
      << ", \"idleness\": " << result.avg_residency()
-     << ", \"lifetime_years\": " << result.lifetime_years() << "}";
+     << ", \"lifetime_years\": " << result.lifetime_years();
+  if (cores != nullptr && !cores->empty()) {
+    os << ", \"cores\": [";
+    for (std::size_t k = 0; k < cores->size(); ++k) {
+      const CoreResult& c = (*cores)[k];
+      if (k) os << ", ";
+      os << "{\"workload\": \"" << json_escape(c.workload)
+         << "\", \"accesses\": " << c.accesses
+         << ", \"stall_cycles\": " << c.stall_cycles
+         << ", \"llc_way_mask\": " << c.llc_way_mask
+         << ", \"l1_hit_rate\": " << c.l1_hit_rate()
+         << ", \"llc_accesses\": " << c.llc_stats.accesses
+         << ", \"llc_hits\": " << c.llc_stats.hits
+         << ", \"energy_pj\": " << c.energy.partitioned.total_pj()
+         << ", \"idleness\": " << c.avg_residency << "}";
+    }
+    os << "]";
+  }
+  os << "}";
 }
 
 std::string json_escape(const std::string& s) {

@@ -29,9 +29,13 @@ void write_bench_json(const std::string& bench_name, const SweepStats& stats,
 /// validates — workload, config label, ok flag, accesses, the timing
 /// core's total/stall/avg-latency, energy, idleness, lifetime.  The one
 /// emitter for every producer (pcalsweep, bench binaries), so the row
-/// schema cannot drift between them.
+/// schema cannot drift between them.  `cores` (a multi-core job's
+/// per-core attribution) appends a "cores" array member — per core:
+/// workload, accesses, stalls, LLC way mask, L1 hit rate, LLC traffic
+/// slice and attributed energy.
 void write_result_row(std::ostream& os, const SimResult& result,
-                      const std::string& workload, bool ok);
+                      const std::string& workload, bool ok,
+                      const std::vector<CoreResult>* cores = nullptr);
 
 /// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
 /// control characters).

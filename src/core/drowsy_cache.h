@@ -66,6 +66,9 @@ class DrowsyHybridCache final : public ManagedCache {
       std::uint64_t unit) const override {
     return base_->unit_intervals(unit);
   }
+  bool set_alloc_way_mask(std::uint64_t mask) override {
+    return base_->set_alloc_way_mask(mask);
+  }
 
   // ---- hybrid-specific queries ----
   const ManagedCache& base() const { return *base_; }

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "trace/binary_trace.h"
+#include "trace/multiprogram.h"
 #include "trace/synthetic.h"
 #include "trace/trace_io.h"
 #include "trace/workloads.h"
@@ -26,15 +27,19 @@ constexpr const char* kNumericAxes[] = {
     "cache_size", "line_size", "ways", "banks", "updates",
     "breakeven", "drowsy_window", "seed",
     // Hierarchy axes: lower-level sizes (0 = level disabled) and the
-    // L2 topology knobs the [grid] scalars do not cover.
-    "l2_size", "l3_size", "l2_drowsy_window",
-    // Timing axes (core/timing.h): L1 and L2 event costs, and the wakeup
+    // L2/L3 topology knobs the [grid] scalars do not cover (an l3_* axis
+    // overrides the inherited l2_* value for the L3 only).
+    "l2_size", "l3_size", "l2_drowsy_window", "l3_drowsy_window",
+    // Timing axes (core/timing.h): per-level event costs, and the wakeup
     // latencies shared by every level.
     "hit_latency", "miss_latency", "l2_hit_latency", "l2_miss_latency",
-    "drowsy_wake", "gated_wake"};
+    "l3_hit_latency", "l3_miss_latency", "drowsy_wake", "gated_wake",
+    // Multi-core axes: private stacks over a shared LLC (core/multicore.h).
+    "cores", "llc_size", "llc_ways_per_core"};
 constexpr const char* kStringAxes[] = {
     "granularity", "indexing",    "policy",     "workload", "inclusion",
-    "l2_granularity", "l2_indexing", "l2_policy"};
+    "l2_granularity", "l2_indexing", "l2_policy",
+    "l3_granularity", "l3_indexing", "l3_policy"};
 // EnergyParams axes take real-valued lists ("0.1, 0.25").
 constexpr const char* kFloatAxes[] = {
     "energy_drowsy_leak", "energy_gated_leak", "energy_sleep_overhead",
@@ -62,8 +67,21 @@ std::string valid_axes_hint() {
   for (const char* k : kNumericAxes) out += std::string(k) + " ";
   for (const char* k : kFloatAxes) out += std::string(k) + " ";
   for (const char* k : kStringAxes) out += std::string(k) + " ";
-  out.pop_back();
+  out += "core<k>_workload";
   return out;
+}
+
+/// "core<k>_workload" axes pin one core of a multi-core grid to its own
+/// workload; returns the core index, or -1 for any other key.
+int core_workload_index(const std::string& key) {
+  if (!starts_with(key, "core")) return -1;
+  const std::size_t us = key.find('_');
+  if (us == std::string::npos || key.substr(us) != "_workload") return -1;
+  const std::string digits = key.substr(4, us - 4);
+  if (digits.empty() || digits.size() > 6) return -1;
+  for (const char c : digits)
+    if (c < '0' || c > '9') return -1;
+  return std::stoi(digits);
 }
 
 /// One "key = value" line of the spec, tagged with where it came from
@@ -215,7 +233,8 @@ std::vector<std::string> expand_float_axis(const std::string& axis,
 }
 
 std::vector<std::string> expand_workload_axis(const std::string& value,
-                                              const std::string& where) {
+                                              const std::string& where,
+                                              std::uint64_t footprint_bytes) {
   std::vector<std::string> out;
   for (const std::string& item : split_items(value, where, "workload")) {
     if (item == "mediabench") {
@@ -226,6 +245,15 @@ std::vector<std::string> expand_workload_axis(const std::string& value,
     if (starts_with(item, "trace:")) {
       if (item.size() == 6)
         fail(where, "'trace:' needs a file path (trace:<file>)");
+      out.push_back(item);
+      continue;
+    }
+    if (starts_with(item, "multiprog:")) {
+      try {
+        parse_multiprogram_spec(item.substr(10), footprint_bytes);
+      } catch (const Error& e) {
+        fail(where, std::string("workload '") + item + "': " + e.what());
+      }
       out.push_back(item);
       continue;
     }
@@ -316,6 +344,13 @@ TraceSourceFactory make_workload_factory(const std::string& value,
     auto shared = std::make_shared<const Trace>(load_trace_file(path));
     return [shared, accesses] {
       return std::make_unique<SharedTraceSource>(shared, accesses);
+    };
+  }
+  if (starts_with(value, "multiprog:")) {
+    const MultiProgramConfig mp =
+        parse_multiprogram_spec(value.substr(10), footprint_bytes);
+    return [mp, accesses] {
+      return std::make_unique<MultiProgramSource>(mp, accesses);
     };
   }
   WorkloadSpec spec;
@@ -540,10 +575,22 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
       spec.l2_banks_ = parse_number(e.value, e.where);
     } else if (e.key == "l2_breakeven") {
       spec.l2_breakeven_ = parse_number(e.value, e.where);
+    } else if (e.key == "l3_banks") {
+      spec.l3_banks_ = parse_number(e.value, e.where);
+    } else if (e.key == "l3_breakeven") {
+      spec.l3_breakeven_ = parse_number(e.value, e.where);
+    } else if (e.key == "llc_banks") {
+      spec.llc_banks_ = parse_number(e.value, e.where);
+    } else if (e.key == "llc_breakeven") {
+      spec.llc_breakeven_ = parse_number(e.value, e.where);
+    } else if (e.key == "llc_ways") {
+      spec.llc_ways_ = parse_number(e.value, e.where);
+      if (spec.llc_ways_ == 0) fail(e.where, "llc_ways must be positive");
     } else {
       fail(e.where, "unknown [grid] key '" + e.key +
                         "' (valid: name accesses footprint unit_pricing "
-                        "l2_banks l2_breakeven)");
+                        "l2_banks l2_breakeven l3_banks l3_breakeven "
+                        "llc_banks llc_breakeven llc_ways)");
     }
   }
 
@@ -551,15 +598,19 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
     if (e.section != "sweep") continue;
     GridAxis axis;
     axis.key = e.key;
-    if (e.key == "workload")
-      axis.values = expand_workload_axis(e.value, e.where);
-    else if (e.key == "granularity" || e.key == "l2_granularity")
+    if (e.key == "workload" || core_workload_index(e.key) >= 0)
+      axis.values =
+          expand_workload_axis(e.value, e.where, spec.footprint_bytes_);
+    else if (e.key == "granularity" || e.key == "l2_granularity" ||
+             e.key == "l3_granularity")
       axis.values = expand_enum_axis(e.key, e.value, e.where,
                                      granularity_from_string);
-    else if (e.key == "indexing" || e.key == "l2_indexing")
+    else if (e.key == "indexing" || e.key == "l2_indexing" ||
+             e.key == "l3_indexing")
       axis.values = expand_enum_axis(e.key, e.value, e.where,
                                      indexing_kind_from_string);
-    else if (e.key == "policy" || e.key == "l2_policy")
+    else if (e.key == "policy" || e.key == "l2_policy" ||
+             e.key == "l3_policy")
       axis.values = expand_enum_axis(e.key, e.value, e.where,
                                      power_policy_from_string);
     else if (e.key == "inclusion")
@@ -603,6 +654,58 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
             "' needs a lower level: declare an l2_size (or l3_size) axis "
             "with a nonzero value");
     }
+  }
+  // L3 overrides are inert unless an L3 can exist.
+  const auto has_nonzero_value = [&](const char* size_key) {
+    if (const GridAxis* axis = spec.find_axis(size_key))
+      for (const std::string& v : axis->values)
+        if (v != "0") return true;
+    return false;
+  };
+  if (!has_nonzero_value("l3_size")) {
+    for (const char* key :
+         {"l3_granularity", "l3_indexing", "l3_policy", "l3_drowsy_window",
+          "l3_hit_latency", "l3_miss_latency"}) {
+      if (spec.find_axis(key))
+        throw ConfigError("sweep axis '" + std::string(key) +
+                          "' needs an l3_size axis with a nonzero value");
+    }
+  }
+  // Multi-core coupling: `cores` needs a shared LLC, and the llc_* /
+  // per-core-workload axes are meaningless without `cores`.
+  if (const GridAxis* cores_axis = spec.find_axis("cores")) {
+    std::uint64_t max_cores = 0;
+    for (const std::string& v : cores_axis->values) {
+      const std::uint64_t n = parse_number(v, "axis cores");
+      if (n == 0)
+        throw ConfigError("sweep axis 'cores' values must be >= 1");
+      max_cores = std::max(max_cores, n);
+    }
+    const GridAxis* llc_axis = spec.find_axis("llc_size");
+    if (!llc_axis)
+      throw ConfigError(
+          "sweep axis 'cores' needs an llc_size axis (the shared "
+          "last-level cache)");
+    for (const std::string& v : llc_axis->values)
+      if (v == "0")
+        throw ConfigError("sweep axis 'llc_size' values must be positive");
+    for (const GridAxis& axis : spec.axes_) {
+      const int k = core_workload_index(axis.key);
+      if (k >= 0 && static_cast<std::uint64_t>(k) >= max_cores)
+        throw ConfigError("sweep axis '" + axis.key + "' names core " +
+                          std::to_string(k) + "; the cores axis peaks at " +
+                          std::to_string(max_cores) + " cores (indices 0.." +
+                          std::to_string(max_cores - 1) + ")");
+    }
+  } else {
+    for (const char* key : {"llc_size", "llc_ways_per_core"})
+      if (spec.find_axis(key))
+        throw ConfigError("sweep axis '" + std::string(key) +
+                          "' needs a cores axis");
+    for (const GridAxis& axis : spec.axes_)
+      if (core_workload_index(axis.key) >= 0)
+        throw ConfigError("sweep axis '" + axis.key +
+                          "' needs a cores axis");
   }
   std::size_t total = 1;
   for (const GridAxis& axis : spec.axes_) {
@@ -726,7 +829,7 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
   // immutable spec, text traces parse once, .pct traces are probed once.
   std::map<std::string, TraceSourceFactory> factories;
   for (const GridAxis& axis : axes_) {
-    if (axis.key != "workload") continue;
+    if (axis.key != "workload" && core_workload_index(axis.key) < 0) continue;
     for (const std::string& value : axis.values)
       if (!factories.count(value))
         factories[value] =
@@ -747,7 +850,16 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
     PowerPolicy l2_policy = PowerPolicy::kGated;
     std::uint64_t l2_drowsy_window = 0;
     std::uint64_t l2_hit_latency = 0, l2_miss_latency = 0;
+    // L3 overrides: an unset knob inherits the L2 value below, so specs
+    // written before the l3_* axes existed expand unchanged.
+    std::optional<Granularity> l3_granularity;
+    std::optional<IndexingKind> l3_indexing;
+    std::optional<PowerPolicy> l3_policy;
+    std::optional<std::uint64_t> l3_drowsy_window;
+    std::optional<std::uint64_t> l3_hit_latency, l3_miss_latency;
     InclusionPolicy inclusion = InclusionPolicy::kNonInclusive;
+    std::uint64_t cores_val = 0, llc_size_val = 0, llc_wpc_val = 0;
+    std::map<int, std::string> core_workloads;
     SimConfig cfg;
     cfg.force_unit_pricing = unit_pricing_;
     for (std::size_t i = 0; i < axes_.size(); ++i) {
@@ -772,44 +884,106 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
         l2_hit_latency = parse_number(value, "axis l2_hit_latency");
       } else if (key == "l2_miss_latency") {
         l2_miss_latency = parse_number(value, "axis l2_miss_latency");
+      } else if (key == "l3_granularity") {
+        l3_granularity = granularity_from_string(value);
+      } else if (key == "l3_indexing") {
+        l3_indexing = indexing_kind_from_string(value);
+      } else if (key == "l3_policy") {
+        l3_policy = power_policy_from_string(value);
+      } else if (key == "l3_drowsy_window") {
+        l3_drowsy_window = parse_number(value, "axis l3_drowsy_window");
+      } else if (key == "l3_hit_latency") {
+        l3_hit_latency = parse_number(value, "axis l3_hit_latency");
+      } else if (key == "l3_miss_latency") {
+        l3_miss_latency = parse_number(value, "axis l3_miss_latency");
+      } else if (key == "cores") {
+        cores_val = parse_number(value, "axis cores");
+      } else if (key == "llc_size") {
+        llc_size_val = parse_number(value, "axis llc_size");
+      } else if (key == "llc_ways_per_core") {
+        llc_wpc_val = parse_number(value, "axis llc_ways_per_core");
+      } else if (core_workload_index(key) >= 0) {
+        core_workloads[core_workload_index(key)] = value;
       } else if (key == "inclusion") {
         inclusion = inclusion_policy_from_string(value);
       } else {
         apply_axis(cfg, key, value);
       }
     }
-    // Lower levels: L2 then L3, each enabled by a nonzero size.  The
-    // [grid] l2_banks/l2_breakeven scalars shape both; the l2_* axes
-    // refine the L2; `inclusion` applies to every lower level; wakeup
+    // Lower levels: L2 then L3, each enabled by a nonzero size.  The L2
+    // is shaped by the [grid] l2_banks/l2_breakeven scalars and the l2_*
+    // axes; the L3 inherits every L2 knob unless an l3_* scalar or axis
+    // overrides it.  `inclusion` applies to every lower level; wakeup
     // latencies are shared down the stack (one sleep technology).
-    const auto add_level = [&](std::uint64_t size) {
+    const auto add_level = [&](std::uint64_t size, Granularity granularity,
+                               IndexingKind indexing, PowerPolicy policy,
+                               std::uint64_t banks, std::uint64_t breakeven,
+                               std::uint64_t drowsy_window,
+                               std::uint64_t hit_latency,
+                               std::uint64_t miss_latency) {
       LevelConfig level = cfg.make_level(size);  // depth seed + geometry
       level.inclusion = inclusion;
       CacheTopology& topo = level.topology;
-      topo.granularity = l2_granularity;
-      topo.partition.num_banks = l2_banks_;
-      topo.indexing = l2_indexing;
-      topo.breakeven_cycles = l2_breakeven_;
-      topo.policy = l2_policy;
-      topo.drowsy_window_cycles = l2_drowsy_window;
-      topo.latency.hit_cycles = l2_hit_latency;
-      topo.latency.miss_cycles = l2_miss_latency;
+      topo.granularity = granularity;
+      topo.partition.num_banks = banks;
+      topo.indexing = indexing;
+      topo.breakeven_cycles = breakeven;
+      topo.policy = policy;
+      topo.drowsy_window_cycles = drowsy_window;
+      topo.latency.hit_cycles = hit_latency;
+      topo.latency.miss_cycles = miss_latency;
       topo.latency.drowsy_wake_cycles = cfg.latency.drowsy_wake_cycles;
       topo.latency.gated_wake_cycles = cfg.latency.gated_wake_cycles;
       cfg.lower_levels.push_back(level);
     };
-    if (l2_size > 0) add_level(l2_size);
-    if (l3_size > 0) add_level(l3_size);
-    try {
-      cfg.validate();
-    } catch (const Error& e) {
+    if (l2_size > 0)
+      add_level(l2_size, l2_granularity, l2_indexing, l2_policy, l2_banks_,
+                l2_breakeven_, l2_drowsy_window, l2_hit_latency,
+                l2_miss_latency);
+    if (l3_size > 0)
+      add_level(l3_size, l3_granularity.value_or(l2_granularity),
+                l3_indexing.value_or(l2_indexing),
+                l3_policy.value_or(l2_policy), l3_banks_.value_or(l2_banks_),
+                l3_breakeven_.value_or(l2_breakeven_),
+                l3_drowsy_window.value_or(l2_drowsy_window),
+                l3_hit_latency.value_or(l2_hit_latency),
+                l3_miss_latency.value_or(l2_miss_latency));
+    const auto fail_point = [&](const Error& e) {
       std::string coords;
       for (std::size_t i = 0; i < axes_.size(); ++i)
         coords += (i ? " " : "") + axes_[i].key + "=" + job.coords[i];
       throw ConfigError("grid point (" + coords + "): " + e.what());
+    };
+    try {
+      cfg.validate();
+    } catch (const Error& e) {
+      fail_point(e);
     }
     job.config = cfg;
     job.make_source = factories.at(job.workload);
+    if (cores_val > 0) {
+      // Multi-core point: the config so far is the per-core template;
+      // the llc_* knobs shape the shared LLC behind every core.
+      LevelConfig llc = cfg.make_level(llc_size_val);
+      llc.inclusion = inclusion;
+      llc.topology.cache.ways = llc_ways_;
+      llc.topology.partition.num_banks = llc_banks_;
+      llc.topology.breakeven_cycles = llc_breakeven_;
+      try {
+        MultiCoreConfig mc = make_multicore(cfg, cores_val, llc, llc_wpc_val);
+        mc.validate();
+        job.multicore =
+            std::make_shared<const MultiCoreConfig>(std::move(mc));
+      } catch (const Error& e) {
+        fail_point(e);
+      }
+      job.core_sources.reserve(cores_val);
+      for (std::uint64_t k = 0; k < cores_val; ++k) {
+        const auto it = core_workloads.find(static_cast<int>(k));
+        job.core_sources.push_back(factories.at(
+            it != core_workloads.end() ? it->second : job.workload));
+      }
+    }
     jobs.push_back(std::move(job));
 
     // Advance the odometer: last axis fastest (first axis outermost).

@@ -40,6 +40,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -90,6 +92,12 @@ struct GridJob {
   TraceSourceFactory make_source;
   std::string workload;  // the workload axis value of this point
   std::vector<std::string> coords;
+  /// Multi-core grid points (a nonzero `cores` axis value): the system
+  /// to run plus one source factory per core, in core order.  `config`
+  /// still holds the per-core template; a SweepJob built from this point
+  /// must carry both fields so the runner takes the multi-core path.
+  std::shared_ptr<const MultiCoreConfig> multicore;
+  std::vector<TraceSourceFactory> core_sources;
 };
 
 class GridSpec {
@@ -146,6 +154,14 @@ class GridSpec {
   bool unit_pricing_ = false;
   std::uint64_t l2_banks_ = 4;
   std::uint64_t l2_breakeven_ = 64;
+  /// L3 geometry scalars; unset inherits the l2_* value (back-compat
+  /// with specs written before the l3_* overrides existed).
+  std::optional<std::uint64_t> l3_banks_;
+  std::optional<std::uint64_t> l3_breakeven_;
+  /// Shared-LLC geometry of multi-core grids (a `cores` axis).
+  std::uint64_t llc_banks_ = 4;
+  std::uint64_t llc_breakeven_ = 64;
+  std::uint64_t llc_ways_ = 8;
   std::vector<GridAxis> axes_;
   bool has_table_ = false;
   TableSpec table_;

@@ -63,11 +63,14 @@ HierarchicalCache::HierarchicalCache(const HierarchyConfig& config) {
     total_units_ += level.cache->num_units();
     levels_.push_back(std::move(level));
   }
+  routing_.reserve(levels_.size());
+  for (Level& level : levels_)
+    routing_.push_back({level.cache.get(), level.inclusion});
 }
 
-AccessOutcome HierarchicalCache::do_access(std::uint64_t address,
-                                           bool is_write) {
-  AccessOutcome top = levels_.front().cache->access(address, is_write);
+AccessOutcome route_access(RoutedLevel* levels, std::size_t num_levels,
+                           std::uint64_t address, bool is_write) {
+  AccessOutcome top = levels[0].cache->access(address, is_write);
   std::uint64_t stall = top.stall_cycles;
 
   // Route one event per level down the hierarchy; once a level is not
@@ -76,8 +79,8 @@ AccessOutcome HierarchicalCache::do_access(std::uint64_t address,
   AccessOutcome cur = top;
   std::uint64_t cur_address = address;
   bool active = true;
-  for (std::size_t i = 1; i < levels_.size(); ++i) {
-    Level& level = levels_[i];
+  for (std::size_t i = 1; i < num_levels; ++i) {
+    RoutedLevel& level = levels[i];
     if (active) {
       bool referenced = false;
       std::uint64_t event_address = 0;
@@ -130,6 +133,11 @@ AccessOutcome HierarchicalCache::do_access(std::uint64_t address,
 
   top.stall_cycles = stall;
   return top;
+}
+
+AccessOutcome HierarchicalCache::do_access(std::uint64_t address,
+                                           bool is_write) {
+  return route_access(routing_.data(), routing_.size(), address, is_write);
 }
 
 AccessOutcome HierarchicalCache::do_probe(std::uint64_t address) {

@@ -78,6 +78,25 @@ enum class InclusionPolicy : std::uint8_t {
 
 const char* to_string(InclusionPolicy policy);
 
+/// One level of a routing chain as route_access() sees it: a borrowed
+/// backend plus the inclusion policy tying it to the level above.
+struct RoutedLevel {
+  ManagedCache* cache = nullptr;
+  InclusionPolicy inclusion = InclusionPolicy::kNonInclusive;
+};
+
+/// Routes one CPU access through `levels` (levels[0] faces the CPU),
+/// applying the per-level stream semantics documented above: each lower
+/// level consumes its upper neighbour's miss or eviction stream per its
+/// InclusionPolicy, unreferenced levels advance_idle(1), and the
+/// returned outcome is level 0's with stall_cycles summed over every
+/// level actually referenced.  This is HierarchicalCache's access path,
+/// exposed as a free function so MultiCoreSystem can route per-core
+/// private levels into a *shared* LLC it appends to each core's chain
+/// (core/multicore.h) with identical semantics, bit for bit.
+AccessOutcome route_access(RoutedLevel* levels, std::size_t num_levels,
+                           std::uint64_t address, bool is_write);
+
 /// Parses "noninclusive" | "non-inclusive" | "inclusive" | "exclusive" |
 /// "victim"; throws ConfigError otherwise.
 InclusionPolicy inclusion_policy_from_string(const std::string& s);
@@ -162,6 +181,7 @@ class HierarchicalCache final : public ManagedCache {
   const Level& level_of_unit(std::uint64_t unit, std::uint64_t* local) const;
 
   std::vector<Level> levels_;
+  std::vector<RoutedLevel> routing_;  // borrowed views for route_access
   std::uint64_t total_units_ = 0;
   std::uint64_t updates_ = 0;
 };

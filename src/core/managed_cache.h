@@ -246,6 +246,15 @@ class ManagedCache {
   virtual const IntervalAccumulator& unit_intervals(
       std::uint64_t unit) const = 0;
 
+  /// Restricts *allocation* (miss-victim choice) to the tag-store ways
+  /// whose mask bit is set; hits are still served from any way, so a
+  /// line resident outside the mask is found and touched — standard
+  /// way-partitioning semantics, used by the multi-core shared LLC for
+  /// QoS isolation (core/multicore.h).  Returns false when the backend
+  /// has no way-organized tag store to mask (per-line management);
+  /// passing the full mask (~0) restores unrestricted allocation.
+  virtual bool set_alloc_way_mask(std::uint64_t /*mask*/) { return false; }
+
  private:
   virtual AccessOutcome do_access(std::uint64_t address, bool is_write) = 0;
   virtual AccessOutcome do_probe(std::uint64_t address) = 0;

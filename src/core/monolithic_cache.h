@@ -35,6 +35,11 @@ class MonolithicCache final : public ManagedCache {
     return control_.intervals(unit);
   }
 
+  bool set_alloc_way_mask(std::uint64_t mask) override {
+    cache_.set_alloc_way_mask(mask);
+    return true;
+  }
+
   const CacheModel& cache() const { return cache_; }
   const BlockControl& block_control() const { return control_; }
 

@@ -177,6 +177,16 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
   std::uint64_t update_interval = 0;
   if (updates_enabled && hint && *hint > config_.reindex_updates)
     update_interval = *hint / (config_.reindex_updates + 1);
+  // Context-switch alignment (the paper's zero-overhead piggybacking): a
+  // source with a natural boundary — a multiprogrammed stream's quantum —
+  // gets the update interval rounded down to a whole number of quanta,
+  // so every flush lands exactly on a context switch that flushes
+  // anyway.  Quanta longer than the interval cannot be aligned to
+  // without starving the update budget; those stay on the even spread.
+  const auto quantum = source.boundary_hint();
+  if (update_interval != 0 && quantum && *quantum > 0 &&
+      update_interval >= *quantum)
+    update_interval -= update_interval % *quantum;
   std::uint64_t interval = update_interval;
   if (interval == 0 && observer && hint)
     interval = std::max<std::uint64_t>(1, *hint / kDefaultObserverIntervals);
@@ -212,6 +222,8 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
           snap.cycles = cache->cycles();
           snap.updates_applied = cache->indexing_updates();
           snap.fired_update = fired;
+          snap.context_switch = quantum && *quantum > 0 &&
+                                timing.accesses() % *quantum == 0;
           snap.stats = &cache->stats();
           snap.cache = cache.get();
           observer(snap);

@@ -202,6 +202,11 @@ struct IntervalSnapshot {
   std::uint64_t updates_applied = 0;
   bool fired_update = false;
   bool final_snapshot = false;
+  /// True when this boundary coincides with a context switch of a
+  /// multiprogrammed source (the boundary's access position is a
+  /// multiple of the source's boundary_hint()).  Always false for
+  /// sources without a natural boundary.
+  bool context_switch = false;
   const CacheStats* stats = nullptr;
   const ManagedCache* cache = nullptr;
 };

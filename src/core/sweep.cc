@@ -49,17 +49,38 @@ struct WorkerQueue {
 /// must not poison the pool.
 void run_job(const SweepJob& job, SweepOutcome* out, WorkerAccum* accum) {
   try {
-    PCAL_ASSERT_MSG(job.make_source != nullptr,
-                    "SweepJob needs a TraceSourceFactory");
-    const std::unique_ptr<TraceSource> source = job.make_source();
-    PCAL_ASSERT_MSG(source != nullptr,
-                    "TraceSourceFactory returned null");
     // Chain the streaming accumulator in front of any user observer so
     // interval counts land in this worker's slot without locking.
     IntervalObserver observer = [&](const IntervalSnapshot& snap) {
       ++accum->intervals;
       if (job.observer) job.observer(snap);
     };
+    if (job.multicore) {
+      PCAL_ASSERT_MSG(
+          job.core_sources.size() == job.multicore->cores.size(),
+          "multi-core SweepJob needs one TraceSourceFactory per core");
+      std::vector<std::unique_ptr<TraceSource>> owned;
+      std::vector<TraceSource*> sources;
+      for (const TraceSourceFactory& factory : job.core_sources) {
+        PCAL_ASSERT_MSG(factory != nullptr,
+                        "multi-core SweepJob has a null source factory");
+        owned.push_back(factory());
+        PCAL_ASSERT_MSG(owned.back() != nullptr,
+                        "TraceSourceFactory returned null");
+        sources.push_back(owned.back().get());
+      }
+      MultiCoreResult mc =
+          MultiCoreSystem(*job.multicore).run(sources, job.lut, observer);
+      out->result = std::move(mc.system);
+      out->cores = std::move(mc.cores);
+      accum->accesses += out->result.accesses;
+      return;
+    }
+    PCAL_ASSERT_MSG(job.make_source != nullptr,
+                    "SweepJob needs a TraceSourceFactory");
+    const std::unique_ptr<TraceSource> source = job.make_source();
+    PCAL_ASSERT_MSG(source != nullptr,
+                    "TraceSourceFactory returned null");
     out->result = Simulator(job.config).run(*source, job.lut, observer);
     accum->accesses += out->result.accesses;
   } catch (...) {

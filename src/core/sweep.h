@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/multicore.h"
 #include "core/simulator.h"
 
 namespace pcal {
@@ -50,11 +51,21 @@ struct SweepJob {
   /// the job.  Observers of different jobs may run concurrently — an
   /// observer must only touch per-job state (or synchronize itself).
   IntervalObserver observer;
+  /// Multi-core jobs: when set, the job runs a MultiCoreSystem over
+  /// `core_sources` (one factory per configured core, in core order)
+  /// instead of a single-stream Simulator, and `config`/`make_source`
+  /// are ignored.  The shared_ptr keeps one immutable config alive
+  /// across copies of the job on different workers.
+  std::shared_ptr<const MultiCoreConfig> multicore;
+  std::vector<TraceSourceFactory> core_sources;
 };
 
 /// Result slot of one job.  `result` is valid iff `ok()`.
 struct SweepOutcome {
   SimResult result;
+  /// Per-core attribution of a multi-core job (empty for single-stream
+  /// jobs).
+  std::vector<CoreResult> cores;
   std::exception_ptr error;
 
   bool ok() const { return error == nullptr; }

@@ -1,10 +1,73 @@
 #include "trace/multiprogram.h"
 
+#include <cstdlib>
 #include <sstream>
 
+#include "trace/workloads.h"
 #include "util/error.h"
+#include "util/string_util.h"
 
 namespace pcal {
+
+namespace {
+
+/// Resolves one program name the way pcalsweep's workload axis does:
+/// MediaBench names, or the generic uniform / streaming / hotspot
+/// shapes over `footprint_bytes`.
+WorkloadSpec resolve_program(const std::string& name,
+                             std::uint64_t footprint_bytes) {
+  if (name == "uniform") return make_uniform_workload(footprint_bytes);
+  if (name == "streaming") return make_streaming_workload(footprint_bytes);
+  if (name == "hotspot") return make_hotspot_workload(footprint_bytes);
+  return make_mediabench_workload(name);  // throws on unknown names
+}
+
+/// "200000" / "100k" / "2M" -> accesses; throws ConfigError otherwise.
+std::uint64_t parse_quantum(const std::string& text) {
+  std::uint64_t scale = 1;
+  std::string digits = text;
+  if (!digits.empty() && (digits.back() == 'k' || digits.back() == 'K')) {
+    scale = 1024;
+    digits.pop_back();
+  } else if (!digits.empty() &&
+             (digits.back() == 'm' || digits.back() == 'M')) {
+    scale = 1024 * 1024;
+    digits.pop_back();
+  }
+  PCAL_CONFIG_CHECK(!digits.empty(), "empty multiprog quantum");
+  for (char c : digits)
+    PCAL_CONFIG_CHECK(c >= '0' && c <= '9',
+                      "bad multiprog quantum \"" << text << "\"");
+  const std::uint64_t value =
+      std::strtoull(digits.c_str(), nullptr, 10) * scale;
+  PCAL_CONFIG_CHECK(value > 0, "multiprog quantum must be nonzero");
+  return value;
+}
+
+}  // namespace
+
+MultiProgramConfig parse_multiprogram_spec(const std::string& spec,
+                                           std::uint64_t footprint_bytes) {
+  std::string programs = spec;
+  MultiProgramConfig config;
+  const std::size_t at = programs.find('@');
+  if (at != std::string::npos) {
+    config.quantum_accesses =
+        parse_quantum(std::string(trim(programs.substr(at + 1))));
+    programs.erase(at);
+  }
+  for (const std::string& field : split(programs, '+')) {
+    const std::string name(trim(field));
+    PCAL_CONFIG_CHECK(!name.empty(),
+                      "empty program name in multiprog list \"" << spec
+                                                                << "\"");
+    config.programs.push_back(resolve_program(name, footprint_bytes));
+  }
+  PCAL_CONFIG_CHECK(!config.programs.empty(),
+                    "multiprog needs at least one program");
+  config.validate();
+  return config;
+}
 
 void MultiProgramConfig::validate() const {
   PCAL_CONFIG_CHECK(!programs.empty(), "need at least one program");

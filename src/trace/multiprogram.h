@@ -28,6 +28,15 @@ struct MultiProgramConfig {
   void validate() const;
 };
 
+/// Parses a "prog1+prog2[@quantum]" program list into a
+/// MultiProgramConfig: program names resolve like pcalsweep workload
+/// items (the 18 MediaBench names, or uniform / streaming / hotspot,
+/// which take `footprint_bytes`), and the optional "@<n>" suffix sets
+/// quantum_accesses (k/M size suffixes allowed).  Throws ConfigError on
+/// unknown names, an empty list, or a zero quantum.
+MultiProgramConfig parse_multiprogram_spec(const std::string& spec,
+                                           std::uint64_t footprint_bytes);
+
 class MultiProgramSource final : public TraceSource {
  public:
   MultiProgramSource(MultiProgramConfig config, std::uint64_t num_accesses);
@@ -36,6 +45,11 @@ class MultiProgramSource final : public TraceSource {
   void reset() override;
   std::optional<std::uint64_t> size_hint() const override {
     return num_accesses_;
+  }
+  /// The scheduling quantum: re-indexing updates aligned to multiples of
+  /// it piggyback on context-switch flushes (see core/simulator.cc).
+  std::optional<std::uint64_t> boundary_hint() const override {
+    return config_.quantum_accesses;
   }
   std::string name() const override;
 

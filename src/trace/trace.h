@@ -37,6 +37,13 @@ class TraceSource {
   /// Total number of accesses this source will produce, if known.
   virtual std::optional<std::uint64_t> size_hint() const { return {}; }
 
+  /// Natural alignment period of the stream in accesses, if it has one:
+  /// a multiprogrammed source reports its scheduling quantum so the
+  /// driver can align re-indexing updates with context switches (the
+  /// paper's zero-overhead piggybacking — the flush happens anyway).
+  /// nullopt = no natural boundary (the default).
+  virtual std::optional<std::uint64_t> boundary_hint() const { return {}; }
+
   /// Human-readable workload name for reports.
   virtual std::string name() const = 0;
 };

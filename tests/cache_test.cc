@@ -184,6 +184,51 @@ TEST(Cache, AssociativityRemovesConflicts) {
   EXPECT_TRUE(cache.access_address(0x400, false).hit);
 }
 
+TEST(Cache, AllocWayMaskRestrictsVictimChoiceOnly) {
+  CacheConfig c = small_dm();
+  c.ways = 4;
+  CacheModel cache(c);
+  // Allocation fenced to ways {0, 1}: a third conflicting line must
+  // victimize within the mask, never the ways outside it.
+  cache.set_alloc_way_mask(0x3);
+  cache.access_address(0x0, false);
+  cache.access_address(0x1000, false);
+  cache.access_address(0x2000, false);  // evicts the LRU of {0x0, 0x1000}
+  const CacheConfig& cc = cache.config();
+  EXPECT_FALSE(cache.contains(cc.tag_of(0x0), cc.set_index_of(0x0)));
+  EXPECT_TRUE(cache.contains(cc.tag_of(0x1000), cc.set_index_of(0x1000)));
+  EXPECT_TRUE(cache.contains(cc.tag_of(0x2000), cc.set_index_of(0x2000)));
+  // Hits are mask-blind: a line resident outside the mask is found.
+  cache.set_alloc_way_mask(0xC);
+  cache.access_address(0x3000, false);  // fills a {2, 3} way
+  cache.set_alloc_way_mask(0x3);
+  EXPECT_TRUE(cache.access_address(0x3000, false).hit);
+  // The mask must name at least one configured way.
+  EXPECT_THROW(cache.set_alloc_way_mask(0), Error);
+  EXPECT_THROW(cache.set_alloc_way_mask(std::uint64_t{1} << 4), Error);
+}
+
+TEST(Cache, FullAllocWayMaskMatchesUnmaskedVictims) {
+  // The QoS degeneracy: the full mask (and a mask covering every
+  // configured way) is the unmasked victim loop, bit for bit.
+  CacheConfig c = small_dm();
+  c.ways = 2;
+  CacheModel plain(c), masked(c);
+  masked.set_alloc_way_mask(0x3);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const std::uint64_t addr = (i * 2654435761u) % 8192;
+    const bool write = (i % 3) == 0;
+    const auto a = plain.access_address(addr, write);
+    const auto b = masked.access_address(addr, write);
+    EXPECT_EQ(a.hit, b.hit) << i;
+    EXPECT_EQ(a.evicted, b.evicted) << i;
+    EXPECT_EQ(a.writeback, b.writeback) << i;
+    EXPECT_EQ(a.victim_address, b.victim_address) << i;
+  }
+  EXPECT_EQ(plain.stats().hits, masked.stats().hits);
+  EXPECT_EQ(plain.stats().writebacks, masked.stats().writebacks);
+}
+
 TEST(Cache, RejectsOutOfRangeSet) {
   CacheModel cache(small_dm());
   EXPECT_THROW(cache.access(0, 64, false), Error);

@@ -279,6 +279,175 @@ workload = cjpeg
   EXPECT_EQ(l3.topology.cache.size_bytes, 128u * 1024);
 }
 
+TEST(GridSpecExpand, L3AxesOverrideInheritedL2Values) {
+  // Without l3_* axes the L3 inherits every L2 knob (the historical
+  // behavior); with them, only the L3 changes.
+  const GridSpec spec = parse(R"(
+[grid]
+l2_banks = 4
+l2_breakeven = 64
+l3_banks = 8
+l3_breakeven = 128
+
+[sweep]
+l2_size = 32k
+l3_size = 256k
+l2_indexing = probing
+l2_policy = drowsy_hybrid
+l2_drowsy_window = 64
+l3_indexing = static
+l3_policy = gated
+l3_drowsy_window = 0
+l2_hit_latency = 2
+l3_hit_latency = 6
+l3_miss_latency = 60
+workload = cjpeg
+)");
+  const std::vector<GridJob> jobs = spec.expand(5000);
+  ASSERT_EQ(jobs.size(), 1u);
+  const SimConfig& cfg = jobs[0].config;
+  ASSERT_EQ(cfg.lower_levels.size(), 2u);
+  const CacheTopology& l2 = cfg.lower_levels[0].topology;
+  const CacheTopology& l3 = cfg.lower_levels[1].topology;
+  EXPECT_EQ(l2.indexing, IndexingKind::kProbing);
+  EXPECT_EQ(l2.policy, PowerPolicy::kDrowsyHybrid);
+  EXPECT_EQ(l2.partition.num_banks, 4u);
+  EXPECT_EQ(l2.breakeven_cycles, 64u);
+  EXPECT_EQ(l3.indexing, IndexingKind::kStatic);
+  EXPECT_EQ(l3.policy, PowerPolicy::kGated);
+  EXPECT_EQ(l3.drowsy_window_cycles, 0u);
+  EXPECT_EQ(l3.partition.num_banks, 8u);
+  EXPECT_EQ(l3.breakeven_cycles, 128u);
+  EXPECT_EQ(l3.latency.hit_cycles, 6u);
+  EXPECT_EQ(l3.latency.miss_cycles, 60u);
+
+  // Inheritance without overrides: the L3 mirrors the L2 (regression
+  // for the silent l2_*-applies-to-L3 gap, now intentional fallback).
+  const GridSpec inherit = parse(R"(
+[sweep]
+l2_size = 32k
+l3_size = 256k
+l2_indexing = probing
+l2_drowsy_window = 32
+workload = cjpeg
+)");
+  const SimConfig& icfg = inherit.expand(5000)[0].config;
+  EXPECT_EQ(icfg.lower_levels[1].topology.indexing, IndexingKind::kProbing);
+  EXPECT_EQ(icfg.lower_levels[1].topology.drowsy_window_cycles, 32u);
+}
+
+TEST(GridSpecParse, L3AxesNeedAnL3) {
+  EXPECT_THROW(parse(R"(
+[sweep]
+l2_size = 32k
+l3_indexing = probing
+workload = cjpeg
+)"),
+               ConfigError);
+}
+
+TEST(GridSpecExpand, MultiprogWorkloadBuildsInterleavedSource) {
+  const GridSpec spec = parse(R"(
+[grid]
+accesses = 4000
+footprint = 32k
+
+[sweep]
+banks = 2
+workload = multiprog:sha+cjpeg@1k
+)");
+  EXPECT_EQ(spec.find_axis("workload")->values,
+            (std::vector<std::string>{"multiprog:sha+cjpeg@1k"}));
+  const std::vector<GridJob> jobs = spec.expand(4000);
+  ASSERT_EQ(jobs.size(), 1u);
+  auto src = jobs[0].make_source();
+  EXPECT_EQ(src->name(), "multi[sha+cjpeg]");
+  ASSERT_TRUE(src->boundary_hint().has_value());
+  EXPECT_EQ(*src->boundary_hint(), 1024u);
+  std::uint64_t n = 0;
+  while (src->next()) ++n;
+  EXPECT_EQ(n, 4000u);
+  // Bad program lists fail at parse time, with the offending line.
+  EXPECT_THROW(parse("[sweep]\nworkload = multiprog:sha+nosuch\n"),
+               ParseError);
+  EXPECT_THROW(parse("[sweep]\nworkload = multiprog:sha+cjpeg@0\n"),
+               ParseError);
+}
+
+TEST(GridSpecExpand, CoresAxisBuildsMultiCoreJobs) {
+  const GridSpec spec = parse(R"(
+[grid]
+accesses = 2000
+llc_banks = 2
+llc_ways = 8
+llc_breakeven = 96
+
+[sweep]
+cores = 1, 2
+llc_size = 64k
+llc_ways_per_core = 0, 4
+workload = cjpeg
+core1_workload = streaming
+)");
+  const std::vector<GridJob> jobs = spec.expand(2000);
+  ASSERT_EQ(jobs.size(), 4u);
+  for (const GridJob& job : jobs) {
+    ASSERT_NE(job.multicore, nullptr) << job.coords[0];
+    const MultiCoreConfig& mc = *job.multicore;
+    EXPECT_EQ(mc.llc.topology.cache.size_bytes, 64u * 1024);
+    EXPECT_EQ(mc.llc.topology.cache.ways, 8u);
+    EXPECT_EQ(mc.llc.topology.partition.num_banks, 2u);
+    EXPECT_EQ(mc.llc.topology.breakeven_cycles, 96u);
+    EXPECT_EQ(job.core_sources.size(), mc.cores.size());
+  }
+  // coords order: cores, llc_size, llc_ways_per_core, workload, core1_…
+  EXPECT_EQ(jobs[0].multicore->cores.size(), 1u);
+  EXPECT_FALSE(jobs[0].multicore->partitioned());
+  EXPECT_TRUE(jobs[1].multicore->partitioned());
+  EXPECT_EQ(jobs[2].multicore->cores.size(), 2u);
+  // Core 1 runs the core1_workload override; core 0 the workload axis.
+  EXPECT_EQ(jobs[2].core_sources[0]()->name(), "cjpeg");
+  EXPECT_EQ(jobs[2].core_sources[1]()->name(), "streaming");
+  // 2 cores * 4 ways each on the 8-way LLC: disjoint contiguous masks.
+  EXPECT_EQ(jobs[3].multicore->cores[0].llc_way_mask, 0x0Fu);
+  EXPECT_EQ(jobs[3].multicore->cores[1].llc_way_mask, 0xF0u);
+}
+
+TEST(GridSpecParse, MultiCoreAxesAreCoupled) {
+  // cores needs an LLC; llc_* and core<k>_workload need cores.
+  EXPECT_THROW(parse("[sweep]\ncores = 2\nworkload = cjpeg\n"), ConfigError);
+  EXPECT_THROW(
+      parse("[sweep]\nllc_size = 64k\nworkload = cjpeg\n"), ConfigError);
+  EXPECT_THROW(
+      parse("[sweep]\nllc_ways_per_core = 4\nworkload = cjpeg\n"),
+      ConfigError);
+  EXPECT_THROW(
+      parse("[sweep]\ncore1_workload = sha\nworkload = cjpeg\n"),
+      ConfigError);
+  // A core index past the largest cores value is dead configuration.
+  EXPECT_THROW(parse("[sweep]\ncores = 2\nllc_size = 64k\n"
+                     "core2_workload = sha\nworkload = cjpeg\n"),
+               ConfigError);
+  EXPECT_THROW(parse("[sweep]\ncores = 0\nllc_size = 64k\nworkload = cjpeg\n"),
+               ConfigError);
+  // An over-committed partition fails at expansion with its coordinates.
+  const GridSpec spec = parse(R"(
+[sweep]
+cores = 2
+llc_size = 64k
+llc_ways_per_core = 8
+workload = cjpeg
+)");
+  try {
+    spec.expand(1000);
+    FAIL() << "overlapping partition accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("llc_ways_per_core=8"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(GridSpecExpand, EnergyAxesApplyToEnergyParams) {
   const GridSpec spec = parse(R"(
 [sweep]
@@ -508,7 +677,8 @@ cells = idleness:Idl:pct:1, hit_rate:hit:num:4
   const std::vector<GridJob> jobs = spec.expand(spec.accesses());
   std::vector<SweepJob> sweep_jobs;
   for (const GridJob& g : jobs)
-    sweep_jobs.push_back(SweepJob{g.config, g.make_source, nullptr, {}});
+    sweep_jobs.push_back(SweepJob{g.config, g.make_source, nullptr, {},
+                                  g.multicore, g.core_sources});
 
   std::string rendered[2];
   const unsigned threads[2] = {1, 4};
@@ -531,7 +701,8 @@ TEST(GridSpecRun, GenericTableListsEveryJob) {
   const std::vector<GridJob> jobs = spec.expand(5000);
   std::vector<SweepJob> sweep_jobs;
   for (const GridJob& g : jobs)
-    sweep_jobs.push_back(SweepJob{g.config, g.make_source, nullptr, {}});
+    sweep_jobs.push_back(SweepJob{g.config, g.make_source, nullptr, {},
+                                  g.multicore, g.core_sources});
   SweepRunner runner(1);
   const auto outcomes = runner.run(sweep_jobs);
   const TextTable table = spec.render_table(jobs, outcomes);

@@ -1,0 +1,231 @@
+// MultiCoreSystem invariants (core/multicore.h):
+//
+//   1. the 1-core degeneracy: one unpartitioned core over the shared LLC
+//      reproduces the single-stream Simulator — whose config is the
+//      core's levels with the LLC appended — bit for bit (cycles, label,
+//      per-unit stats, energy, lifetime);
+//   2. scheduling independence: identical multi-core SweepJobs produce
+//      identical outcomes on the SweepRunner pool (CMake registers this
+//      binary at the default width, PCAL_SWEEP_THREADS=1 and =8);
+//   3. way-mask validation rejects overlapping, partial and out-of-range
+//      partitions, and per-line LLCs;
+//   4. honest attribution: per-core accesses, stalls, level stats and
+//      energy sum to the system totals;
+//   5. the QoS effect is observable: a victim core's LLC traffic changes
+//      between a fully shared and a way-partitioned LLC.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/multicore.h"
+#include "core/sweep.h"
+#include "trace/workloads.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+constexpr std::uint64_t kAccesses = 60'000;
+
+const AgingContext& aging() {
+  static AgingContext* ctx = new AgingContext();
+  return *ctx;
+}
+
+/// The paper L1 (8kB/16B, M=4, probing) over a 32kB bank-grain LLC.
+SimConfig base_config() { return paper_config(8192, 16, 4); }
+
+LevelConfig make_llc(const SimConfig& cfg, std::uint64_t ways = 8) {
+  LevelConfig llc = cfg.make_level(32 * 1024);
+  llc.topology.cache.ways = ways;
+  llc.topology.partition.num_banks = 4;
+  llc.topology.breakeven_cycles = 64;
+  return llc;
+}
+
+std::unique_ptr<TraceSource> source_for(const std::string& name,
+                                        std::uint64_t n = kAccesses) {
+  const WorkloadSpec spec =
+      name == "streaming" ? make_streaming_workload(256 * 1024)
+                          : make_mediabench_workload(name);
+  return std::make_unique<SyntheticTraceSource>(spec, n);
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.config_label, b.config_label);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+  EXPECT_EQ(a.breakeven_cycles, b.breakeven_cycles);
+  EXPECT_EQ(a.reindex_updates_applied, b.reindex_updates_applied);
+  EXPECT_EQ(a.cache_stats.accesses, b.cache_stats.accesses);
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+  EXPECT_EQ(a.cache_stats.misses, b.cache_stats.misses);
+  EXPECT_EQ(a.cache_stats.writebacks, b.cache_stats.writebacks);
+  EXPECT_EQ(a.cache_stats.flushes, b.cache_stats.flushes);
+  ASSERT_EQ(a.level_stats.size(), b.level_stats.size());
+  for (std::size_t i = 0; i < a.level_stats.size(); ++i) {
+    EXPECT_EQ(a.level_stats[i].accesses, b.level_stats[i].accesses) << i;
+    EXPECT_EQ(a.level_stats[i].hits, b.level_stats[i].hits) << i;
+    EXPECT_EQ(a.level_stats[i].writebacks, b.level_stats[i].writebacks) << i;
+  }
+  EXPECT_EQ(a.level_units, b.level_units);
+  ASSERT_EQ(a.units.size(), b.units.size());
+  for (std::size_t u = 0; u < a.units.size(); ++u) {
+    EXPECT_EQ(a.units[u].accesses, b.units[u].accesses) << u;
+    EXPECT_EQ(a.units[u].sleep_cycles, b.units[u].sleep_cycles) << u;
+    EXPECT_EQ(a.units[u].sleep_episodes, b.units[u].sleep_episodes) << u;
+    EXPECT_EQ(a.units[u].drowsy_cycles, b.units[u].drowsy_cycles) << u;
+    EXPECT_DOUBLE_EQ(a.units[u].sleep_residency, b.units[u].sleep_residency)
+        << u;
+    EXPECT_DOUBLE_EQ(a.units[u].lifetime_years, b.units[u].lifetime_years)
+        << u;
+  }
+  EXPECT_DOUBLE_EQ(a.energy.partitioned.total_pj(),
+                   b.energy.partitioned.total_pj());
+  EXPECT_DOUBLE_EQ(a.energy.partitioned.dynamic_pj,
+                   b.energy.partitioned.dynamic_pj);
+  EXPECT_DOUBLE_EQ(a.energy.partitioned.transition_pj,
+                   b.energy.partitioned.transition_pj);
+  EXPECT_DOUBLE_EQ(a.energy.baseline_pj, b.energy.baseline_pj);
+  EXPECT_DOUBLE_EQ(a.avg_residency(), b.avg_residency());
+  EXPECT_DOUBLE_EQ(a.lifetime_years(), b.lifetime_years());
+}
+
+TEST(MultiCore, OneCoreUnpartitionedEqualsSimulator) {
+  const SimConfig base = base_config();
+  const LevelConfig llc = make_llc(base);
+
+  SimConfig single = base;
+  single.lower_levels.push_back(llc);
+  auto src_a = source_for("cjpeg");
+  const SimResult a = Simulator(single).run(*src_a, &aging().lut());
+
+  const MultiCoreConfig mc = make_multicore(base, 1, llc, 0);
+  auto src_b = source_for("cjpeg");
+  const MultiCoreResult b =
+      MultiCoreSystem(mc).run({src_b.get()}, &aging().lut());
+
+  expect_identical(a, b.system);
+
+  // The single core owns everything.
+  ASSERT_EQ(b.cores.size(), 1u);
+  EXPECT_EQ(b.cores[0].accesses, a.accesses);
+  EXPECT_EQ(b.cores[0].llc_stats.accesses, a.level_stats.back().accesses);
+  EXPECT_DOUBLE_EQ(b.cores[0].energy.partitioned.total_pj(),
+                   a.energy.partitioned.total_pj());
+}
+
+TEST(MultiCore, SweepJobsAreSchedulingIndependent) {
+  // Identical 2-core jobs (private L1+L2 stacks, partitioned LLC) must
+  // come back identical from the pool regardless of worker count.
+  SimConfig base = base_config();
+  base.lower_levels.push_back(base.make_level(16 * 1024));
+  const MultiCoreConfig mc =
+      make_multicore(base, 2, make_llc(base), /*ways_per_core=*/4);
+
+  std::vector<SweepJob> jobs;
+  for (int i = 0; i < 2; ++i) {
+    SweepJob job;
+    job.multicore = std::make_shared<const MultiCoreConfig>(mc);
+    job.core_sources.push_back([] { return source_for("cjpeg"); });
+    job.core_sources.push_back([] { return source_for("streaming"); });
+    job.lut = &aging().lut();
+    jobs.push_back(std::move(job));
+  }
+  SweepRunner runner;  // width from PCAL_SWEEP_THREADS / hardware
+  const std::vector<SweepOutcome> out = runner.run(jobs);
+  ASSERT_TRUE(out[0].ok());
+  ASSERT_TRUE(out[1].ok());
+  expect_identical(out[0].result, out[1].result);
+  ASSERT_EQ(out[0].cores.size(), out[1].cores.size());
+  for (std::size_t k = 0; k < out[0].cores.size(); ++k) {
+    EXPECT_EQ(out[0].cores[k].accesses, out[1].cores[k].accesses);
+    EXPECT_EQ(out[0].cores[k].llc_stats.hits, out[1].cores[k].llc_stats.hits);
+    EXPECT_DOUBLE_EQ(out[0].cores[k].energy.partitioned.total_pj(),
+                     out[1].cores[k].energy.partitioned.total_pj());
+  }
+}
+
+TEST(MultiCore, WayMaskValidationRejectsBadPartitions) {
+  const SimConfig base = base_config();
+  const LevelConfig llc = make_llc(base);  // 8 ways
+
+  // Overlapping masks.
+  MultiCoreConfig overlapping = make_multicore(base, 2, llc, 4);
+  overlapping.cores[1].llc_way_mask = overlapping.cores[0].llc_way_mask;
+  EXPECT_THROW(overlapping.validate(), ConfigError);
+
+  // Partial partitioning (one core masked, the other not).
+  MultiCoreConfig partial = make_multicore(base, 2, llc, 4);
+  partial.cores[1].llc_way_mask = 0;
+  EXPECT_THROW(partial.validate(), ConfigError);
+
+  // Mask bits beyond the LLC's associativity.
+  MultiCoreConfig beyond = make_multicore(base, 2, llc, 4);
+  beyond.cores[1].llc_way_mask = std::uint64_t{0xF} << 8;
+  EXPECT_THROW(beyond.validate(), ConfigError);
+
+  // make_multicore refuses masks that cannot fit 64 bits.
+  EXPECT_THROW(make_multicore(base, 9, llc, 8), ConfigError);
+
+  // A per-line LLC has no way-organized tag store to partition.
+  MultiCoreConfig line = make_multicore(base, 2, llc, 4);
+  line.llc.topology.granularity = Granularity::kLine;
+  EXPECT_THROW(line.validate(), ConfigError);
+
+  // The valid contiguous split passes.
+  EXPECT_NO_THROW(make_multicore(base, 2, llc, 4).validate());
+}
+
+TEST(MultiCore, PerCoreResultsSumToSystemTotals) {
+  const SimConfig base = base_config();
+  const MultiCoreConfig mc = make_multicore(base, 2, make_llc(base), 4);
+  auto s0 = source_for("cjpeg");
+  auto s1 = source_for("streaming");
+  const MultiCoreResult r =
+      MultiCoreSystem(mc).run({s0.get(), s1.get()}, &aging().lut());
+
+  ASSERT_EQ(r.cores.size(), 2u);
+  std::uint64_t accesses = 0, stalls = 0, llc_accesses = 0;
+  std::uint64_t l1_hits = 0;
+  double energy = 0.0;
+  for (const CoreResult& c : r.cores) {
+    accesses += c.accesses;
+    stalls += c.stall_cycles;
+    llc_accesses += c.llc_stats.accesses;
+    ASSERT_EQ(c.level_stats.size(), 1u);
+    l1_hits += c.level_stats[0].hits;
+    EXPECT_GT(c.energy.partitioned.total_pj(), 0.0) << c.workload;
+    energy += c.energy.partitioned.total_pj();
+  }
+  EXPECT_EQ(accesses, r.system.accesses);
+  EXPECT_EQ(stalls, r.system.stall_cycles);
+  EXPECT_EQ(l1_hits, r.system.cache_stats.hits);
+  // Every LLC access happens inside some core's routed access.
+  EXPECT_EQ(llc_accesses, r.system.level_stats.back().accesses);
+  // The LLC report is split by access share, so core energies sum back.
+  EXPECT_NEAR(energy, r.system.energy.partitioned.total_pj(),
+              1e-6 * r.system.energy.partitioned.total_pj());
+}
+
+TEST(MultiCore, PartitioningChangesTheVictimsLLCTraffic) {
+  const SimConfig base = base_config();
+  const LevelConfig llc = make_llc(base);
+  CacheStats victim[2];
+  int i = 0;
+  for (const std::uint64_t wpc : {std::uint64_t{0}, std::uint64_t{4}}) {
+    auto s0 = source_for("cjpeg");
+    auto s1 = source_for("streaming");
+    const MultiCoreResult r = MultiCoreSystem(make_multicore(base, 2, llc, wpc))
+                                  .run({s0.get(), s1.get()});
+    victim[i++] = r.cores[0].llc_stats;
+  }
+  // Fencing the streaming aggressor into its own ways must change what
+  // the victim sees at the LLC.
+  EXPECT_TRUE(victim[0].hits != victim[1].hits ||
+              victim[0].misses != victim[1].misses);
+}
+
+}  // namespace
+}  // namespace pcal

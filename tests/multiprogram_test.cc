@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/simulator.h"
 #include "trace/workloads.h"
 #include "util/error.h"
 
@@ -86,6 +87,68 @@ TEST(MultiProgram, SizeHint) {
   MultiProgramSource src(two_programs(), 777);
   ASSERT_TRUE(src.size_hint().has_value());
   EXPECT_EQ(*src.size_hint(), 777u);
+}
+
+TEST(MultiProgram, BoundaryHintIsTheQuantum) {
+  MultiProgramSource src(two_programs(), 10'000);
+  ASSERT_TRUE(src.boundary_hint().has_value());
+  EXPECT_EQ(*src.boundary_hint(), 1000u);
+  // Single-stream sources report no boundary.
+  SyntheticTraceSource plain(make_mediabench_workload("sha"), 100);
+  EXPECT_FALSE(plain.boundary_hint().has_value());
+}
+
+TEST(MultiProgram, ParseSpec) {
+  const MultiProgramConfig a = parse_multiprogram_spec("sha+cjpeg", 64 * 1024);
+  ASSERT_EQ(a.programs.size(), 2u);
+  EXPECT_EQ(a.programs[0].name, "sha");
+  EXPECT_EQ(a.programs[1].name, "cjpeg");
+  EXPECT_EQ(a.quantum_accesses, 100'000u);  // default
+
+  const MultiProgramConfig b =
+      parse_multiprogram_spec("uniform+streaming@50k", 32 * 1024);
+  ASSERT_EQ(b.programs.size(), 2u);
+  EXPECT_EQ(b.quantum_accesses, 50u * 1024u);
+
+  EXPECT_THROW(parse_multiprogram_spec("", 1024), ConfigError);
+  EXPECT_THROW(parse_multiprogram_spec("sha+nosuch", 1024), ConfigError);
+  EXPECT_THROW(parse_multiprogram_spec("sha+cjpeg@0", 1024), ConfigError);
+  EXPECT_THROW(parse_multiprogram_spec("sha+cjpeg@x", 1024), ConfigError);
+}
+
+TEST(MultiProgram, QuantumAlignedReindexing) {
+  // The simulator snaps its update interval down to a quantum multiple
+  // (context-switch piggybacking) and flags the aligned snapshots.
+  MultiProgramConfig cfg = two_programs();
+  cfg.quantum_accesses = 1000;
+  MultiProgramSource src(cfg, 64'000);
+
+  SimConfig sim;
+  sim.cache.size_bytes = 8192;
+  sim.cache.line_bytes = 16;
+  sim.partition.num_banks = 4;
+  sim.indexing = IndexingKind::kProbing;
+  sim.reindex_updates = 16;
+
+  std::uint64_t boundaries = 0, context_switches = 0, fired = 0;
+  std::uint64_t fired_not_switch = 0;
+  const SimResult r = Simulator(sim).run(
+      src, nullptr, [&](const IntervalSnapshot& snap) {
+        if (snap.final_snapshot) return;
+        ++boundaries;
+        if (snap.context_switch) ++context_switches;
+        if (snap.fired_update) {
+          ++fired;
+          if (!snap.context_switch) ++fired_not_switch;
+        }
+      });
+  EXPECT_EQ(r.reindex_updates_applied, 16u);
+  EXPECT_EQ(fired, 16u);
+  EXPECT_GT(boundaries, 0u);
+  // 64000 / 17 = 3764 snaps down to 3000 — a quantum multiple, so every
+  // update boundary lands on a context switch.
+  EXPECT_EQ(fired_not_switch, 0u);
+  EXPECT_GE(context_switches, fired);
 }
 
 }  // namespace

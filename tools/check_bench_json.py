@@ -12,6 +12,10 @@ silently broken run before they ever become "the new baseline":
     cross-product, or whose per-job result rows are missing, short, or
     carry a zero/negative energy (the honest-energy invariant: every
     backend prices every run — see docs/ENERGY_MODEL.md);
+  - multi-core result rows ("cores" arrays from bench_multicore_qos and
+    multi-core pcalsweep grids) with a malformed core entry, a core that
+    was attributed zero energy, or per-core accesses/energies that do
+    not sum back to the system row;
   - drowsy_comparison-style backend_energy sections with a zero-energy
     backend.
 
@@ -51,11 +55,68 @@ RESULT_ROW_SCHEMA = {
     "lifetime_years": (int, float),
 }
 
+# Per-core entries inside a multi-core result row's "cores" array
+# (written by write_result_row when the job ran a MultiCoreSystem).
+CORE_ROW_SCHEMA = {
+    "workload": (str,),
+    "accesses": (int,),
+    "stall_cycles": (int,),
+    "llc_way_mask": (int,),
+    "l1_hit_rate": (int, float),
+    "llc_accesses": (int,),
+    "llc_hits": (int,),
+    "energy_pj": (int, float),
+    "idleness": (int, float),
+}
+
 
 def typed(value, types):
     return isinstance(value, types) and not (
         isinstance(value, bool) and bool not in types
     )
+
+
+def check_cores(row, i, bad):
+    cores = row["cores"]
+    if not isinstance(cores, list) or not cores:
+        bad("result row %d: 'cores' is not a non-empty list" % i)
+        return
+    sum_accesses = 0
+    sum_energy = 0.0
+    for k, core in enumerate(cores):
+        if not isinstance(core, dict):
+            bad("result row %d core %d is not an object" % (i, k))
+            return
+        for key, types in CORE_ROW_SCHEMA.items():
+            if key not in core or not typed(core[key], types):
+                bad("result row %d core %d: bad or missing '%s'" % (i, k, key))
+                return
+        if not core["energy_pj"] > 0:
+            bad(
+                "result row %d core %d (%s): zero attributed energy"
+                % (i, k, core["workload"])
+            )
+        if core["llc_hits"] > core["llc_accesses"]:
+            bad(
+                "result row %d core %d: llc_hits %d > llc_accesses %d"
+                % (i, k, core["llc_hits"], core["llc_accesses"])
+            )
+        sum_accesses += core["accesses"]
+        sum_energy += core["energy_pj"]
+    if sum_accesses != row.get("accesses"):
+        bad(
+            "result row %d: per-core accesses sum %d != system %s"
+            % (i, sum_accesses, row.get("accesses"))
+        )
+    system_energy = row.get("energy_pj", 0)
+    if system_energy > 0 and abs(sum_energy - system_energy) > (
+        # Each printed value carries 6 significant digits.
+        1e-4 * system_energy
+    ):
+        bad(
+            "result row %d: per-core energy sum %s != system %s"
+            % (i, sum_energy, system_energy)
+        )
 
 
 def check_record(path):
@@ -139,6 +200,12 @@ def check_record(path):
                             "total_cycles/accesses %s"
                             % (i, row.get("avg_latency"), want)
                         )
+                # Multi-core rows: each core entry is schema-valid, every
+                # core's attributed energy is positive, and the per-core
+                # accesses/energies sum back to the system row (honest
+                # attribution — the LLC report is split by access share).
+                if "cores" in row:
+                    check_cores(row, i, bad)
 
     # drowsy_comparison-style per-backend energy sections.
     if "backend_energy" in record:

@@ -166,6 +166,8 @@ int main(int argc, char** argv) {
       SweepJob j;
       j.config = g.config;
       j.make_source = g.make_source;
+      j.multicore = g.multicore;
+      j.core_sources = g.core_sources;
       j.lut = &aging.lut();
       sweep_jobs.push_back(std::move(j));
     }
@@ -202,7 +204,9 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < outcomes.size(); ++i) {
         f << "    ";
         write_result_row(f, outcomes[i].result, jobs[i].workload,
-                         outcomes[i].ok());
+                         outcomes[i].ok(),
+                         outcomes[i].cores.empty() ? nullptr
+                                                   : &outcomes[i].cores);
         f << (i + 1 < outcomes.size() ? ",\n" : "\n");
       }
       f << "  ],\n";
