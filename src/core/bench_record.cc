@@ -36,8 +36,10 @@ void write_bench_json(const std::string& bench_name, const SweepStats& stats,
 
 void write_result_row(std::ostream& os, const SimResult& result,
                       const std::string& workload, bool ok,
-                      const std::vector<CoreResult>* cores) {
-  os << "{\"workload\": \"" << json_escape(workload) << "\", \"config\": \""
+                      const std::vector<CoreResult>* cores, long job) {
+  os << "{";
+  if (job >= 0) os << "\"job\": " << job << ", ";
+  os << "\"workload\": \"" << json_escape(workload) << "\", \"config\": \""
      << json_escape(result.config_label)
      << "\", \"ok\": " << (ok ? "true" : "false")
      << ", \"accesses\": " << result.accesses

@@ -32,10 +32,14 @@ void write_bench_json(const std::string& bench_name, const SweepStats& stats,
 /// schema cannot drift between them.  `cores` (a multi-core job's
 /// per-core attribution) appends a "cores" array member — per core:
 /// workload, accesses, stalls, LLC way mask, L1 hit rate, LLC traffic
-/// slice and attributed energy.
+/// slice and attributed energy.  `job >= 0` prepends a "job" member —
+/// the job's global cross-product index — so sharded records can be
+/// merged and resumed records diffed by identity (bench binaries leave
+/// it off; their rows are always the full grid in order).
 void write_result_row(std::ostream& os, const SimResult& result,
                       const std::string& workload, bool ok,
-                      const std::vector<CoreResult>* cores = nullptr);
+                      const std::vector<CoreResult>* cores = nullptr,
+                      long job = -1);
 
 /// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
 /// control characters).

@@ -1026,13 +1026,19 @@ TextTable GridSpec::render_table(
     header.insert(header.end(), {"Idl", "LT", "Esav", "hit"});
     TextTable table(std::move(header));
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      const SimResult& r = outcomes[i].result;
       std::vector<std::string> row{std::to_string(i)};
       row.insert(row.end(), jobs[i].coords.begin(), jobs[i].coords.end());
-      row.push_back(TextTable::pct(r.avg_residency(), 2));
-      row.push_back(TextTable::num(r.lifetime_years(), 3));
-      row.push_back(TextTable::pct(r.energy_saving(), 2));
-      row.push_back(TextTable::num(r.cache_stats.hit_rate(), 4));
+      if (outcomes[i].ok()) {
+        const SimResult& r = outcomes[i].result;
+        row.push_back(TextTable::pct(r.avg_residency(), 2));
+        row.push_back(TextTable::num(r.lifetime_years(), 3));
+        row.push_back(TextTable::pct(r.energy_saving(), 2));
+        row.push_back(TextTable::num(r.cache_stats.hit_rate(), 4));
+      } else {
+        // A failed job is a hole, not a row of zeros — zeros look like
+        // data and would poison downstream diffs.
+        row.insert(row.end(), 4, "-");
+      }
       table.add_row(std::move(row));
     }
     return table;
@@ -1061,6 +1067,10 @@ TextTable GridSpec::render_table(
   std::vector<double> sums(row_values.size() * col_values.size() * nm, 0.0);
   std::vector<std::uint64_t> counts(row_values.size() * col_values.size(), 0);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Failed jobs contribute nothing: the cell mean is taken over the
+    // jobs that succeeded, and a cell with no survivors renders as a
+    // hole ("-") rather than a zero that looks like data.
+    if (!outcomes[i].ok()) continue;
     const std::size_t r = index_of(row_values, jobs[i].coords[row_axis]);
     const std::size_t c =
         has_cols ? index_of(col_values, jobs[i].coords[col_axis]) : 0;
@@ -1092,10 +1102,14 @@ TextTable GridSpec::render_table(
       const std::size_t cell = r * col_values.size() + c;
       for (std::size_t m = 0; m < nm; ++m) {
         const TableMetric& metric = table_.metrics[m];
+        if (counts[cell] == 0) {
+          row.push_back("-");
+          if (!metric.paper.empty() && c < metric.paper.front().size())
+            row.push_back(TextTable::num(metric.paper[r][c], metric.decimals));
+          continue;
+        }
         const double mean =
-            counts[cell] ? sums[cell * nm + m] /
-                               static_cast<double>(counts[cell])
-                         : 0.0;
+            sums[cell * nm + m] / static_cast<double>(counts[cell]);
         row.push_back(metric.percent ? TextTable::pct(mean, metric.decimals)
                                      : TextTable::num(mean, metric.decimals));
         if (!metric.paper.empty() && c < metric.paper.front().size())

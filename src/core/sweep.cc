@@ -1,6 +1,7 @@
 #include "core/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <deque>
@@ -8,6 +9,7 @@
 #include <thread>
 
 #include "util/error.h"
+#include "util/job_context.h"
 
 namespace pcal {
 namespace {
@@ -44,48 +46,128 @@ struct WorkerQueue {
   }
 };
 
-/// Runs one job into its outcome slot.  Exceptions (source factory,
-/// config validation, simulation) are captured per job; a failing job
-/// must not poison the pool.
-void run_job(const SweepJob& job, SweepOutcome* out, WorkerAccum* accum) {
-  try {
-    // Chain the streaming accumulator in front of any user observer so
-    // interval counts land in this worker's slot without locking.
-    IntervalObserver observer = [&](const IntervalSnapshot& snap) {
-      ++accum->intervals;
-      if (job.observer) job.observer(snap);
-    };
-    if (job.multicore) {
-      PCAL_ASSERT_MSG(
-          job.core_sources.size() == job.multicore->cores.size(),
-          "multi-core SweepJob needs one TraceSourceFactory per core");
-      std::vector<std::unique_ptr<TraceSource>> owned;
-      std::vector<TraceSource*> sources;
-      for (const TraceSourceFactory& factory : job.core_sources) {
-        PCAL_ASSERT_MSG(factory != nullptr,
-                        "multi-core SweepJob has a null source factory");
-        owned.push_back(factory());
-        PCAL_ASSERT_MSG(owned.back() != nullptr,
-                        "TraceSourceFactory returned null");
-        sources.push_back(owned.back().get());
-      }
-      MultiCoreResult mc =
-          MultiCoreSystem(*job.multicore).run(sources, job.lut, observer);
-      out->result = std::move(mc.system);
-      out->cores = std::move(mc.cores);
-      accum->accesses += out->result.accesses;
-      return;
+/// Polls the thread-local job deadline at every batch boundary — the
+/// cooperative cancellation point that turns a hung or pathological job
+/// into a JobTimeoutError instead of a wedged worker.  Zero-cost to the
+/// determinism guarantee: it only ever throws, never alters the stream.
+class DeadlineCheckedSource final : public TraceSource {
+ public:
+  explicit DeadlineCheckedSource(std::unique_ptr<TraceSource> inner)
+      : inner_(std::move(inner)) {}
+
+  std::optional<MemAccess> next() override {
+    throw_if_job_deadline_exceeded("trace access");
+    return inner_->next();
+  }
+  std::size_t next_batch(MemAccess* out, std::size_t max) override {
+    throw_if_job_deadline_exceeded("trace batch");
+    return inner_->next_batch(out, max);
+  }
+  void reset() override { inner_->reset(); }
+  std::optional<std::uint64_t> size_hint() const override {
+    return inner_->size_hint();
+  }
+  std::optional<std::uint64_t> boundary_hint() const override {
+    return inner_->boundary_hint();
+  }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<TraceSource> inner_;
+};
+
+/// One attempt of one job.  Throws on failure; on success the outcome's
+/// result/cores/intervals are filled in.
+void run_attempt(const SweepJob& job, bool deadline_armed,
+                 SweepOutcome* out) {
+  // Chain the streaming accumulator in front of any user observer so
+  // interval counts land in this job's slot without locking; the
+  // deadline poll makes every interval boundary a cancellation point.
+  IntervalObserver observer = [&](const IntervalSnapshot& snap) {
+    throw_if_job_deadline_exceeded("interval boundary");
+    ++out->intervals;
+    if (job.observer) job.observer(snap);
+  };
+  const auto guard = [&](std::unique_ptr<TraceSource> source)
+      -> std::unique_ptr<TraceSource> {
+    PCAL_ASSERT_MSG(source != nullptr, "TraceSourceFactory returned null");
+    if (!deadline_armed) return source;
+    return std::make_unique<DeadlineCheckedSource>(std::move(source));
+  };
+  if (job.multicore) {
+    PCAL_ASSERT_MSG(
+        job.core_sources.size() == job.multicore->cores.size(),
+        "multi-core SweepJob needs one TraceSourceFactory per core");
+    std::vector<std::unique_ptr<TraceSource>> owned;
+    std::vector<TraceSource*> sources;
+    for (const TraceSourceFactory& factory : job.core_sources) {
+      PCAL_ASSERT_MSG(factory != nullptr,
+                      "multi-core SweepJob has a null source factory");
+      owned.push_back(guard(factory()));
+      sources.push_back(owned.back().get());
     }
-    PCAL_ASSERT_MSG(job.make_source != nullptr,
-                    "SweepJob needs a TraceSourceFactory");
-    const std::unique_ptr<TraceSource> source = job.make_source();
-    PCAL_ASSERT_MSG(source != nullptr,
-                    "TraceSourceFactory returned null");
-    out->result = Simulator(job.config).run(*source, job.lut, observer);
-    accum->accesses += out->result.accesses;
-  } catch (...) {
-    out->error = std::current_exception();
+    MultiCoreResult mc =
+        MultiCoreSystem(*job.multicore).run(sources, job.lut, observer);
+    out->result = std::move(mc.system);
+    out->cores = std::move(mc.cores);
+    return;
+  }
+  PCAL_ASSERT_MSG(job.make_source != nullptr,
+                  "SweepJob needs a TraceSourceFactory");
+  const std::unique_ptr<TraceSource> source = guard(job.make_source());
+  out->result = Simulator(job.config).run(*source, job.lut, observer);
+}
+
+/// Runs one job into its outcome slot under the run's JobPolicy.
+/// Exceptions (source factory, config validation, simulation, timeout)
+/// are captured per job with their what() string; a failing job must not
+/// poison the pool.  Returns true iff the job ultimately succeeded.
+bool run_job(const SweepJob& job, const JobPolicy& policy, SweepOutcome* out,
+             WorkerAccum* accum) {
+  const unsigned max_attempts = std::max(1u, policy.max_attempts);
+  out->label = job.label;
+  for (unsigned attempt = 1;; ++attempt) {
+    out->attempts = attempt;
+    bool transient = false;
+    try {
+      if (policy.deadline_ms > 0) arm_job_deadline(policy.deadline_ms);
+      run_attempt(job, policy.deadline_ms > 0, out);
+      clear_job_deadline();
+      accum->accesses += out->result.accesses;
+      accum->intervals += out->intervals;
+      return true;
+    } catch (const JobTimeoutError& e) {
+      out->error = std::current_exception();
+      out->error_what = e.what();
+      out->timed_out = true;  // deadlines are never retried
+    } catch (const TransientError& e) {
+      out->error = std::current_exception();
+      out->error_what = e.what();
+      transient = true;
+    } catch (const std::exception& e) {
+      out->error = std::current_exception();
+      out->error_what = e.what();
+    } catch (...) {
+      out->error = std::current_exception();
+      out->error_what = "unknown exception";
+    }
+    clear_job_deadline();
+    if (transient && attempt < max_attempts) {
+      // Reset the partial attempt and back off deterministically
+      // (attempt k sleeps k * retry_backoff_ms).
+      out->result = SimResult{};
+      out->cores.clear();
+      out->intervals = 0;
+      out->error = nullptr;
+      out->timed_out = false;
+      if (policy.retry_backoff_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(policy.retry_backoff_ms * attempt));
+      continue;
+    }
+    accum->intervals += out->intervals;
     ++accum->failed;
+    return false;
   }
 }
 
@@ -104,29 +186,76 @@ SweepRunner::SweepRunner(unsigned num_threads)
     : threads_(num_threads > 0 ? num_threads : default_threads()) {}
 
 std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& jobs) {
+  return run(jobs, SweepRunOptions{});
+}
+
+std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& jobs,
+                                           const SweepRunOptions& options) {
+  PCAL_ASSERT_MSG(
+      options.skip == nullptr || options.skip->empty() ||
+          options.skip->size() == jobs.size(),
+      "SweepRunOptions::skip must be empty or one flag per job");
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<SweepOutcome> outcomes(jobs.size());
 
+  const auto is_skipped = [&](std::size_t i) {
+    return options.skip != nullptr && !options.skip->empty() &&
+           (*options.skip)[i];
+  };
+  std::vector<std::size_t> runnable;
+  runnable.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (is_skipped(i))
+      outcomes[i].skipped = true;
+    else
+      runnable.push_back(i);
+  }
+
   const std::size_t num_workers = std::max<std::size_t>(
-      1, std::min<std::size_t>(threads_, jobs.size()));
+      1, std::min<std::size_t>(threads_, std::max<std::size_t>(
+                                             1, runnable.size())));
   std::vector<WorkerAccum> accums(num_workers);
+
+  // An OnFailure::kAbort policy raises this flag on the first permanent
+  // failure; jobs that have not started by then are marked cancelled
+  // instead of run.  Release/acquire so a cancelling worker's view of
+  // the failing outcome is complete before anyone reads the flag.
+  std::atomic<bool> abort_flag{false};
+  const bool abort_on_failure =
+      options.policy.on_failure == OnFailure::kAbort;
+
+  const auto dispatch = [&](std::size_t job_idx, WorkerAccum* accum) {
+    SweepOutcome* out = &outcomes[job_idx];
+    if (abort_on_failure && abort_flag.load(std::memory_order_acquire)) {
+      out->label = jobs[job_idx].label;
+      out->cancelled = true;
+      out->error_what = "cancelled: sweep aborted by an earlier job failure";
+      out->error = std::make_exception_ptr(Error(out->error_what));
+      ++accum->failed;
+      return;
+    }
+    const bool ok = run_job(jobs[job_idx], options.policy, out, accum);
+    if (!ok && abort_on_failure)
+      abort_flag.store(true, std::memory_order_release);
+    if (options.checkpoint != nullptr)
+      options.checkpoint->on_job_complete(job_idx, *out);
+  };
 
   if (num_workers == 1) {
     // Inline serial path: the reference the parallel path must match.
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-      run_job(jobs[i], &outcomes[i], &accums[0]);
+    for (const std::size_t i : runnable) dispatch(i, &accums[0]);
   } else {
     // Deal jobs round-robin so every worker starts with a similar mix of
     // the grid (adjacent jobs tend to share a workload, hence a cost).
     std::vector<WorkerQueue> queues(num_workers);
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-      queues[i % num_workers].jobs.push_back(i);
+    for (std::size_t k = 0; k < runnable.size(); ++k)
+      queues[k % num_workers].jobs.push_back(runnable[k]);
 
     auto worker = [&](std::size_t w) {
       std::size_t job_idx = 0;
       for (;;) {
         if (queues[w].pop_front(&job_idx)) {
-          run_job(jobs[job_idx], &outcomes[job_idx], &accums[w]);
+          dispatch(job_idx, &accums[w]);
           continue;
         }
         // Own queue drained: steal from the back of a victim's.
@@ -137,7 +266,7 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& jobs) {
         }
         if (!stole) return;  // every queue empty — jobs never re-enter
         ++accums[w].steals;
-        run_job(jobs[job_idx], &outcomes[job_idx], &accums[w]);
+        dispatch(job_idx, &accums[w]);
       }
     };
 

@@ -45,6 +45,10 @@ using TraceSourceFactory = std::function<std::unique_ptr<TraceSource>()>;
 struct SweepJob {
   SimConfig config;
   TraceSourceFactory make_source;
+  /// Optional human-readable identity ("cache_size=8192 banks=4
+  /// workload=cjpeg") copied into the outcome so failure reports name
+  /// the offending config.
+  std::string label;
   /// Optional aging LUT (shared, read-only across threads).
   const AgingLut* lut = nullptr;
   /// Optional per-job observer, invoked on the worker thread that runs
@@ -67,12 +71,93 @@ struct SweepOutcome {
   /// jobs).
   std::vector<CoreResult> cores;
   std::exception_ptr error;
+  /// The failing exception's what() string, captured at throw time on
+  /// the worker — exception_ptr alone cannot be reported without
+  /// rethrowing, and the BENCH failed-job entries want the reason even
+  /// after the pointer is gone (e.g. restored from a journal).
+  std::string error_what;
+  /// The job's SweepJob::label, copied so failure reports name the
+  /// offending config without the caller re-deriving it from the index.
+  std::string label;
+  /// Attempts consumed (1 = first try; > 1 means the JobPolicy retried).
+  /// 0 iff the job never ran (skipped via SweepRunOptions, or cancelled
+  /// by an abort).
+  unsigned attempts = 0;
+  /// Interval-observer callbacks this job fired (counted per job so a
+  /// resumed run can reconstruct SweepStats::intervals_observed).
+  std::uint64_t intervals = 0;
+  /// The job failed by exceeding JobPolicy::deadline_ms.
+  bool timed_out = false;
+  /// The job never ran because an OnFailure::kAbort policy cancelled the
+  /// sweep first (`error` is set to a synthesized cancellation error).
+  bool cancelled = false;
+  /// The job was skipped via SweepRunOptions::skip (the slot is default
+  /// data — the caller restores the journaled outcome).
+  bool skipped = false;
 
   bool ok() const { return error == nullptr; }
   /// Rethrows the job's exception, if any.
   void rethrow_if_error() const {
     if (error) std::rethrow_exception(error);
   }
+};
+
+/// What happens once a job has failed permanently (its retry budget is
+/// spent, its deadline passed, or the error is not transient).
+enum class OnFailure {
+  /// The failure is tolerated data: the outcome records the reason and
+  /// the rest of the grid runs to completion (callers emit structured
+  /// failed-job entries and render the cell as a hole).
+  kRecord,
+  /// Tolerated like kRecord; the spelling callers use when failures are
+  /// still abnormal (report-and-continue, nonzero exit).
+  kSkip,
+  /// The first permanent failure cancels every job that has not started
+  /// yet (their outcomes come back `cancelled`).  One poisoned job used
+  /// to be able to waste the whole grid's compute; this caps the waste
+  /// at the jobs already in flight.
+  kAbort,
+};
+
+/// Per-job fault-isolation policy of one SweepRunner::run.
+struct JobPolicy {
+  /// Total attempts per job (>= 1).  Only TransientError is retried —
+  /// config and parse errors are deterministic and would fail again.
+  unsigned max_attempts = 1;
+  /// Deterministic backoff: attempt k sleeps k * retry_backoff_ms before
+  /// re-running (0 = immediate retry).
+  std::uint64_t retry_backoff_ms = 0;
+  /// Cooperative per-job deadline (0 = none).  Workers arm a
+  /// thread-local deadline (util/job_context.h) and the engine polls it
+  /// at trace-batch and interval boundaries; a job that exceeds it fails
+  /// with JobTimeoutError and is never retried.
+  std::uint64_t deadline_ms = 0;
+  OnFailure on_failure = OnFailure::kSkip;
+};
+
+/// Receives completed jobs as they finish — the checkpoint hook the
+/// journal writer implements.  Called on the worker thread that ran the
+/// job, after its outcome slot is fully written; calls for different
+/// jobs may race, so implementations synchronize internally.  Skipped
+/// and cancelled jobs are not reported (they did not run).
+class JobCompletionSink {
+ public:
+  virtual ~JobCompletionSink() = default;
+  virtual void on_job_complete(std::size_t index,
+                               const SweepOutcome& outcome) = 0;
+};
+
+/// Optional knobs of one run; the default is exactly the legacy
+/// engine — no retries, no deadline, no checkpointing, tolerate-and-mark
+/// failures — pinned bit for bit by the determinism tests.
+struct SweepRunOptions {
+  JobPolicy policy;
+  /// Completed-job sink (journaled checkpointing); may be null.
+  JobCompletionSink* checkpoint = nullptr;
+  /// Jobs to skip, by index (already completed in a previous run).  Must
+  /// be empty or jobs.size() long; skipped slots return with
+  /// `skipped == true` and default data.
+  const std::vector<bool>* skip = nullptr;
 };
 
 /// Aggregate statistics of one SweepRunner::run, merged from the
@@ -126,6 +211,11 @@ class SweepRunner {
   /// by one job (source factory or simulation) is captured into that
   /// job's outcome and does not affect the others or the pool.
   std::vector<SweepOutcome> run(const std::vector<SweepJob>& jobs);
+
+  /// As above with per-run fault-isolation and checkpointing options.
+  /// Default options reproduce the plain overload bit for bit.
+  std::vector<SweepOutcome> run(const std::vector<SweepJob>& jobs,
+                                const SweepRunOptions& options);
 
   unsigned num_threads() const { return threads_; }
 

@@ -1,7 +1,9 @@
 #include "trace/binary_trace.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 
 #include "util/error.h"
 #include "util/string_util.h"
@@ -56,23 +58,48 @@ std::uint64_t get_u64_le(const unsigned char* p) {
 PctInfo validate_pct_header(const unsigned char* data,
                             std::uint64_t total_bytes,
                             const std::string& path) {
+  // Diagnostics carry `path: offset N:` so a corrupt capture can be
+  // inspected (xxd, dd skip=N) without re-deriving the layout by hand.
   if (total_bytes < kPctHeaderBytes || !is_pct_magic(data))
-    throw ParseError("pct: bad magic (not a .pct file): " + path);
+    throw ParseError(path + ": offset 0: bad magic (not a .pct file, " +
+                     std::to_string(total_bytes) + " bytes)");
   PctInfo info;
   info.version = get_u32_le(data + 8);
   info.count = get_u64_le(data + 16);
   info.file_bytes = total_bytes;
   if (info.version != kPctVersion)
-    throw ParseError("pct: unsupported version " +
-                     std::to_string(info.version) + ": " + path);
+    throw ParseError(path + ": offset 8: unsupported version " +
+                     std::to_string(info.version) + " (expected " +
+                     std::to_string(kPctVersion) + ")");
   if (get_u32_le(data + 12) != 0)
-    throw ParseError("pct: nonzero reserved flags: " + path);
+    throw ParseError(path + ": offset 12: nonzero reserved flags 0x" +
+                     [](std::uint32_t f) {
+                       char buf[12];
+                       std::snprintf(buf, sizeof(buf), "%08x", f);
+                       return std::string(buf);
+                     }(get_u32_le(data + 12)));
+  // Overflow guard before the size cross-check: a corrupt count near
+  // 2^64 would wrap `count * 8` and masquerade as a tiny valid file.
+  if (info.count > (std::numeric_limits<std::uint64_t>::max() -
+                    kPctHeaderBytes) / kPctRecordBytes)
+    throw ParseError(path + ": offset 16: record count " +
+                     std::to_string(info.count) +
+                     " overflows the file size computation");
   const std::uint64_t expect =
       kPctHeaderBytes + info.count * kPctRecordBytes;
-  if (total_bytes != expect)
-    throw ParseError("pct: truncated or padded file (" +
-                     std::to_string(total_bytes) + " bytes, header says " +
-                     std::to_string(expect) + "): " + path);
+  if (total_bytes != expect) {
+    const std::uint64_t whole =
+        total_bytes < kPctHeaderBytes
+            ? 0
+            : (total_bytes - kPctHeaderBytes) / kPctRecordBytes;
+    throw ParseError(path + ": offset " + std::to_string(total_bytes) +
+                     ": truncated or padded file — header at offset 16 "
+                     "declares " + std::to_string(info.count) +
+                     " records (" + std::to_string(expect) +
+                     " bytes) but the file holds " +
+                     std::to_string(total_bytes) + " bytes (" +
+                     std::to_string(whole) + " whole records)");
+  }
   return info;
 }
 

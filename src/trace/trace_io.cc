@@ -57,13 +57,14 @@ Trace parse_trace_text(std::string_view buf, const std::string& name) {
     if (t.size() < 3 ||
         (t[0] != 'R' && t[0] != 'W' && t[0] != 'r' && t[0] != 'w') ||
         t[1] != ' ') {
-      throw ParseError("trace text line " + std::to_string(lineno) +
-                       ": expected 'R <addr>' or 'W <addr>'");
+      throw ParseError(name + ":line " + std::to_string(lineno) +
+                       ": expected 'R <addr>' or 'W <addr>', got '" +
+                       std::string(t.substr(0, 32)) + "'");
     }
     const std::string_view addr_str = trim(t.substr(2));
     std::uint64_t addr = 0;
     if (!parse_address(addr_str, &addr)) {
-      throw ParseError("trace text line " + std::to_string(lineno) +
+      throw ParseError(name + ":line " + std::to_string(lineno) +
                        ": bad address '" + std::string(addr_str) + "'");
     }
     out.push_back({addr, (t[0] == 'W' || t[0] == 'w') ? AccessKind::kWrite
@@ -79,10 +80,11 @@ void put_u64_le(std::ostream& os, std::uint64_t v) {
   os.write(buf.data(), 8);
 }
 
-std::uint64_t get_u64_le(std::istream& is) {
+std::uint64_t get_u64_le(std::istream& is, const std::string& name) {
   std::array<char, 8> buf;
   is.read(buf.data(), 8);
-  if (!is) throw ParseError("truncated binary trace");
+  if (!is)
+    throw ParseError(name + ": truncated binary trace (u64 read failed)");
   std::uint64_t v = 0;
   for (int i = 7; i >= 0; --i)
     v = (v << 8) |
@@ -128,15 +130,39 @@ Trace read_trace_binary(std::istream& is, const std::string& name) {
   char magic[8];
   is.read(magic, 8);
   if (!is || std::memcmp(magic, kBinaryMagic, 8) != 0)
-    throw ParseError("bad binary trace magic");
-  const std::uint64_t count = get_u64_le(is);
+    throw ParseError(name + ": offset 0: bad binary trace magic "
+                     "(expected PCALTRC1)");
+  const std::uint64_t count = get_u64_le(is, name);
+  // Cross-check the declared record count against the bytes actually in
+  // the stream before reserving: a corrupt count field must fail with a
+  // diagnostic, not drive a multi-gigabyte allocation and then starve.
+  constexpr std::uint64_t kRecordBytes = 9;  // u64 address + 1 kind byte
+  const auto body_start = is.tellg();
+  if (body_start != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const auto end = is.tellg();
+    is.seekg(body_start);
+    const std::uint64_t remaining =
+        static_cast<std::uint64_t>(end - body_start);
+    if (count > remaining / kRecordBytes)
+      throw ParseError(
+          name + ": offset 8: header declares " + std::to_string(count) +
+          " records (" + std::to_string(count * kRecordBytes) +
+          " bytes) but only " + std::to_string(remaining) +
+          " bytes follow (" + std::to_string(remaining / kRecordBytes) +
+          " whole records)");
+  }
   std::vector<MemAccess> out;
   out.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t addr = get_u64_le(is);
+    const std::uint64_t addr = get_u64_le(is, name);
     char k = 0;
     is.read(&k, 1);
-    if (!is) throw ParseError("truncated binary trace record");
+    if (!is)
+      throw ParseError(name + ": offset " +
+                       std::to_string(16 + i * kRecordBytes) +
+                       ": truncated binary trace record " +
+                       std::to_string(i) + " of " + std::to_string(count));
     out.push_back(
         {addr, k ? AccessKind::kWrite : AccessKind::kRead});
   }

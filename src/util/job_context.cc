@@ -1,0 +1,40 @@
+#include "util/job_context.h"
+
+#include <string>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+struct JobDeadline {
+  bool armed = false;
+  std::chrono::steady_clock::time_point due;
+};
+
+thread_local JobDeadline t_deadline;
+
+}  // namespace
+
+void arm_job_deadline(std::uint64_t deadline_ms) {
+  if (deadline_ms == 0) {
+    clear_job_deadline();
+    return;
+  }
+  t_deadline.armed = true;
+  t_deadline.due = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(deadline_ms);
+}
+
+void clear_job_deadline() { t_deadline = JobDeadline{}; }
+
+bool job_deadline_exceeded() {
+  return t_deadline.armed && std::chrono::steady_clock::now() >= t_deadline.due;
+}
+
+void throw_if_job_deadline_exceeded(const char* where) {
+  if (job_deadline_exceeded())
+    throw JobTimeoutError(std::string("job deadline exceeded at ") + where);
+}
+
+}  // namespace pcal

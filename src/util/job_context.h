@@ -1,0 +1,36 @@
+// Thread-local deadline of the sweep job running on this thread.
+//
+// A SweepRunner worker cannot safely kill a thread that is deep inside a
+// simulation, so per-job timeouts are cooperative: the engine arms a
+// thread-local deadline before a job starts, and cancellation points —
+// trace-batch boundaries, interval observers, the fault-injection hang
+// loop — poll it and throw JobTimeoutError when it has passed.  The
+// helpers live in util/ so trace-layer wrappers can poll without
+// depending on the sweep engine.
+//
+// Thread-safety: the deadline is thread-local state; arming it on one
+// worker never affects jobs on other workers.  The poll costs one
+// steady_clock read and is meant for batch-granular call sites (every
+// few hundred accesses), not per-access hot loops.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pcal {
+
+/// Arms the calling thread's job deadline `deadline_ms` from now.
+/// 0 disarms (no deadline — polls return false).
+void arm_job_deadline(std::uint64_t deadline_ms);
+
+/// Disarms the calling thread's job deadline.
+void clear_job_deadline();
+
+/// True iff a deadline is armed on this thread and has passed.
+bool job_deadline_exceeded();
+
+/// Polls the deadline and throws JobTimeoutError naming `where` when it
+/// has passed; no-op when disarmed or not yet due.
+void throw_if_job_deadline_exceeded(const char* where);
+
+}  // namespace pcal

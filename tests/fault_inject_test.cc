@@ -1,0 +1,304 @@
+// Fault-injection harness + JobPolicy fault-isolation invariants
+// (trace/fault_inject.h, core/sweep.h):
+//
+//   1. PCAL_FAULT_INJECT spec parsing — accepted forms, defaults,
+//      rejected garbage;
+//   2. the fault actually fires at the configured access, exactly
+//      `times` times, with the budget shared across retry attempts;
+//   3. retry-then-succeed: a transient fault consumed by attempt 1 lets
+//      attempt 2 produce a result bit-identical to a fault-free run;
+//   4. timeout-then-skip: an injected hang trips the cooperative
+//      deadline, the job records timed_out and the rest of the grid
+//      completes;
+//   5. abort policy: the first failure cancels not-yet-started jobs
+//      with `cancelled` outcomes; kRecord/kSkip keep the grid running.
+//
+// CMake registers this binary at the default pool width plus
+// PCAL_SWEEP_THREADS=1 and =8 — fault isolation must not depend on
+// which worker hits the fault.
+#include "trace/fault_inject.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "trace/synthetic.h"
+#include "trace/workloads.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+constexpr std::uint64_t kAccesses = 20000;
+
+SimConfig small_config(std::uint64_t banks) {
+  SimConfig cfg;
+  cfg.granularity = Granularity::kBank;
+  cfg.cache.size_bytes = 8192;
+  cfg.cache.line_bytes = 16;
+  cfg.cache.ways = 1;
+  cfg.partition.num_banks = banks;
+  cfg.indexing = IndexingKind::kProbing;
+  cfg.reindex_updates = 8;
+  return cfg;
+}
+
+TraceSourceFactory plain_factory(const std::string& workload = "cjpeg") {
+  const WorkloadSpec spec = make_mediabench_workload(workload);
+  return [spec] {
+    return std::make_unique<SyntheticTraceSource>(spec, kAccesses);
+  };
+}
+
+SweepJob make_job(std::uint64_t banks, TraceSourceFactory factory) {
+  SweepJob job;
+  job.config = small_config(banks);
+  job.make_source = std::move(factory);
+  job.label = "banks=" + std::to_string(banks);
+  return job;
+}
+
+std::vector<SweepJob> grid_with_fault(const FaultSpec& spec,
+                                      std::size_t n_jobs = 6) {
+  std::vector<SweepJob> jobs;
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    TraceSourceFactory factory = plain_factory();
+    if (i == spec.job) factory = wrap_with_fault(std::move(factory), spec);
+    jobs.push_back(make_job(1u << (1 + i % 3), std::move(factory)));
+  }
+  return jobs;
+}
+
+TEST(FaultSpecParsing, AcceptsFullAndDefaultedForms) {
+  const FaultSpec a = parse_fault_spec("job=3:access=1000:mode=transient");
+  EXPECT_EQ(a.job, 3u);
+  EXPECT_EQ(a.at_access, 1000u);
+  EXPECT_EQ(a.mode, FaultMode::kTransient);
+  EXPECT_EQ(a.times, 1u);
+
+  const FaultSpec b =
+      parse_fault_spec("job=0:access=0:mode=throw:times=4");
+  EXPECT_EQ(b.mode, FaultMode::kThrow);
+  EXPECT_EQ(b.times, 4u);
+
+  EXPECT_EQ(parse_fault_spec("job=1:access=2:mode=hang").mode,
+            FaultMode::kHang);
+  EXPECT_EQ(parse_fault_spec("job=1:access=2:mode=exit").mode,
+            FaultMode::kExit);
+}
+
+TEST(FaultSpecParsing, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_spec(""), ParseError);
+  EXPECT_THROW(parse_fault_spec("job=1"), ParseError);               // no mode
+  EXPECT_THROW(parse_fault_spec("job=1:mode=throw"), ParseError);    // no access
+  EXPECT_THROW(parse_fault_spec("access=1:mode=throw"), ParseError); // no job
+  EXPECT_THROW(parse_fault_spec("job=1:access=2:mode=nope"), ParseError);
+  EXPECT_THROW(parse_fault_spec("job=x:access=2:mode=throw"), ParseError);
+  EXPECT_THROW(parse_fault_spec("job=1:access=2:mode=throw:bogus=3"),
+               ParseError);
+}
+
+TEST(FaultSource, FiresAtTheConfiguredAccess) {
+  FaultSpec spec;
+  spec.job = 0;
+  spec.at_access = 100;
+  spec.mode = FaultMode::kThrow;
+  TraceSourceFactory factory = wrap_with_fault(plain_factory(), spec);
+  std::unique_ptr<TraceSource> source = factory();
+  // The first 100 accesses stream through untouched, including via the
+  // batch path (the wrapper clamps batches so the fault cannot be
+  // overshot).
+  MemAccess buf[64];
+  std::uint64_t produced = 0;
+  try {
+    while (true) {
+      const std::size_t got = source->next_batch(buf, 64);
+      if (got == 0) break;
+      produced += got;
+    }
+    FAIL() << "fault never fired";
+  } catch (const Error&) {
+    EXPECT_EQ(produced, 100u);
+  }
+  // Budget exhausted: a rebuilt source streams clean.
+  std::unique_ptr<TraceSource> retry = factory();
+  std::uint64_t total = 0;
+  while (retry->next()) ++total;
+  EXPECT_EQ(total, kAccesses);
+}
+
+TEST(FaultSource, BudgetIsSharedAcrossRebuilds) {
+  FaultSpec spec;
+  spec.job = 0;
+  spec.at_access = 10;
+  spec.mode = FaultMode::kTransient;
+  spec.times = 2;
+  TraceSourceFactory factory = wrap_with_fault(plain_factory(), spec);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::unique_ptr<TraceSource> source = factory();
+    EXPECT_THROW(
+        {
+          while (source->next()) {
+          }
+        },
+        TransientError)
+        << "attempt " << attempt;
+  }
+  std::unique_ptr<TraceSource> third = factory();
+  std::uint64_t total = 0;
+  while (third->next()) ++total;
+  EXPECT_EQ(total, kAccesses);
+}
+
+TEST(JobPolicy, TransientFaultRetriesToBitIdenticalResult) {
+  // Reference: the same grid with no fault.
+  FaultSpec none;
+  none.job = 999;  // out of range — injects nowhere
+  std::vector<SweepJob> clean = grid_with_fault(none);
+  SweepRunner ref_runner;
+  const std::vector<SweepOutcome> reference = ref_runner.run(clean);
+
+  FaultSpec spec;
+  spec.job = 2;
+  spec.at_access = 5000;
+  spec.mode = FaultMode::kTransient;
+  std::vector<SweepJob> jobs = grid_with_fault(spec);
+  SweepRunOptions options;
+  options.policy.max_attempts = 3;
+  options.policy.on_failure = OnFailure::kRecord;
+  SweepRunner runner;
+  const std::vector<SweepOutcome> outcomes = runner.run(jobs, options);
+
+  ASSERT_EQ(outcomes.size(), reference.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok()) << "job " << i;
+    EXPECT_EQ(outcomes[i].attempts, i == spec.job ? 2u : 1u) << i;
+    // The retried job's result is indistinguishable from never faulting.
+    EXPECT_EQ(outcomes[i].result.accesses, reference[i].result.accesses);
+    EXPECT_EQ(outcomes[i].result.total_cycles,
+              reference[i].result.total_cycles);
+    EXPECT_EQ(outcomes[i].result.cache_stats.hits,
+              reference[i].result.cache_stats.hits);
+    EXPECT_EQ(outcomes[i].result.energy.partitioned.total_pj(),
+              reference[i].result.energy.partitioned.total_pj());
+  }
+  EXPECT_EQ(runner.last_stats().failed_jobs, 0u);
+}
+
+TEST(JobPolicy, TransientFaultWithoutRetryBudgetFails) {
+  FaultSpec spec;
+  spec.job = 1;
+  spec.at_access = 100;
+  spec.mode = FaultMode::kTransient;
+  std::vector<SweepJob> jobs = grid_with_fault(spec);
+  SweepRunOptions options;  // max_attempts = 1: no retries
+  options.policy.on_failure = OnFailure::kRecord;
+  SweepRunner runner;
+  const std::vector<SweepOutcome> outcomes = runner.run(jobs, options);
+  EXPECT_FALSE(outcomes[spec.job].ok());
+  EXPECT_EQ(outcomes[spec.job].attempts, 1u);
+  EXPECT_THROW(outcomes[spec.job].rethrow_if_error(), TransientError);
+  for (std::size_t i = 0; i < outcomes.size(); ++i)
+    if (i != spec.job) EXPECT_TRUE(outcomes[i].ok()) << i;
+  EXPECT_EQ(runner.last_stats().failed_jobs, 1u);
+}
+
+TEST(JobPolicy, PermanentFaultIsNeverRetried) {
+  FaultSpec spec;
+  spec.job = 0;
+  spec.at_access = 50;
+  spec.mode = FaultMode::kThrow;
+  spec.times = 5;  // budget would allow retries to keep faulting
+  std::vector<SweepJob> jobs = grid_with_fault(spec, 3);
+  SweepRunOptions options;
+  options.policy.max_attempts = 3;
+  options.policy.on_failure = OnFailure::kRecord;
+  SweepRunner runner;
+  const std::vector<SweepOutcome> outcomes = runner.run(jobs, options);
+  EXPECT_FALSE(outcomes[0].ok());
+  EXPECT_EQ(outcomes[0].attempts, 1u);  // permanent errors fail fast
+  EXPECT_FALSE(outcomes[0].error_what.empty());
+  EXPECT_EQ(outcomes[0].label, "banks=2");
+}
+
+TEST(JobPolicy, InjectedHangTripsTheDeadline) {
+  FaultSpec spec;
+  spec.job = 1;
+  spec.at_access = 1000;
+  spec.mode = FaultMode::kHang;
+  std::vector<SweepJob> jobs = grid_with_fault(spec, 4);
+  SweepRunOptions options;
+  options.policy.deadline_ms = 200;
+  options.policy.on_failure = OnFailure::kRecord;
+  SweepRunner runner;
+  const std::vector<SweepOutcome> outcomes = runner.run(jobs, options);
+  EXPECT_FALSE(outcomes[spec.job].ok());
+  EXPECT_TRUE(outcomes[spec.job].timed_out);
+  EXPECT_THROW(outcomes[spec.job].rethrow_if_error(), JobTimeoutError);
+  for (std::size_t i = 0; i < outcomes.size(); ++i)
+    if (i != spec.job) {
+      EXPECT_TRUE(outcomes[i].ok()) << i;
+      EXPECT_FALSE(outcomes[i].timed_out) << i;
+    }
+}
+
+TEST(JobPolicy, TimeoutIsNeverRetried) {
+  FaultSpec spec;
+  spec.job = 0;
+  spec.at_access = 100;
+  spec.mode = FaultMode::kHang;
+  std::vector<SweepJob> jobs = grid_with_fault(spec, 2);
+  SweepRunOptions options;
+  options.policy.max_attempts = 3;
+  options.policy.deadline_ms = 200;
+  options.policy.on_failure = OnFailure::kRecord;
+  SweepRunner runner(1);
+  const std::vector<SweepOutcome> outcomes = runner.run(jobs, options);
+  EXPECT_TRUE(outcomes[0].timed_out);
+  EXPECT_EQ(outcomes[0].attempts, 1u);
+}
+
+TEST(JobPolicy, AbortCancelsUnstartedJobs) {
+  FaultSpec spec;
+  spec.job = 0;
+  spec.at_access = 10;
+  spec.mode = FaultMode::kThrow;
+  std::vector<SweepJob> jobs = grid_with_fault(spec, 8);
+  SweepRunOptions options;
+  options.policy.on_failure = OnFailure::kAbort;
+  // Serial runner: job 0 fails immediately, so jobs 1..7 must all be
+  // cancelled (with a pool some may already be in flight — the serial
+  // registration pins the strongest form of the invariant).
+  SweepRunner runner(1);
+  const std::vector<SweepOutcome> outcomes = runner.run(jobs, options);
+  EXPECT_FALSE(outcomes[0].ok());
+  EXPECT_FALSE(outcomes[0].cancelled);
+  std::size_t cancelled = 0;
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_FALSE(outcomes[i].ok()) << i;
+    if (outcomes[i].cancelled) ++cancelled;
+  }
+  EXPECT_EQ(cancelled, outcomes.size() - 1);
+  EXPECT_EQ(runner.last_stats().failed_jobs, outcomes.size());
+}
+
+TEST(JobPolicy, FailureCarriesLabelAndWhatString) {
+  FaultSpec spec;
+  spec.job = 1;
+  spec.at_access = 10;
+  spec.mode = FaultMode::kThrow;
+  std::vector<SweepJob> jobs = grid_with_fault(spec, 3);
+  SweepRunOptions options;
+  options.policy.on_failure = OnFailure::kRecord;
+  SweepRunner runner;
+  const std::vector<SweepOutcome> outcomes = runner.run(jobs, options);
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_EQ(outcomes[1].label, "banks=4");
+  EXPECT_NE(outcomes[1].error_what.find("injected"), std::string::npos)
+      << outcomes[1].error_what;
+}
+
+}  // namespace
+}  // namespace pcal

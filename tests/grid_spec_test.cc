@@ -676,9 +676,14 @@ cells = idleness:Idl:pct:1, hit_rate:hit:num:4
 )");
   const std::vector<GridJob> jobs = spec.expand(spec.accesses());
   std::vector<SweepJob> sweep_jobs;
-  for (const GridJob& g : jobs)
-    sweep_jobs.push_back(SweepJob{g.config, g.make_source, nullptr, {},
-                                  g.multicore, g.core_sources});
+  for (const GridJob& g : jobs) {
+    SweepJob j;
+    j.config = g.config;
+    j.make_source = g.make_source;
+    j.multicore = g.multicore;
+    j.core_sources = g.core_sources;
+    sweep_jobs.push_back(std::move(j));
+  }
 
   std::string rendered[2];
   const unsigned threads[2] = {1, 4};
@@ -700,9 +705,14 @@ TEST(GridSpecRun, GenericTableListsEveryJob) {
   const GridSpec spec = parse(kMinimal);
   const std::vector<GridJob> jobs = spec.expand(5000);
   std::vector<SweepJob> sweep_jobs;
-  for (const GridJob& g : jobs)
-    sweep_jobs.push_back(SweepJob{g.config, g.make_source, nullptr, {},
-                                  g.multicore, g.core_sources});
+  for (const GridJob& g : jobs) {
+    SweepJob j;
+    j.config = g.config;
+    j.make_source = g.make_source;
+    j.multicore = g.multicore;
+    j.core_sources = g.core_sources;
+    sweep_jobs.push_back(std::move(j));
+  }
   SweepRunner runner(1);
   const auto outcomes = runner.run(sweep_jobs);
   const TextTable table = spec.render_table(jobs, outcomes);
