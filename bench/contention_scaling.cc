@@ -1,0 +1,177 @@
+// MSHR / bandwidth scaling: do finite resources separate workloads?
+//
+// The DATE'11 evaluation (and every bench before this one) runs on a
+// clock where misses overlap freely — memory-level parallelism is
+// infinite.  This bench sweeps the finite-resource model
+// (core/contention.h) over the two workloads that should sit at the
+// opposite ends of the MLP axis: a streaming walk whose footprint
+// dwarfs the cache (every access a miss, maximal demand for outstanding
+// misses and fill bandwidth) and a hotspot that lives in one bank
+// (mostly hits, barely any demand).  An MSHR ladder from unlimited down
+// to 1 and a fill-bandwidth ladder from unlimited down to 1 B/cycle are
+// priced on a realistic miss latency.
+//
+// Gates (exit 1 on violation):
+//   - cycle identity on every row: total_cycles == accesses +
+//     stall_cycles, and the mshr/port/bw breakdown never exceeds the
+//     stall total;
+//   - each ladder is monotone per workload: shrinking the resource
+//     never decreases total_cycles;
+//   - separation: the tightest MSHR point slows streaming measurably
+//     (> 5% over unlimited, with nonzero mshr_stall_cycles) and slows
+//     streaming by strictly more than hotspot — finite MSHRs must
+//     distinguish high-MLP from low-MLP traffic or the model is inert.
+//
+// BENCH_contention_scaling.json carries the per-job results array with
+// the new mshr/port/bw stall columns, which tools/check_bench_json.py
+// validates in CI; CI also diffs the record between a 1-worker and an
+// 8-worker run.
+#include "bench_common.h"
+
+#include <array>
+#include <vector>
+
+namespace {
+
+using namespace pcal;
+using namespace pcal::bench;
+
+constexpr std::array<std::uint64_t, 5> kMshrLadder = {0, 8, 4, 2, 1};
+constexpr std::array<std::uint64_t, 4> kBwLadder = {0, 4, 2, 1};
+
+struct Workload {
+  const char* name;
+  WorkloadSpec spec;
+};
+
+std::vector<Workload> workloads() {
+  return {{"streaming", make_streaming_workload(256 * 1024)},
+          {"hotspot", make_hotspot_workload(8 * 1024)}};
+}
+
+SimConfig point_config(std::uint64_t mshrs, std::uint64_t bytes_per_cycle) {
+  SimConfig cfg = paper_config(8192, 16, 4);
+  // A realistic fill time: the resource ladders price waiting on top of
+  // it, not instead of it.
+  cfg.latency.miss_cycles = 8;
+  cfg.contention.mshrs = mshrs;
+  cfg.contention.bytes_per_cycle = bytes_per_cycle;
+  return cfg;
+}
+
+double slowdown(const SimResult& tight, const SimResult& unlimited) {
+  return static_cast<double>(tight.total_cycles) /
+         static_cast<double>(unlimited.total_cycles);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Finite-resource scaling (MSHRs, fill bandwidth)",
+      "contention extension of DATE'11 (unlimited-MLP clock -> bounded "
+      "outstanding misses and bytes/cycle)");
+
+  SweepGrid grid(aging(), accesses());
+  const std::vector<Workload> loads = workloads();
+  std::vector<std::string> job_workloads;
+  // Row order: for each workload, the MSHR ladder then the bw ladder —
+  // the consuming loops below mirror this exactly.
+  for (const Workload& load : loads) {
+    for (const std::uint64_t mshrs : kMshrLadder) {
+      grid.add(load.spec, point_config(mshrs, 0));
+      job_workloads.push_back(load.name);
+    }
+    for (const std::uint64_t bw : kBwLadder) {
+      grid.add(load.spec, point_config(0, bw));
+      job_workloads.push_back(load.name);
+    }
+  }
+
+  grid.run("contention_scaling", [&](std::ostream& f) {
+    f << "  \"cross_product\": " << grid.size() << ",\n";
+    f << "  \"results\": [\n";
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      f << "    ";
+      write_result_row(f, grid.result(i), job_workloads[i], /*ok=*/true);
+      f << (i + 1 < grid.size() ? ",\n" : "\n");
+    }
+    f << "  ],\n";
+  });
+
+  bool ok = true;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const SimResult& r = grid.result(i);
+    if (r.total_cycles != r.accesses + r.stall_cycles) {
+      std::cerr << "FAIL: cycle identity broken for " << r.config_label
+                << "\n";
+      ok = false;
+    }
+    const std::uint64_t breakdown =
+        r.mshr_stall_cycles + r.port_stall_cycles + r.bw_stall_cycles;
+    if (breakdown > r.stall_cycles) {
+      std::cerr << "FAIL: contention breakdown exceeds stalls for "
+                << r.config_label << "\n";
+      ok = false;
+    }
+  }
+
+  const std::size_t per_load = kMshrLadder.size() + kBwLadder.size();
+  TextTable table({"resource", "streaming:Lat", "streaming:slow",
+                   "hotspot:Lat", "hotspot:slow"});
+  // ladder_row(kind, j) -> result index for workload `w`.
+  const auto at = [&](std::size_t w, std::size_t j) -> const SimResult& {
+    return grid.result(w * per_load + j);
+  };
+  for (std::size_t j = 0; j < per_load; ++j) {
+    const bool is_mshr = j < kMshrLadder.size();
+    const std::uint64_t value =
+        is_mshr ? kMshrLadder[j] : kBwLadder[j - kMshrLadder.size()];
+    std::string label = is_mshr ? "mshr " : "bw ";
+    label += value == 0 ? "inf" : std::to_string(value);
+    const std::size_t base = is_mshr ? 0 : kMshrLadder.size();
+    std::vector<std::string> row = {label};
+    for (std::size_t w = 0; w < loads.size(); ++w) {
+      const SimResult& r = at(w, j);
+      const SimResult& unlimited = at(w, base);
+      if (r.total_cycles < unlimited.total_cycles ||
+          (j > base && r.total_cycles < at(w, j - 1).total_cycles)) {
+        std::cerr << "FAIL: ladder not monotone at " << label << " for "
+                  << job_workloads[w * per_load + j] << "\n";
+        ok = false;
+      }
+      row.push_back(TextTable::num(r.avg_access_latency(), 3));
+      row.push_back(TextTable::num(slowdown(r, unlimited), 3));
+    }
+    table.add_row(row);
+  }
+  print_table(table);
+
+  // Separation gate on the tightest MSHR point (workload 0 = streaming,
+  // workload 1 = hotspot; ladder index = last MSHR entry).
+  const std::size_t tight = kMshrLadder.size() - 1;
+  const SimResult& stream_tight = at(0, tight);
+  const SimResult& stream_free = at(0, 0);
+  const SimResult& hot_tight = at(1, tight);
+  const SimResult& hot_free = at(1, 0);
+  const double stream_slow = slowdown(stream_tight, stream_free);
+  const double hot_slow = slowdown(hot_tight, hot_free);
+  if (!(stream_slow > 1.05) || stream_tight.mshr_stall_cycles == 0) {
+    std::cerr << "FAIL: 1 MSHR does not measurably slow streaming "
+              << "(slowdown " << stream_slow << ", mshr stalls "
+              << stream_tight.mshr_stall_cycles << ")\n";
+    ok = false;
+  }
+  if (!(stream_slow > hot_slow)) {
+    std::cerr << "FAIL: finite MSHRs do not separate streaming ("
+              << stream_slow << "x) from hotspot (" << hot_slow << "x)\n";
+    ok = false;
+  }
+
+  std::cout << "expected shape: the streaming column degrades steeply "
+               "down both ladders (every access is a miss competing for "
+               "entries and fill bytes) while the hotspot column barely "
+               "moves — finite resources price memory-level parallelism, "
+               "which the idealized clock gave away for free.\n";
+  return ok ? 0 : 1;
+}

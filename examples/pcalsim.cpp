@@ -29,6 +29,12 @@
 //   miss = 0
 //   drowsy_wake = 0
 //   gated_wake = 0
+//   [contention]             # finite L1 resources (0 = unlimited; see
+//   mshrs = 0                # docs/CONTENTION.md)
+//   ports = 0                # access ports per bank
+//   bandwidth = 0            # fill bytes per cycle toward the next level
+//   mshr_latency = 32        # cycles an MSHR stays allocated per miss
+//   port_cycles = 1          # bank busy cycles per access
 //   [l2]                     # optional second level (size 0 = disabled)
 //   size = 0
 //   banks = 4
@@ -37,6 +43,9 @@
 //   inclusion = noninclusive # noninclusive | inclusive | exclusive | victim
 //   hit_latency = 0
 //   miss_latency = 0
+//   mshrs = 0                # per-level resources ([contention] shapes L1)
+//   ports = 0
+//   bandwidth = 0
 //   [l3]                     # optional third level (same keys as [l2])
 //   size = 0
 //   [multiprogram]           # optional: interleave several programs in
@@ -50,6 +59,9 @@
 //   llc_banks = 4
 //   llc_breakeven = 64
 //   llc_ways_per_core = 0    # > 0 way-partitions the LLC per core
+//   llc_mshrs = 0            # finite shared-LLC resources (0 = unlimited)
+//   llc_ports = 0
+//   llc_bandwidth = 0
 //   [core1]                  # optional per-core workload override
 //   workload = streaming
 #include <algorithm>
@@ -94,6 +106,14 @@ hit = 0
 miss = 0
 drowsy_wake = 0
 gated_wake = 0
+
+# Finite L1 resources, 0 = unlimited (docs/CONTENTION.md):
+[contention]
+mshrs = 0
+ports = 0
+bandwidth = 0
+mshr_latency = 32
+port_cycles = 1
 
 [l2]
 size = 0
@@ -188,6 +208,13 @@ int run_multicore(const ConfigFile& cfg, const SimConfig& sim,
       cfg.get_u64("multicore", "llc_banks", 4);
   llc.topology.breakeven_cycles =
       cfg.get_u64("multicore", "llc_breakeven", 64);
+  llc.topology.contention.mshrs = cfg.get_u64("multicore", "llc_mshrs", 0);
+  llc.topology.contention.ports = cfg.get_u64("multicore", "llc_ports", 0);
+  llc.topology.contention.bytes_per_cycle =
+      cfg.get_u64("multicore", "llc_bandwidth", 0);
+  llc.topology.contention.mshr_latency_cycles =
+      sim.contention.mshr_latency_cycles;
+  llc.topology.contention.port_cycles = sim.contention.port_cycles;
   MultiCoreConfig mc =
       make_multicore(sim, num_cores, llc,
                      cfg.get_u64("multicore", "llc_ways_per_core", 0));
@@ -213,7 +240,12 @@ int run_multicore(const ConfigFile& cfg, const SimConfig& sim,
             << "accesses: " << r.accesses << ", cycles: " << r.total_cycles
             << " total, " << r.stall_cycles
             << " stalled, avg access latency "
-            << TextTable::num(r.avg_access_latency(), 3) << "\n\n";
+            << TextTable::num(r.avg_access_latency(), 3) << "\n";
+  if (r.mshr_stall_cycles + r.port_stall_cycles + r.bw_stall_cycles > 0)
+    std::cout << "contention stalls: mshr " << r.mshr_stall_cycles
+              << ", port " << r.port_stall_cycles << ", bandwidth "
+              << r.bw_stall_cycles << "\n";
+  std::cout << "\n";
 
   TextTable cores({"core", "workload", "accesses", "stalls", "L1 hit",
                    "LLC acc", "LLC hit", "way mask", "energy (pJ)",
@@ -287,6 +319,16 @@ int main(int argc, char** argv) {
     sim.latency.drowsy_wake_cycles =
         cfg.get_u64("latency", "drowsy_wake", 0);
     sim.latency.gated_wake_cycles = cfg.get_u64("latency", "gated_wake", 0);
+    // Finite L1 resources (core/contention.h); all-zero limits keep the
+    // run bit-identical to a config without a [contention] section.
+    sim.contention.mshrs = cfg.get_u64("contention", "mshrs", 0);
+    sim.contention.ports = cfg.get_u64("contention", "ports", 0);
+    sim.contention.bytes_per_cycle =
+        cfg.get_u64("contention", "bandwidth", 0);
+    sim.contention.mshr_latency_cycles =
+        cfg.get_u64("contention", "mshr_latency", 32);
+    sim.contention.port_cycles =
+        cfg.get_u64("contention", "port_cycles", 1);
     // Optional lower levels: [l2] / [l3], size = 0 disables a level.
     for (const char* section : {"l2", "l3"}) {
       if (cfg.get_u64(section, "size", 0) == 0) continue;
@@ -313,6 +355,15 @@ int main(int argc, char** argv) {
           section, "drowsy_wake", sim.latency.drowsy_wake_cycles);
       topo.latency.gated_wake_cycles = cfg.get_u64(
           section, "gated_wake", sim.latency.gated_wake_cycles);
+      // Per-level resource limits; the timing scalars are shared with
+      // the [contention] section (one resource technology).
+      topo.contention.mshrs = cfg.get_u64(section, "mshrs", 0);
+      topo.contention.ports = cfg.get_u64(section, "ports", 0);
+      topo.contention.bytes_per_cycle =
+          cfg.get_u64(section, "bandwidth", 0);
+      topo.contention.mshr_latency_cycles =
+          sim.contention.mshr_latency_cycles;
+      topo.contention.port_cycles = sim.contention.port_cycles;
       sim.lower_levels.push_back(level);
     }
     sim.validate();
@@ -336,7 +387,12 @@ int main(int argc, char** argv) {
               << "\n"
               << "cycles: " << r.total_cycles << " total, "
               << r.stall_cycles << " stalled, avg access latency "
-              << TextTable::num(r.avg_access_latency(), 3) << "\n\n";
+              << TextTable::num(r.avg_access_latency(), 3) << "\n";
+    if (r.mshr_stall_cycles + r.port_stall_cycles + r.bw_stall_cycles > 0)
+      std::cout << "contention stalls: mshr " << r.mshr_stall_cycles
+                << ", port " << r.port_stall_cycles << ", bandwidth "
+                << r.bw_stall_cycles << "\n";
+    std::cout << "\n";
 
     // At line granularity there are hundreds of units; cap the table.
     const std::size_t shown = std::min<std::size_t>(r.units.size(), 32);

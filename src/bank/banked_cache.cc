@@ -49,6 +49,14 @@ BankedAccessOutcome BankedCache::run_access(std::uint64_t address,
   return out;
 }
 
+bool BankedCache::invalidate_line(std::uint64_t address) {
+  // The same decode as an access — same time-varying mapping — but a
+  // pure tag-store drop: no cycle, no Block Control touch, no stats.
+  const DecodedIndex d =
+      decoder_.decode(config_.cache.set_index_of(address));
+  return cache_.invalidate(config_.cache.tag_of(address), d.physical_set);
+}
+
 std::uint64_t BankedCache::update_indexing() {
   PCAL_ASSERT_MSG(!finished_, "cache already finished");
   decoder_.update();

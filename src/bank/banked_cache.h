@@ -111,6 +111,7 @@ class BankedCache : public ManagedCache {
     cache_.set_alloc_way_mask(mask);
     return true;
   }
+  bool invalidate_line(std::uint64_t address) override;
 
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;

@@ -76,6 +76,13 @@ AccessOutcome LineManagedCache::do_probe(std::uint64_t address) {
   return out;
 }
 
+bool LineManagedCache::invalidate_line(std::uint64_t address) {
+  // Same full-index mapping as an access, pure tag-store drop.
+  const std::uint64_t set =
+      map_set(config_.cache.set_index_of(address));
+  return cache_.invalidate(config_.cache.tag_of(address), set);
+}
+
 std::uint64_t LineManagedCache::update_indexing() {
   PCAL_ASSERT_MSG(!finished_, "cache already finished");
   switch (config_.indexing) {

@@ -95,6 +95,8 @@ class LineManagedCache : public ManagedCache {
     return control_.intervals(unit);
   }
 
+  bool invalidate_line(std::uint64_t address) override;
+
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;
   AccessOutcome do_probe(std::uint64_t address) override;

@@ -55,6 +55,12 @@ AccessOutcome WayGrainCache::run_access(std::uint64_t address, bool is_write,
   return out;
 }
 
+bool WayGrainCache::invalidate_line(std::uint64_t address) {
+  // Same decode as an access, pure tag-store drop (no cycle, no stats).
+  const DecodedIndex d = decoder_.decode(config_.set_index_of(address));
+  return cache_.invalidate(config_.tag_of(address), d.physical_set);
+}
+
 std::uint64_t WayGrainCache::update_indexing() {
   PCAL_ASSERT_MSG(!finished_, "cache already finished");
   decoder_.update();

@@ -54,6 +54,8 @@ class WayGrainCache final : public ManagedCache {
     return true;
   }
 
+  bool invalidate_line(std::uint64_t address) override;
+
   // ---- component access ----
   const CacheModel& cache() const { return cache_; }
   const BankDecoder& decoder() const { return decoder_; }

@@ -108,6 +108,18 @@ std::uint64_t CacheModel::flush() {
   return dirty;
 }
 
+bool CacheModel::invalidate(std::uint64_t tag, std::uint64_t set) {
+  PCAL_ASSERT(set < config_.num_sets());
+  Way* base = &ways_[set * config_.ways];
+  for (std::uint64_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w] = Way{};
+      return true;
+    }
+  }
+  return false;
+}
+
 bool CacheModel::contains(std::uint64_t tag, std::uint64_t set) const {
   PCAL_ASSERT(set < config_.num_sets());
   const Way* base = &ways_[set * config_.ways];

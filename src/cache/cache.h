@@ -82,6 +82,13 @@ class CacheModel {
   /// (they would be written back to the next level).
   std::uint64_t flush();
 
+  /// Drops (tag, set) from the tag store if resident: a pure tag-store
+  /// operation — no access counted, no LRU touch, and a dirty line is
+  /// dropped without a writeback (the hierarchy's back-invalidation
+  /// approximation; see core/hierarchy.h).  Returns true iff a line was
+  /// invalidated.
+  bool invalidate(std::uint64_t tag, std::uint64_t set);
+
   /// True iff (tag, set) is currently resident.
   bool contains(std::uint64_t tag, std::uint64_t set) const;
 

@@ -45,6 +45,9 @@ void write_result_row(std::ostream& os, const SimResult& result,
      << ", \"accesses\": " << result.accesses
      << ", \"total_cycles\": " << result.total_cycles
      << ", \"stall_cycles\": " << result.stall_cycles
+     << ", \"mshr_stall_cycles\": " << result.mshr_stall_cycles
+     << ", \"port_stall_cycles\": " << result.port_stall_cycles
+     << ", \"bw_stall_cycles\": " << result.bw_stall_cycles
      << ", \"avg_latency\": " << result.avg_access_latency()
      << ", \"energy_pj\": " << result.energy.partitioned.total_pj()
      << ", \"idleness\": " << result.avg_residency()

@@ -69,6 +69,9 @@ class DrowsyHybridCache final : public ManagedCache {
   bool set_alloc_way_mask(std::uint64_t mask) override {
     return base_->set_alloc_way_mask(mask);
   }
+  bool invalidate_line(std::uint64_t address) override {
+    return base_->invalidate_line(address);
+  }
 
   // ---- hybrid-specific queries ----
   const ManagedCache& base() const { return *base_; }

@@ -35,7 +35,13 @@ constexpr const char* kNumericAxes[] = {
     "hit_latency", "miss_latency", "l2_hit_latency", "l2_miss_latency",
     "l3_hit_latency", "l3_miss_latency", "drowsy_wake", "gated_wake",
     // Multi-core axes: private stacks over a shared LLC (core/multicore.h).
-    "cores", "llc_size", "llc_ways_per_core"};
+    "cores", "llc_size", "llc_ways_per_core",
+    // Contention axes (core/contention.h): finite resources per level,
+    // 0 = unlimited.  Bare names shape L1, l2_* the lower levels (L3
+    // inherits L2, like the other l2_* knobs), llc_* the shared LLC.
+    "mshrs", "ports", "bandwidth", "mshr_latency", "port_cycles",
+    "l2_mshrs", "l2_ports", "l2_bandwidth",
+    "llc_mshrs", "llc_ports", "llc_bandwidth"};
 constexpr const char* kStringAxes[] = {
     "granularity", "indexing",    "policy",     "workload", "inclusion",
     "l2_granularity", "l2_indexing", "l2_policy",
@@ -48,7 +54,8 @@ constexpr const char* kFloatAxes[] = {
 constexpr const char* kMetricNames[] = {
     "idleness",  "min_idleness", "lifetime",     "energy_saving",
     "hit_rate",  "energy_pj",    "drowsy_share", "accesses",
-    "avg_latency", "total_cycles", "stall_cycles"};
+    "avg_latency", "total_cycles", "stall_cycles",
+    "mshr_stall_cycles", "port_stall_cycles", "bw_stall_cycles"};
 
 bool is_numeric_axis(const std::string& key) {
   for (const char* k : kNumericAxes)
@@ -399,6 +406,16 @@ void apply_axis(SimConfig& cfg, const std::string& key,
     cfg.latency.drowsy_wake_cycles = number();
   else if (key == "gated_wake")
     cfg.latency.gated_wake_cycles = number();
+  else if (key == "mshrs")
+    cfg.contention.mshrs = number();
+  else if (key == "ports")
+    cfg.contention.ports = number();
+  else if (key == "bandwidth")
+    cfg.contention.bytes_per_cycle = number();
+  else if (key == "mshr_latency")
+    cfg.contention.mshr_latency_cycles = number();
+  else if (key == "port_cycles")
+    cfg.contention.port_cycles = number();
   else if (key == "energy_drowsy_leak")
     cfg.energy_params.drowsy_leak_fraction = real();
   else if (key == "energy_gated_leak")
@@ -647,7 +664,8 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
   if (!has_enabled_level()) {
     for (const char* key :
          {"inclusion", "l2_granularity", "l2_indexing", "l2_policy",
-          "l2_drowsy_window", "l2_hit_latency", "l2_miss_latency"}) {
+          "l2_drowsy_window", "l2_hit_latency", "l2_miss_latency",
+          "l2_mshrs", "l2_ports", "l2_bandwidth"}) {
       if (spec.find_axis(key))
         throw ConfigError(
             "sweep axis '" + std::string(key) +
@@ -698,7 +716,8 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
                           std::to_string(max_cores - 1) + ")");
     }
   } else {
-    for (const char* key : {"llc_size", "llc_ways_per_core"})
+    for (const char* key : {"llc_size", "llc_ways_per_core", "llc_mshrs",
+                            "llc_ports", "llc_bandwidth"})
       if (spec.find_axis(key))
         throw ConfigError("sweep axis '" + std::string(key) +
                           "' needs a cores axis");
@@ -857,8 +876,10 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
     std::optional<PowerPolicy> l3_policy;
     std::optional<std::uint64_t> l3_drowsy_window;
     std::optional<std::uint64_t> l3_hit_latency, l3_miss_latency;
+    std::uint64_t l2_mshrs = 0, l2_ports = 0, l2_bandwidth = 0;
     InclusionPolicy inclusion = InclusionPolicy::kNonInclusive;
     std::uint64_t cores_val = 0, llc_size_val = 0, llc_wpc_val = 0;
+    std::uint64_t llc_mshrs = 0, llc_ports = 0, llc_bandwidth = 0;
     std::map<int, std::string> core_workloads;
     SimConfig cfg;
     cfg.force_unit_pricing = unit_pricing_;
@@ -896,12 +917,24 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
         l3_hit_latency = parse_number(value, "axis l3_hit_latency");
       } else if (key == "l3_miss_latency") {
         l3_miss_latency = parse_number(value, "axis l3_miss_latency");
+      } else if (key == "l2_mshrs") {
+        l2_mshrs = parse_number(value, "axis l2_mshrs");
+      } else if (key == "l2_ports") {
+        l2_ports = parse_number(value, "axis l2_ports");
+      } else if (key == "l2_bandwidth") {
+        l2_bandwidth = parse_number(value, "axis l2_bandwidth");
       } else if (key == "cores") {
         cores_val = parse_number(value, "axis cores");
       } else if (key == "llc_size") {
         llc_size_val = parse_number(value, "axis llc_size");
       } else if (key == "llc_ways_per_core") {
         llc_wpc_val = parse_number(value, "axis llc_ways_per_core");
+      } else if (key == "llc_mshrs") {
+        llc_mshrs = parse_number(value, "axis llc_mshrs");
+      } else if (key == "llc_ports") {
+        llc_ports = parse_number(value, "axis llc_ports");
+      } else if (key == "llc_bandwidth") {
+        llc_bandwidth = parse_number(value, "axis llc_bandwidth");
       } else if (core_workload_index(key) >= 0) {
         core_workloads[core_workload_index(key)] = value;
       } else if (key == "inclusion") {
@@ -934,6 +967,14 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
       topo.latency.miss_cycles = miss_latency;
       topo.latency.drowsy_wake_cycles = cfg.latency.drowsy_wake_cycles;
       topo.latency.gated_wake_cycles = cfg.latency.gated_wake_cycles;
+      // Lower-level resources: the l2_* contention axes, shared down the
+      // stack like the other inherited knobs; the timing scalars ride
+      // along from L1 (one resource technology).
+      topo.contention.mshrs = l2_mshrs;
+      topo.contention.ports = l2_ports;
+      topo.contention.bytes_per_cycle = l2_bandwidth;
+      topo.contention.mshr_latency_cycles = cfg.contention.mshr_latency_cycles;
+      topo.contention.port_cycles = cfg.contention.port_cycles;
       cfg.lower_levels.push_back(level);
     };
     if (l2_size > 0)
@@ -969,6 +1010,12 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
       llc.topology.cache.ways = llc_ways_;
       llc.topology.partition.num_banks = llc_banks_;
       llc.topology.breakeven_cycles = llc_breakeven_;
+      llc.topology.contention.mshrs = llc_mshrs;
+      llc.topology.contention.ports = llc_ports;
+      llc.topology.contention.bytes_per_cycle = llc_bandwidth;
+      llc.topology.contention.mshr_latency_cycles =
+          cfg.contention.mshr_latency_cycles;
+      llc.topology.contention.port_cycles = cfg.contention.port_cycles;
       try {
         MultiCoreConfig mc = make_multicore(cfg, cores_val, llc, llc_wpc_val);
         mc.validate();
@@ -1009,6 +1056,12 @@ double grid_metric_value(const SimResult& r, const std::string& metric) {
   if (metric == "avg_latency") return r.avg_access_latency();
   if (metric == "total_cycles") return static_cast<double>(r.total_cycles);
   if (metric == "stall_cycles") return static_cast<double>(r.stall_cycles);
+  if (metric == "mshr_stall_cycles")
+    return static_cast<double>(r.mshr_stall_cycles);
+  if (metric == "port_stall_cycles")
+    return static_cast<double>(r.port_stall_cycles);
+  if (metric == "bw_stall_cycles")
+    return static_cast<double>(r.bw_stall_cycles);
   throw ConfigError("unknown table metric '" + metric + "'");
 }
 

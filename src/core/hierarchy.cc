@@ -72,6 +72,8 @@ AccessOutcome route_access(RoutedLevel* levels, std::size_t num_levels,
                            std::uint64_t address, bool is_write) {
   AccessOutcome top = levels[0].cache->access(address, is_write);
   std::uint64_t stall = top.stall_cycles;
+  top.num_events = 0;
+  top.add_event(0, top.hit, top.writeback, top.physical_unit, address);
 
   // Route one event per level down the hierarchy; once a level is not
   // referenced (its policy has nothing for it this cycle), it and every
@@ -108,6 +110,8 @@ AccessOutcome route_access(RoutedLevel* levels, std::size_t num_levels,
               // exclusivity survives post-flush refill bursts.
               cur = level.cache->probe(cur_address);
               stall += cur.stall_cycles;
+              top.add_event(static_cast<std::uint8_t>(i), cur.hit,
+                            cur.writeback, cur.physical_unit, cur_address);
               continue;
             }
           }
@@ -124,6 +128,18 @@ AccessOutcome route_access(RoutedLevel* levels, std::size_t num_levels,
         cur = level.cache->access(event_address, event_write);
         cur_address = event_address;
         stall += cur.stall_cycles;
+        top.add_event(static_cast<std::uint8_t>(i), cur.hit, cur.writeback,
+                      cur.physical_unit, event_address);
+        // Inclusive back-invalidation at line granularity: a victim
+        // leaving an inclusive level may still be resident above, where
+        // its frame must be dropped to keep the subset property.  A pure
+        // tag-store operation on the whole upper stack (a dirty upper
+        // copy is dropped without a writeback — the documented
+        // approximation; the upper levels' line containing the victim's
+        // base address is invalidated when line sizes differ).
+        if (level.inclusion == InclusionPolicy::kInclusive && cur.evicted)
+          for (std::size_t j = 0; j < i; ++j)
+            levels[j].cache->invalidate_line(cur.victim_address);
         continue;
       }
       active = false;

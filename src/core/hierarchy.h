@@ -12,11 +12,16 @@
 //                  one access at the missed address, with a dirty upper
 //                  victim folded in as a write.  This is the legacy
 //                  L1+L2 semantics, preserved bit for bit.
-//   kInclusive     the same miss stream, plus back-invalidation coupling:
-//                  whenever this level's re-index update flushes it, the
-//                  level above is flushed too (its content must stay a
-//                  subset), cascading upward through further inclusive
-//                  links.
+//   kInclusive     the same miss stream, plus back-invalidation coupling
+//                  at two granularities: a victim evicted from this level
+//                  is invalidated line by line in every level above (the
+//                  subset property holds per line, not just per flush),
+//                  and whenever this level's re-index update flushes it,
+//                  the level above is flushed too, cascading upward
+//                  through further inclusive links.  Back-invalidation is
+//                  a pure tag-store drop: no cycle, no wakeup, and a
+//                  dirty upper copy is dropped without a writeback (the
+//                  documented approximation).
 //   kExclusive     the upper level's *eviction* stream: an upper miss
 //                  that evicted a valid victim installs that victim here
 //                  (a write iff it was dirty); a victimless upper miss

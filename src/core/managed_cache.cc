@@ -63,6 +63,7 @@ void CacheTopology::validate() const {
   if (granularity == Granularity::kBank || granularity == Granularity::kWay)
     partition.validate(cache);
   PCAL_CONFIG_CHECK(breakeven_cycles > 0, "breakeven time must be positive");
+  contention.validate();
 }
 
 std::string CacheTopology::describe() const {
@@ -87,6 +88,9 @@ std::string CacheTopology::describe() const {
   // Timed levels carry their latency point; untimed labels are unchanged
   // (the zero-latency degeneracy extends to config labels).
   if (!latency.zero()) os << " lat=" << latency.describe();
+  // Same rule for contention: an all-unlimited level's label is unchanged
+  // (the contention-off degeneracy extends to config labels).
+  if (contention.enabled()) os << " cont=" << contention.describe();
   return os.str();
 }
 

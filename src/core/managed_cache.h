@@ -43,6 +43,7 @@
 #include "bank/partition_config.h"
 #include "cache/cache.h"
 #include "cache/cache_config.h"
+#include "core/contention.h"
 #include "core/timing.h"
 #include "indexing/index_policy.h"
 
@@ -82,6 +83,25 @@ const char* to_string(PowerPolicy policy);
 /// round-trips alongside the short form); throws ConfigError otherwise.
 PowerPolicy power_policy_from_string(const std::string& s);
 
+/// One level's slice of a routed access: which level was referenced,
+/// at what address, which physical unit served it, and whether it hit /
+/// shed a dirty victim.  route_access (core/hierarchy.h) records one per
+/// referenced level; a bare backend's access records its single level 0
+/// event.  This is what the contention layer (core/contention.h) replays
+/// — each event claims that level's ports / MSHRs / edge bandwidth.
+struct LevelEvent {
+  std::uint8_t level = 0;
+  bool hit = false;
+  bool writeback = false;
+  std::uint64_t unit = 0;
+  std::uint64_t address = 0;
+};
+
+/// Deepest chain an AccessOutcome can trace: 3 private levels + a shared
+/// LLC is the deepest machine the configs can build; 6 leaves headroom
+/// without bloating the per-access struct.
+constexpr std::size_t kMaxTraceLevels = 6;
+
 /// Outcome of one access through the unified interface.  `unit` is the
 /// power-management granule index (bank number, line number, bank*W+way,
 /// or 0).
@@ -107,6 +127,24 @@ struct AccessOutcome {
   /// lower level consumes.
   bool evicted = false;
   std::uint64_t victim_address = 0;
+  /// Per-level event trace (see LevelEvent).  Backends leave it empty;
+  /// the access()/probe() wrappers synthesize the single level 0 event,
+  /// and route_access overwrites it with the full chain.
+  std::uint8_t num_events = 0;
+  LevelEvent events[kMaxTraceLevels];
+
+  /// Appends one level event (drops silently past kMaxTraceLevels —
+  /// deeper chains than the configs can build).
+  void add_event(std::uint8_t level, bool level_hit, bool level_writeback,
+                 std::uint64_t unit, std::uint64_t address) {
+    if (num_events >= kMaxTraceLevels) return;
+    LevelEvent& e = events[num_events++];
+    e.level = level;
+    e.hit = level_hit;
+    e.writeback = level_writeback;
+    e.unit = unit;
+    e.address = address;
+  }
 };
 
 /// Per-unit activity facts, valid after finish().
@@ -149,6 +187,10 @@ struct CacheTopology {
   /// Event costs of this level in stall cycles (core/timing.h).  The
   /// all-zero default keeps the idealized one-access-per-cycle clock.
   LatencyParams latency;
+  /// Finite-resource limits of this level (core/contention.h): MSHRs,
+  /// per-bank ports, downstream bandwidth.  The all-unlimited default
+  /// keeps contention off — the driver charges nothing.
+  ContentionParams contention;
 
   /// Number of power-management units this topology yields.
   std::uint64_t num_units() const;
@@ -192,7 +234,10 @@ class ManagedCache {
   /// backends' native access methods remain available on the concrete
   /// types).
   AccessOutcome access(std::uint64_t address, bool is_write) {
-    return do_access(address, is_write);
+    AccessOutcome out = do_access(address, is_write);
+    if (out.num_events == 0)
+      out.add_event(0, out.hit, out.writeback, out.physical_unit, address);
+    return out;
   }
 
   /// Simulates one lookup at the next cycle *without allocating on a
@@ -202,7 +247,12 @@ class ManagedCache {
   /// is installed, nothing evicted.  This is the exclusive hierarchy's
   /// probe path (core/hierarchy.h): the probed line, if found,
   /// conceptually moves up rather than filling this level.
-  AccessOutcome probe(std::uint64_t address) { return do_probe(address); }
+  AccessOutcome probe(std::uint64_t address) {
+    AccessOutcome out = do_probe(address);
+    if (out.num_events == 0)
+      out.add_event(0, out.hit, out.writeback, out.physical_unit, address);
+    return out;
+  }
 
   /// Fires the update signal: advances the time-varying indexing and
   /// flushes the cache.  Returns the number of dirty lines written back.
@@ -254,6 +304,14 @@ class ManagedCache {
   /// has no way-organized tag store to mask (per-line management);
   /// passing the full mask (~0) restores unrestricted allocation.
   virtual bool set_alloc_way_mask(std::uint64_t /*mask*/) { return false; }
+
+  /// Drops the line containing `address` from the tag store if resident:
+  /// a pure tag-store operation — no cycle is consumed, no unit wakes, no
+  /// statistics move, and a dirty line is dropped without a writeback
+  /// (the inclusive back-invalidation approximation, documented in
+  /// core/hierarchy.h).  Returns true iff a line was invalidated.  The
+  /// default covers composites with no single tag store of their own.
+  virtual bool invalidate_line(std::uint64_t /*address*/) { return false; }
 
  private:
   virtual AccessOutcome do_access(std::uint64_t address, bool is_write) = 0;

@@ -40,6 +40,11 @@ class MonolithicCache final : public ManagedCache {
     return true;
   }
 
+  bool invalidate_line(std::uint64_t address) override {
+    const CacheConfig& cc = cache_.config();
+    return cache_.invalidate(cc.tag_of(address), cc.set_index_of(address));
+  }
+
   const CacheModel& cache() const { return cache_; }
   const BlockControl& block_control() const { return control_; }
 

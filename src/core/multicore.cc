@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <sstream>
 
+#include "core/contention.h"
 #include "power/unit_energy.h"
 #include "util/error.h"
 
@@ -246,6 +247,21 @@ MultiCoreResult MultiCoreSystem::run(
     if (llc_rotates) llc->update_indexing();
   };
 
+  // Finite-resource contention over the whole system: one model whose
+  // levels are every core's private stack (core-major) with the shared
+  // LLC last — so LLC MSHRs, ports and fill bandwidth are genuinely
+  // shared across cores while private resources stay per core.  At one
+  // core the shape order collapses to the Simulator's, preserving the
+  // 1-core degeneracy bit for bit (contention on or off).
+  const std::size_t depth = config_.cores.front().levels.size();
+  std::vector<ContentionLevelShape> shapes;
+  shapes.reserve(num_cores * depth + 1);
+  for (std::size_t k = 0; k < num_cores; ++k)
+    for (const LevelConfig& level : config_.cores[k].levels)
+      shapes.push_back(contention_shape_of(level.topology));
+  shapes.push_back(contention_shape_of(config_.llc.topology));
+  ContentionModel contention(std::move(shapes));
+
   // The global clock: one issued access per cycle plus its stalls;
   // unreferenced levels (and every other core) idle, so every backend's
   // cycle counter stays in lockstep with the TimingModel.
@@ -281,21 +297,40 @@ MultiCoreResult MultiCoreSystem::run(
                          a.address + c.offset,
                          a.kind == AccessKind::kWrite);
         add_delta(c.llc_stats, llc_before, llc->stats());
+        std::uint64_t stall = out.stall_cycles;
+        if (contention.enabled()) {
+          // Replay the routed chain's level trace through the shared
+          // resource model: private events map to this core's slots,
+          // the last level to the shared LLC slot (Simulator semantics,
+          // system wide).
+          const std::uint64_t now = timing.total_cycles();
+          for (std::uint8_t e = 0; e < out.num_events; ++e) {
+            const LevelEvent& le = out.events[e];
+            ContentionEvent ev;
+            ev.level = le.level < depth ? k * depth + le.level
+                                        : num_cores * depth;
+            ev.unit = le.unit;
+            ev.address = le.address;
+            ev.miss = !le.hit;
+            ev.writeback = le.writeback;
+            stall += contention.on_event(ev, now + stall).total();
+          }
+        }
         // Every other core's private levels idle this cycle (the LLC
         // was advanced inside route_access, referenced or idle).
         for (std::size_t j = 0; j < num_cores; ++j) {
           if (j == k) continue;
           for (auto& level : rt[j].levels) level->advance_idle(1);
         }
-        if (out.stall_cycles != 0) {
+        if (stall != 0) {
           for (CoreRt& other : rt)
             for (auto& level : other.levels)
-              level->advance_idle(out.stall_cycles);
-          llc->advance_idle(out.stall_cycles);
+              level->advance_idle(stall);
+          llc->advance_idle(stall);
         }
-        timing.on_access(out.stall_cycles);
+        timing.on_access(stall);
         ++c.accesses;
-        c.stalls += out.stall_cycles;
+        c.stalls += stall;
         if (interval != 0 && ++since_boundary >= interval) {
           since_boundary = 0;
           ++boundary_index;
@@ -336,8 +371,6 @@ MultiCoreResult MultiCoreSystem::run(
                   "driver clock " << cycles << " != LLC clock "
                                   << llc->cycles());
 
-  const std::size_t depth = config_.cores.front().levels.size();
-
   // Depth-major unit order: every core's L1 units, then every core's
   // L2 units, ..., then the LLC's — which collapses to the Simulator's
   // level order at one core.
@@ -367,6 +400,9 @@ MultiCoreResult MultiCoreSystem::run(
   r.accesses = timing.accesses();
   r.total_cycles = cycles;
   r.stall_cycles = timing.stall_cycles();
+  r.mshr_stall_cycles = contention.totals().mshr;
+  r.port_stall_cycles = contention.totals().port;
+  r.bw_stall_cycles = contention.totals().bw;
   r.breakeven_cycles =
       config_.cores.front().levels.front().topology.breakeven_cycles;
   r.reindex_updates_applied = updates_applied;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "core/contention.h"
 #include "core/hierarchy.h"
 #include "power/energy_model.h"
 #include "util/error.h"
@@ -73,6 +74,7 @@ void SimConfig::validate() const {
       granularity == Granularity::kWay)
     partition.validate(cache);
   energy_params.validate();
+  contention.validate();
   for (const LevelConfig& level : lower_levels)
     if (level.enabled()) level.topology.validate();
 }
@@ -88,6 +90,7 @@ CacheTopology SimConfig::topology(std::uint64_t breakeven_cycles) const {
   topo.policy = policy;
   topo.drowsy_window_cycles = drowsy_window_cycles;
   topo.latency = latency;
+  topo.contention = contention;
   return topo;
 }
 
@@ -195,6 +198,21 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
   // the backend; its reported stall stretches the global clock with no
   // access consumed (all units idle — see core/timing.h).  With all-zero
   // latencies no stall ever occurs and the loop is the idealized engine.
+  //
+  // Finite-resource contention rides the same clock: each access's
+  // per-level event trace replays through the ContentionModel at the
+  // access's position on the stretched clock, and any extra stall it
+  // charges (no free MSHR / port / bandwidth slot) is folded into the
+  // stall that stretches the clock — so residencies, leakage pricing and
+  // the total == accesses + stalls invariant all see one consistent
+  // timeline.  With all-unlimited params the model is disabled and the
+  // loop below is the legacy path bit for bit.
+  std::vector<ContentionLevelShape> shapes;
+  shapes.reserve(hconfig.levels.size());
+  for (const LevelConfig& level : hconfig.levels)
+    shapes.push_back(contention_shape_of(level.topology));
+  ContentionModel contention(std::move(shapes));
+
   TimingModel timing;
   MemAccess batch[kBatchSize];
   std::uint64_t since_boundary = 0;
@@ -205,8 +223,26 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
     for (std::size_t i = 0; i < n; ++i) {
       const AccessOutcome out = cache->access(
           batch[i].address, batch[i].kind == AccessKind::kWrite);
-      if (out.stall_cycles != 0) cache->advance_idle(out.stall_cycles);
-      timing.on_access(out.stall_cycles);
+      std::uint64_t stall = out.stall_cycles;
+      if (contention.enabled()) {
+        // Replay the access's level trace through the resource model at
+        // its position on the stretched clock; latency stalls land
+        // before resource arbitration (the fill is in flight while the
+        // core stalls), and each event sees the stalls charged so far.
+        const std::uint64_t now = timing.total_cycles();
+        for (std::uint8_t e = 0; e < out.num_events; ++e) {
+          const LevelEvent& le = out.events[e];
+          ContentionEvent ev;
+          ev.level = le.level;
+          ev.unit = le.unit;
+          ev.address = le.address;
+          ev.miss = !le.hit;
+          ev.writeback = le.writeback;
+          stall += contention.on_event(ev, now + stall).total();
+        }
+      }
+      if (stall != 0) cache->advance_idle(stall);
+      timing.on_access(stall);
       if (interval != 0 && ++since_boundary >= interval) {
         since_boundary = 0;
         ++boundary_index;
@@ -251,6 +287,9 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
   r.accesses = timing.accesses();
   r.total_cycles = cycles;
   r.stall_cycles = timing.stall_cycles();
+  r.mshr_stall_cycles = contention.totals().mshr;
+  r.port_stall_cycles = contention.totals().port;
+  r.bw_stall_cycles = contention.totals().bw;
   r.breakeven_cycles = topo.breakeven_cycles;
   r.reindex_updates_applied = cache->indexing_updates();
   r.cache_stats = cache->stats();

@@ -79,6 +79,11 @@ struct SimConfig {
   /// theirs in their own topology.  All-zero keeps the idealized clock.
   LatencyParams latency;
 
+  /// L1 finite-resource limits (core/contention.h); lower levels carry
+  /// theirs in their own topology.  The all-unlimited default keeps
+  /// contention off — the run is bit-identical to a config without it.
+  ContentionParams contention;
+
   /// Number of re-indexing updates fired over the run, spread evenly.
   /// The paper's uniformity argument needs at least M updates for Probing;
   /// 16 is a multiple of every M we sweep (2/4/8/16).  Ignored (no
@@ -149,8 +154,16 @@ struct SimResult {
   /// charged (== accesses under the default zero latencies).
   std::uint64_t total_cycles = 0;
   /// Cycles the run stalled beyond the access stream (wakeups, hit
-  /// latencies, miss penalties — see core/timing.h).
+  /// latencies, miss penalties — see core/timing.h — plus the
+  /// contention breakdown below).
   std::uint64_t stall_cycles = 0;
+  /// Finite-resource stall breakdown (core/contention.h): cycles spent
+  /// waiting for a free MSHR, an access port, and inter-level fill
+  /// bandwidth.  All zero when contention is off; always a subset of
+  /// stall_cycles (latency stalls make up the rest).
+  std::uint64_t mshr_stall_cycles = 0;
+  std::uint64_t port_stall_cycles = 0;
+  std::uint64_t bw_stall_cycles = 0;
   std::uint64_t breakeven_cycles = 0;
   std::uint64_t reindex_updates_applied = 0;
 

@@ -8,6 +8,8 @@
 //   5. 1-level hierarchy                     == single-level run
 //   6. 2-level non-inclusive hierarchy       == the legacy L1+L2 path
 //      (two_level_variant), stats, residencies and energy bit for bit
+//   7. explicit all-zero contention limits   == the legacy timing
+//      (no resource model in the loop, stalls and labels included)
 //
 // CMake registers this binary three times: default pool width, pinned to
 // PCAL_SWEEP_THREADS=1, and pinned to 8 — the acceptance criterion that
@@ -148,6 +150,41 @@ TEST(BackendParitySweep, ZeroLatencyEqualsDefaultClock) {
     EXPECT_EQ(o.result.stall_cycles, 0u);
     EXPECT_EQ(o.result.total_cycles, o.result.accesses);
     EXPECT_DOUBLE_EQ(o.result.avg_access_latency(), 1.0);
+  }
+  expect_pairwise_identical(jobs);
+}
+
+TEST(BackendParitySweep, UnlimitedContentionEqualsLegacyTiming) {
+  // Parity 7: an explicitly spelled-out all-zero contention block
+  // (core/contention.h) is the legacy timing — the resource model must
+  // stay entirely out of the loop, stalls and clock included, across a
+  // single level and a two-level hierarchy.
+  const SimConfig bank = paper_config(8192, 16, 4);
+  SimConfig unlimited = bank;
+  unlimited.contention = ContentionParams{};  // all zero, spelled out
+  SimConfig two = two_level_variant(bank, 64 * 1024, 4, 64);
+  SimConfig two_unlimited = two;
+  two_unlimited.contention = ContentionParams{};
+  two_unlimited.lower_levels[0].topology.contention = ContentionParams{};
+  std::vector<SweepJob> jobs;
+  for (const auto& w : workloads()) {
+    jobs.push_back(job_for(bank, w));
+    jobs.push_back(job_for(unlimited, w));
+    jobs.push_back(job_for(two, w));
+    jobs.push_back(job_for(two_unlimited, w));
+  }
+  SweepRunner runner;
+  const std::vector<SweepOutcome> out = runner.run(jobs);
+  for (std::size_t i = 0; i < out.size(); i += 2) {
+    ASSERT_TRUE(out[i].ok() && out[i + 1].ok());
+    const SimResult& a = out[i].result;
+    const SimResult& b = out[i + 1].result;
+    EXPECT_EQ(a.total_cycles, b.total_cycles) << a.workload;
+    EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+    EXPECT_EQ(a.config_label, b.config_label);
+    EXPECT_EQ(b.mshr_stall_cycles, 0u);
+    EXPECT_EQ(b.port_stall_cycles, 0u);
+    EXPECT_EQ(b.bw_stall_cycles, 0u);
   }
   expect_pairwise_identical(jobs);
 }

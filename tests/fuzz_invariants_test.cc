@@ -114,6 +114,76 @@ TEST_P(FuzzInvariants, SimulatorOutputsAreStructurallySound) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzInvariants,
                          ::testing::Range<std::uint64_t>(1, 25));
 
+ContentionParams random_contention(Xoshiro256& rng) {
+  // Zeroes stay likely so the off-path keeps getting fuzzed too.
+  ContentionParams p;
+  p.mshrs = rng.next_below(2) ? rng.next_below(8) : 0;
+  p.ports = rng.next_below(2) ? rng.next_below(4) : 0;
+  p.bytes_per_cycle = rng.next_below(2) ? 1u << rng.next_below(5) : 0;
+  p.mshr_latency_cycles = 1 + rng.next_below(64);
+  p.port_cycles = 1 + rng.next_below(6);
+  return p;
+}
+
+class FuzzContention : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzContention, ResourceLimitsObeyTheStructuralLaws) {
+  // For arbitrary workloads, configs, and contention parameters
+  // (core/contention.h): the cycle identity survives, the per-resource
+  // breakdown stays a subset of the stall total, all-zero limits are
+  // bit-identical to no contention block at all, and finite resources
+  // never beat unlimited ones.
+  Xoshiro256 rng(GetParam() * 1000003);
+  const WorkloadSpec spec = random_spec(rng);
+  SimConfig cfg = random_config(rng);
+  cfg.latency.hit_cycles = rng.next_below(3);
+  cfg.latency.miss_cycles = rng.next_below(12);
+  constexpr std::uint64_t kAccesses = 60'000;
+
+  const auto run_with = [&](const ContentionParams& p) {
+    SimConfig c = cfg;
+    c.contention = p;
+    SyntheticTraceSource src(spec, kAccesses);
+    return Simulator(c).run(src, &aging().lut());
+  };
+
+  const SimResult plain = run_with(ContentionParams{});
+  ContentionParams off;  // limits zero, scalars non-default: still off
+  off.mshr_latency_cycles = 1 + rng.next_below(64);
+  off.port_cycles = 1 + rng.next_below(6);
+  const SimResult degenerate = run_with(off);
+  EXPECT_EQ(degenerate.total_cycles, plain.total_cycles);
+  EXPECT_EQ(degenerate.stall_cycles, plain.stall_cycles);
+  EXPECT_EQ(degenerate.config_label, plain.config_label);
+  EXPECT_EQ(degenerate.mshr_stall_cycles, 0u);
+  EXPECT_EQ(degenerate.port_stall_cycles, 0u);
+  EXPECT_EQ(degenerate.bw_stall_cycles, 0u);
+  EXPECT_DOUBLE_EQ(degenerate.energy.partitioned.total_pj(),
+                   plain.energy.partitioned.total_pj());
+
+  const ContentionParams p = random_contention(rng);
+  const SimResult r = run_with(p);
+  EXPECT_EQ(r.accesses, kAccesses);
+  EXPECT_EQ(r.total_cycles, r.accesses + r.stall_cycles);
+  const std::uint64_t breakdown =
+      r.mshr_stall_cycles + r.port_stall_cycles + r.bw_stall_cycles;
+  EXPECT_LE(breakdown, r.stall_cycles);
+  // Monotonicity against the unlimited baseline: contention stalls are
+  // additive, so they can only lengthen the run.
+  EXPECT_GE(r.total_cycles, plain.total_cycles);
+  EXPECT_EQ(r.total_cycles, plain.total_cycles + breakdown);
+  // Hit/miss behaviour is contention-blind — only time stretches.
+  EXPECT_EQ(r.cache_stats.hits, plain.cache_stats.hits);
+  EXPECT_EQ(r.cache_stats.writebacks, plain.cache_stats.writebacks);
+  if (!p.enabled()) {
+    EXPECT_EQ(breakdown, 0u);
+    EXPECT_EQ(r.total_cycles, plain.total_cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzContention,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
 TEST(FuzzDeterminism, SameSeedSameResult) {
   for (std::uint64_t seed : {3u, 11u}) {
     Xoshiro256 rng_a(seed), rng_b(seed);

@@ -307,6 +307,37 @@ TEST(Hierarchy, InclusiveFlushCouplingBackInvalidatesTheUpperLevel) {
   EXPECT_EQ(noninclusive.level_stats(0).flushes, 0u);
 }
 
+TEST(Hierarchy, InclusiveEvictionBackInvalidatesOnlyTheVictimLine) {
+  // An inclusive level evicting one line must drop exactly that line
+  // from its upper neighbours — a single-line invalidation, not the
+  // flush cascade of the previous test.  L1 is larger than L2 here so
+  // the L2 conflict (A vs B share L2 set 0) lands in two different L1
+  // sets: the victim stays L1-resident until back-invalidation, and an
+  // unrelated resident line (C) proves nothing else was dropped.
+  const CacheTopology l1 = small_topology(8192, 1);  // 512 lines
+  const CacheTopology l2 = small_topology(4096, 1);  // 256 lines
+  HierarchicalCache inclusive(
+      two_level(l1, l2, InclusionPolicy::kInclusive));
+  HierarchicalCache control(
+      two_level(l1, l2, InclusionPolicy::kNonInclusive));
+
+  const std::uint64_t A = 0, B = 4096, C = 16;
+  for (HierarchicalCache* c : {&inclusive, &control}) {
+    c->access(A, false);
+    c->access(C, false);
+    c->access(B, false);  // evicts A from L2 set 0
+    c->access(C, false);  // must still hit L1: no flush happened
+    c->access(A, false);  // inclusive: back-invalidated, so L1 misses
+    c->finish();
+  }
+  EXPECT_EQ(inclusive.level_stats(0).flushes, 0u);
+  EXPECT_EQ(inclusive.level_stats(0).hits, 1u);  // C only
+  EXPECT_EQ(control.level_stats(0).hits, 2u);    // C and A
+  // The re-fetch of A goes back down to L2 on the inclusive stack.
+  EXPECT_EQ(inclusive.level_stats(1).accesses,
+            control.level_stats(1).accesses + 1);
+}
+
 TEST(Hierarchy, VictimLevelConsumesExactlyTheEvictionStream) {
   const CacheTopology l1 = small_topology(4096, 4);
   const CacheTopology vc = small_topology(16384, 4);

@@ -73,6 +73,9 @@ RESULT_ROW_SCHEMA = {
     "accesses": (int,),
     "total_cycles": (int,),
     "stall_cycles": (int,),
+    "mshr_stall_cycles": (int,),
+    "port_stall_cycles": (int,),
+    "bw_stall_cycles": (int,),
     "avg_latency": (int, float),
     "energy_pj": (int, float),
     "idleness": (int, float),
@@ -316,6 +319,18 @@ def check_record(path, allow_failures=False):
                     bad(
                         "result row %d: total_cycles (%s) != accesses (%s)"
                         " + stall_cycles (%s)" % (i, total, acc, stall)
+                    )
+                # Contention stalls (core/contention.h) are a breakdown
+                # of stall_cycles, never an addition beyond it.
+                contention = (
+                    row.get("mshr_stall_cycles", 0)
+                    + row.get("port_stall_cycles", 0)
+                    + row.get("bw_stall_cycles", 0)
+                )
+                if contention > stall:
+                    bad(
+                        "result row %d: contention stalls (%s) exceed "
+                        "stall_cycles (%s)" % (i, contention, stall)
                     )
                 if acc > 0:
                     # Records print 6 significant digits; allow that much.
