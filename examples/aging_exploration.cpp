@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/enum_strings.h"
 #include "core/experiment.h"
 #include "util/table.h"
 

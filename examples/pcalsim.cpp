@@ -70,8 +70,11 @@
 #include <sstream>
 #include <vector>
 
+#include "api/pcal.h"
+#include "api/timeline.h"
 #include "core/experiment.h"
 #include "core/multicore.h"
+#include "core/run_assembly.h"
 #include "trace/multiprogram.h"
 #include "trace/trace_io.h"
 #include "util/config_file.h"
@@ -194,31 +197,9 @@ std::string hex_mask(std::uint64_t mask) {
 
 /// The [multicore] run path: N copies of the configured stack over a
 /// shared LLC, per-core workloads from [core<k>] sections.
-int run_multicore(const ConfigFile& cfg, const SimConfig& sim,
-                  std::uint64_t num_cores, std::uint64_t accesses) {
-  const std::uint64_t llc_size = cfg.get_u64("multicore", "llc_size", 0);
-  PCAL_CONFIG_CHECK(llc_size > 0,
-                    "[multicore] cores = " << num_cores
-                                           << " needs llc_size > 0");
-  LevelConfig llc = sim.make_level(llc_size);
-  llc.inclusion = inclusion_policy_from_string(
-      cfg.get_string("multicore", "inclusion", "noninclusive"));
-  llc.topology.cache.ways = cfg.get_u64("multicore", "llc_ways", 8);
-  llc.topology.partition.num_banks =
-      cfg.get_u64("multicore", "llc_banks", 4);
-  llc.topology.breakeven_cycles =
-      cfg.get_u64("multicore", "llc_breakeven", 64);
-  llc.topology.contention.mshrs = cfg.get_u64("multicore", "llc_mshrs", 0);
-  llc.topology.contention.ports = cfg.get_u64("multicore", "llc_ports", 0);
-  llc.topology.contention.bytes_per_cycle =
-      cfg.get_u64("multicore", "llc_bandwidth", 0);
-  llc.topology.contention.mshr_latency_cycles =
-      sim.contention.mshr_latency_cycles;
-  llc.topology.contention.port_cycles = sim.contention.port_cycles;
-  MultiCoreConfig mc =
-      make_multicore(sim, num_cores, llc,
-                     cfg.get_u64("multicore", "llc_ways_per_core", 0));
-
+int run_multicore(const ConfigFile& cfg, MultiCoreConfig mc,
+                  std::uint64_t num_cores, std::uint64_t accesses,
+                  const std::string& timeline_path) {
   const std::string default_name =
       cfg.get_string("workload", "name", "rijndael_i");
   std::vector<std::unique_ptr<TraceSource>> owned;
@@ -230,9 +211,16 @@ int run_multicore(const ConfigFile& cfg, const SimConfig& sim,
     sources.push_back(owned.back().get());
   }
 
+  api::TimelineRecorder recorder;
+  IntervalObserver observer;
+  if (!timeline_path.empty()) {
+    recorder.price_with(mc);
+    observer = recorder.observer();
+  }
+
   AgingContext aging;
   const MultiCoreResult mr =
-      MultiCoreSystem(std::move(mc)).run(sources, &aging.lut());
+      MultiCoreSystem(std::move(mc)).run(sources, &aging.lut(), observer);
   const SimResult& r = mr.system;
 
   std::cout << "pcalsim: " << r.workload << " on " << r.config_label
@@ -275,6 +263,12 @@ int run_multicore(const ConfigFile& cfg, const SimConfig& sim,
             << "system idleness: " << TextTable::pct(r.avg_residency(), 2)
             << " %, lifetime " << TextTable::num(r.lifetime_years(), 3)
             << " years\n";
+
+  if (!timeline_path.empty()) {
+    recorder.set_run_label(r.workload + " on " + r.config_label);
+    recorder.write_json_file(timeline_path);
+    std::cerr << "pcalsim: timeline written to " << timeline_path << "\n";
+  }
   return 0;
 }
 
@@ -285,99 +279,166 @@ int main(int argc, char** argv) {
     std::cout << kExampleConfig;
     return 0;
   }
-  if (argc < 2) {
-    std::cerr << "usage: pcalsim <config.ini> [section.key=value ...]\n"
+  // --timeline <out.json>: write the per-interval power-state timeline
+  // artifact (docs/TIMELINE.md).  Off by default — without the flag no
+  // observer is attached and the run (and its output) is bit-identical.
+  std::string timeline_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--timeline") {
+      if (i + 1 >= argc) {
+        std::cerr << "pcalsim: --timeline needs an output path\n";
+        return 2;
+      }
+      timeline_path = argv[++i];
+      continue;
+    }
+    args.push_back(arg);
+  }
+  if (args.empty()) {
+    std::cerr << "usage: pcalsim <config.ini> [section.key=value ...] "
+                 "[--timeline out.json]\n"
                  "       pcalsim --example\n";
     return 2;
   }
   try {
-    ConfigFile cfg = ConfigFile::load(argv[1]);
-    for (int i = 2; i < argc; ++i) cfg.apply_override(argv[i]);
+    ConfigFile cfg = ConfigFile::load(args[0]);
+    for (std::size_t i = 1; i < args.size(); ++i)
+      cfg.apply_override(args[i]);
 
-    SimConfig sim;
-    sim.granularity = granularity_from_string(
-        cfg.get_string("partition", "granularity", "bank"));
-    sim.cache.size_bytes = cfg.get_u64("cache", "size", 8192);
-    sim.cache.line_bytes = cfg.get_u64("cache", "line", 16);
-    sim.cache.ways = cfg.get_u64("cache", "ways", 1);
-    sim.partition.num_banks = cfg.get_u64("partition", "banks", 4);
-    sim.indexing = indexing_kind_from_string(
-        cfg.get_string("partition", "indexing", "probing"));
-    sim.reindex_updates = cfg.get_u64("partition", "updates", 16);
+    // Translate the INI sections into the shared key -> config path
+    // (core/run_assembly.h) pcalsweep and the api facade use.  Every
+    // value is passed explicitly with pcalsim's own ConfigFile default,
+    // so pcalsim keeps its documented defaults (an [l3] does NOT
+    // inherit [l2] here) while the application/validation code is the
+    // shared one.  Staged through api::RunConfig so validation reports
+    // every problem at once, not just the first.
+    api::RunConfig rc;
+    const auto set_num = [&](const std::string& key, std::uint64_t v) {
+      rc.set(key, std::to_string(v));
+    };
+    rc.set("granularity",
+           cfg.get_string("partition", "granularity", "bank"));
+    set_num("cache_size", cfg.get_u64("cache", "size", 8192));
+    set_num("line_size", cfg.get_u64("cache", "line", 16));
+    set_num("ways", cfg.get_u64("cache", "ways", 1));
+    set_num("banks", cfg.get_u64("partition", "banks", 4));
+    rc.set("indexing", cfg.get_string("partition", "indexing", "probing"));
+    set_num("updates", cfg.get_u64("partition", "updates", 16));
     // 0 = derive the breakeven from the energy model; line-grain sleep
     // hardware usually wants an explicit value (e.g. 28).
-    sim.breakeven_override = cfg.get_u64("partition", "breakeven", 0);
-    sim.policy = power_policy_from_string(
-        cfg.get_string("partition", "policy", "gated"));
-    sim.drowsy_window_cycles =
-        cfg.get_u64("partition", "drowsy_window", 0);
+    set_num("breakeven", cfg.get_u64("partition", "breakeven", 0));
+    rc.set("policy", cfg.get_string("partition", "policy", "gated"));
+    set_num("drowsy_window", cfg.get_u64("partition", "drowsy_window", 0));
     // The L1 latency point; all-zero (the default) keeps the idealized
     // one-access-per-cycle clock.  Wakeup latencies are shared by every
     // level unless a level overrides them.
-    sim.latency.hit_cycles = cfg.get_u64("latency", "hit", 0);
-    sim.latency.miss_cycles = cfg.get_u64("latency", "miss", 0);
-    sim.latency.drowsy_wake_cycles =
-        cfg.get_u64("latency", "drowsy_wake", 0);
-    sim.latency.gated_wake_cycles = cfg.get_u64("latency", "gated_wake", 0);
+    set_num("hit_latency", cfg.get_u64("latency", "hit", 0));
+    set_num("miss_latency", cfg.get_u64("latency", "miss", 0));
+    set_num("drowsy_wake", cfg.get_u64("latency", "drowsy_wake", 0));
+    set_num("gated_wake", cfg.get_u64("latency", "gated_wake", 0));
     // Finite L1 resources (core/contention.h); all-zero limits keep the
     // run bit-identical to a config without a [contention] section.
-    sim.contention.mshrs = cfg.get_u64("contention", "mshrs", 0);
-    sim.contention.ports = cfg.get_u64("contention", "ports", 0);
-    sim.contention.bytes_per_cycle =
-        cfg.get_u64("contention", "bandwidth", 0);
-    sim.contention.mshr_latency_cycles =
-        cfg.get_u64("contention", "mshr_latency", 32);
-    sim.contention.port_cycles =
-        cfg.get_u64("contention", "port_cycles", 1);
+    set_num("mshrs", cfg.get_u64("contention", "mshrs", 0));
+    set_num("ports", cfg.get_u64("contention", "ports", 0));
+    set_num("bandwidth", cfg.get_u64("contention", "bandwidth", 0));
+    set_num("mshr_latency", cfg.get_u64("contention", "mshr_latency", 32));
+    set_num("port_cycles", cfg.get_u64("contention", "port_cycles", 1));
     // Optional lower levels: [l2] / [l3], size = 0 disables a level.
-    for (const char* section : {"l2", "l3"}) {
+    for (const std::string section : {"l2", "l3"}) {
       if (cfg.get_u64(section, "size", 0) == 0) continue;
-      LevelConfig level =
-          sim.make_level(cfg.get_u64(section, "size", 0));
-      level.inclusion = inclusion_policy_from_string(
-          cfg.get_string(section, "inclusion", "noninclusive"));
-      CacheTopology& topo = level.topology;
-      topo.cache.line_bytes =
-          cfg.get_u64(section, "line", sim.cache.line_bytes);
-      topo.cache.ways = cfg.get_u64(section, "ways", sim.cache.ways);
-      topo.granularity = granularity_from_string(
-          cfg.get_string(section, "granularity", "bank"));
-      topo.partition.num_banks = cfg.get_u64(section, "banks", 4);
-      topo.indexing = indexing_kind_from_string(
-          cfg.get_string(section, "indexing", "static"));
-      topo.breakeven_cycles = cfg.get_u64(section, "breakeven", 64);
-      topo.policy = power_policy_from_string(
-          cfg.get_string(section, "policy", "gated"));
-      topo.drowsy_window_cycles = cfg.get_u64(section, "drowsy_window", 0);
-      topo.latency.hit_cycles = cfg.get_u64(section, "hit_latency", 0);
-      topo.latency.miss_cycles = cfg.get_u64(section, "miss_latency", 0);
-      topo.latency.drowsy_wake_cycles = cfg.get_u64(
-          section, "drowsy_wake", sim.latency.drowsy_wake_cycles);
-      topo.latency.gated_wake_cycles = cfg.get_u64(
-          section, "gated_wake", sim.latency.gated_wake_cycles);
+      const std::string p = section + "_";
+      const auto lvl_num = [&](const char* key, std::uint64_t v) {
+        rc.set(p + key, std::to_string(v));
+      };
+      lvl_num("size", cfg.get_u64(section, "size", 0));
+      rc.set(p + "inclusion",
+             cfg.get_string(section, "inclusion", "noninclusive"));
+      // Geometry and wakeup latencies default to the L1 values staged
+      // above (the documented make_level inheritance).
+      lvl_num("line",
+              cfg.get_u64(section, "line", cfg.get_u64("cache", "line", 16)));
+      lvl_num("ways",
+              cfg.get_u64(section, "ways", cfg.get_u64("cache", "ways", 1)));
+      rc.set(p + "granularity",
+             cfg.get_string(section, "granularity", "bank"));
+      lvl_num("banks", cfg.get_u64(section, "banks", 4));
+      rc.set(p + "indexing", cfg.get_string(section, "indexing", "static"));
+      lvl_num("breakeven", cfg.get_u64(section, "breakeven", 64));
+      rc.set(p + "policy", cfg.get_string(section, "policy", "gated"));
+      lvl_num("drowsy_window", cfg.get_u64(section, "drowsy_window", 0));
+      lvl_num("hit_latency", cfg.get_u64(section, "hit_latency", 0));
+      lvl_num("miss_latency", cfg.get_u64(section, "miss_latency", 0));
+      lvl_num("drowsy_wake",
+              cfg.get_u64(section, "drowsy_wake",
+                          cfg.get_u64("latency", "drowsy_wake", 0)));
+      lvl_num("gated_wake",
+              cfg.get_u64(section, "gated_wake",
+                          cfg.get_u64("latency", "gated_wake", 0)));
       // Per-level resource limits; the timing scalars are shared with
       // the [contention] section (one resource technology).
-      topo.contention.mshrs = cfg.get_u64(section, "mshrs", 0);
-      topo.contention.ports = cfg.get_u64(section, "ports", 0);
-      topo.contention.bytes_per_cycle =
-          cfg.get_u64(section, "bandwidth", 0);
-      topo.contention.mshr_latency_cycles =
-          sim.contention.mshr_latency_cycles;
-      topo.contention.port_cycles = sim.contention.port_cycles;
-      sim.lower_levels.push_back(level);
+      lvl_num("mshrs", cfg.get_u64(section, "mshrs", 0));
+      lvl_num("ports", cfg.get_u64(section, "ports", 0));
+      lvl_num("bandwidth", cfg.get_u64(section, "bandwidth", 0));
     }
-    sim.validate();
 
     const std::uint64_t accesses =
         cfg.get_u64("workload", "accesses", 2'000'000);
+    set_num("accesses", accesses);
 
     const std::uint64_t num_cores = cfg.get_u64("multicore", "cores", 0);
-    if (num_cores > 0) return run_multicore(cfg, sim, num_cores, accesses);
+    if (num_cores > 0) {
+      set_num("cores", num_cores);
+      set_num("llc_size", cfg.get_u64("multicore", "llc_size", 0));
+      rc.set("llc_inclusion",
+             cfg.get_string("multicore", "inclusion", "noninclusive"));
+      set_num("llc_ways", cfg.get_u64("multicore", "llc_ways", 8));
+      set_num("llc_banks", cfg.get_u64("multicore", "llc_banks", 4));
+      set_num("llc_breakeven",
+              cfg.get_u64("multicore", "llc_breakeven", 64));
+      set_num("llc_ways_per_core",
+              cfg.get_u64("multicore", "llc_ways_per_core", 0));
+      set_num("llc_mshrs", cfg.get_u64("multicore", "llc_mshrs", 0));
+      set_num("llc_ports", cfg.get_u64("multicore", "llc_ports", 0));
+      set_num("llc_bandwidth",
+              cfg.get_u64("multicore", "llc_bandwidth", 0));
+    }
+
+    // Structured pre-flight: every bad key/value and every invalid
+    // combination reported at once (api::RunConfig::validate), instead
+    // of failing on the first.
+    const std::vector<api::ConfigIssue> issues = rc.validate();
+    if (!issues.empty()) {
+      std::cerr << "pcalsim: invalid configuration:\n";
+      for (const api::ConfigIssue& issue : issues) {
+        std::cerr << "  ";
+        if (!issue.key.empty())
+          std::cerr << issue.key << " = " << issue.value << ": ";
+        std::cerr << issue.reason << "\n";
+      }
+      return 1;
+    }
+
+    RunAssembly asmb;
+    for (const auto& [key, value] : rc.entries()) asmb.set(key, value);
+    RunAssembly::Assembled assembled = asmb.assemble();
+    if (assembled.multicore)
+      return run_multicore(cfg, std::move(*assembled.multicore), num_cores,
+                           accesses, timeline_path);
+    const SimConfig& sim = assembled.config;
 
     auto source = make_source(cfg, accesses);
 
+    api::TimelineRecorder recorder;
+    IntervalObserver observer;
+    if (!timeline_path.empty()) {
+      recorder.price_with(sim);
+      observer = recorder.observer();
+    }
+
     AgingContext aging;
-    const SimResult r = Simulator(sim).run(*source, &aging.lut());
+    const SimResult r = Simulator(sim).run(*source, &aging.lut(), observer);
 
     std::cout << "pcalsim: " << r.workload << " on " << r.config_label
               << "\n"
@@ -439,6 +500,12 @@ int main(int argc, char** argv) {
               << "cache lifetime: " << TextTable::num(r.lifetime_years(), 3)
               << " years (limiting bank "
               << (r.lifetime ? r.lifetime->limiting_bank : 0) << ")\n";
+
+    if (!timeline_path.empty()) {
+      recorder.set_run_label(r.workload + " on " + r.config_label);
+      recorder.write_json_file(timeline_path);
+      std::cerr << "pcalsim: timeline written to " << timeline_path << "\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "pcalsim: error: " << e.what() << "\n";

@@ -94,6 +94,9 @@ class LineManagedCache : public ManagedCache {
     PCAL_ASSERT_MSG(finished_, "call finish() first");
     return control_.intervals(unit);
   }
+  UnitPowerState unit_state(std::uint64_t unit) const override {
+    return unit_state_from(control_, unit, cycle_, gate_cycles_);
+  }
 
   bool invalidate_line(std::uint64_t address) override;
 

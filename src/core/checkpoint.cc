@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/enum_strings.h"
 #include "util/error.h"
 
 #if defined(__unix__) || defined(__APPLE__)

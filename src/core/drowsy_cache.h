@@ -66,6 +66,12 @@ class DrowsyHybridCache final : public ManagedCache {
       std::uint64_t unit) const override {
     return base_->unit_intervals(unit);
   }
+  /// The base backend runs with breakeven == the drowsy threshold and
+  /// gate_cycles == the gate threshold, so its state classification IS
+  /// the hybrid's.
+  UnitPowerState unit_state(std::uint64_t unit) const override {
+    return base_->unit_state(unit);
+  }
   bool set_alloc_way_mask(std::uint64_t mask) override {
     return base_->set_alloc_way_mask(mask);
   }

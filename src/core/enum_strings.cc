@@ -1,0 +1,80 @@
+#include "core/enum_strings.h"
+
+#include "util/error.h"
+
+namespace pcal {
+
+const char* to_string(Granularity granularity) {
+  switch (granularity) {
+    case Granularity::kMonolithic: return "monolithic";
+    case Granularity::kBank: return "bank";
+    case Granularity::kLine: return "line";
+    case Granularity::kWay: return "way";
+  }
+  return "?";
+}
+
+Granularity granularity_from_string(const std::string& s) {
+  if (s == "monolithic") return Granularity::kMonolithic;
+  if (s == "bank") return Granularity::kBank;
+  if (s == "line") return Granularity::kLine;
+  if (s == "way") return Granularity::kWay;
+  throw ConfigError("unknown granularity: \"" + s +
+                    "\" (expected monolithic | bank | line | way)");
+}
+
+const char* to_string(PowerPolicy policy) {
+  switch (policy) {
+    case PowerPolicy::kGated: return "gated";
+    case PowerPolicy::kDrowsyHybrid: return "drowsy";
+  }
+  return "?";
+}
+
+PowerPolicy power_policy_from_string(const std::string& s) {
+  if (s == "gated") return PowerPolicy::kGated;
+  // Both the short spelling and the enum's own name round-trip.
+  if (s == "drowsy" || s == "drowsy_hybrid") return PowerPolicy::kDrowsyHybrid;
+  throw ConfigError("unknown power policy: \"" + s +
+                    "\" (expected gated | drowsy | drowsy_hybrid)");
+}
+
+const char* to_string(IndexingKind kind) {
+  switch (kind) {
+    case IndexingKind::kStatic: return "static";
+    case IndexingKind::kProbing: return "probing";
+    case IndexingKind::kScrambling: return "scrambling";
+  }
+  return "?";
+}
+
+IndexingKind indexing_kind_from_string(const std::string& s) {
+  if (s == "static") return IndexingKind::kStatic;
+  if (s == "probing") return IndexingKind::kProbing;
+  if (s == "scrambling") return IndexingKind::kScrambling;
+  throw ConfigError("unknown indexing kind: \"" + s +
+                    "\" (expected static | probing | scrambling)");
+}
+
+const char* to_string(InclusionPolicy policy) {
+  switch (policy) {
+    case InclusionPolicy::kNonInclusive: return "noninclusive";
+    case InclusionPolicy::kInclusive: return "inclusive";
+    case InclusionPolicy::kExclusive: return "exclusive";
+    case InclusionPolicy::kVictim: return "victim";
+  }
+  return "?";
+}
+
+InclusionPolicy inclusion_policy_from_string(const std::string& s) {
+  if (s == "noninclusive" || s == "non-inclusive")
+    return InclusionPolicy::kNonInclusive;
+  if (s == "inclusive") return InclusionPolicy::kInclusive;
+  if (s == "exclusive") return InclusionPolicy::kExclusive;
+  if (s == "victim") return InclusionPolicy::kVictim;
+  throw ConfigError(
+      "unknown inclusion policy: \"" + s +
+      "\" (expected noninclusive | inclusive | exclusive | victim)");
+}
+
+}  // namespace pcal

@@ -7,6 +7,8 @@
 #include <memory>
 #include <sstream>
 
+#include "core/enum_strings.h"
+#include "core/run_assembly.h"
 #include "trace/binary_trace.h"
 #include "trace/multiprogram.h"
 #include "trace/synthetic.h"
@@ -78,19 +80,6 @@ std::string valid_axes_hint() {
   return out;
 }
 
-/// "core<k>_workload" axes pin one core of a multi-core grid to its own
-/// workload; returns the core index, or -1 for any other key.
-int core_workload_index(const std::string& key) {
-  if (!starts_with(key, "core")) return -1;
-  const std::size_t us = key.find('_');
-  if (us == std::string::npos || key.substr(us) != "_workload") return -1;
-  const std::string digits = key.substr(4, us - 4);
-  if (digits.empty() || digits.size() > 6) return -1;
-  for (const char c : digits)
-    if (c < '0' || c > '9') return -1;
-  return std::stoi(digits);
-}
-
 /// One "key = value" line of the spec, tagged with where it came from
 /// ("line 12" or "override '...'") for error messages.
 struct RawEntry {
@@ -104,53 +93,21 @@ struct RawEntry {
   throw ParseError("sweep spec " + where + ": " + msg);
 }
 
-/// Unsigned integer with an optional k/M byte multiplier ("8k" = 8192).
+/// Unsigned integer with an optional k/M byte multiplier ("8k" = 8192);
+/// the shared parser (core/run_assembly.h) with the spec's error prefix.
 std::uint64_t parse_number(const std::string& s, const std::string& where) {
-  const std::string t{trim(s)};
-  if (t.empty() || t.front() == '-')
-    fail(where, "'" + s + "' is not a non-negative integer");
-  try {
-    std::size_t consumed = 0;
-    const std::uint64_t out = std::stoull(t, &consumed, 0);
-    if (consumed == t.size()) return out;
-    if (consumed + 1 == t.size()) {
-      const char suffix = t[consumed];
-      const std::uint64_t mult =
-          (suffix == 'k' || suffix == 'K')   ? 1024
-          : (suffix == 'm' || suffix == 'M') ? 1024 * 1024
-                                             : 0;
-      if (mult != 0) {
-        if (out > UINT64_MAX / mult)
-          fail(where, "'" + s + "' overflows 64 bits");
-        return out * mult;
-      }
-    }
-  } catch (const std::exception&) {
-  }
-  fail(where, "'" + s + "' is not a non-negative integer");
+  return parse_config_number(s, "sweep spec " + where);
 }
 
 /// Finite non-negative real number ("0.25"); used by the EnergyParams
 /// axes.  "inf"/"nan" are rejected — they would serialize as invalid
 /// JSON in the BENCH record, far from the offending spec line.
 double parse_real(const std::string& s, const std::string& where) {
-  const std::string t{trim(s)};
-  try {
-    std::size_t consumed = 0;
-    const double v = std::stod(t, &consumed);
-    if (consumed == t.size() && std::isfinite(v) && v >= 0.0) return v;
-  } catch (const std::exception&) {
-  }
-  fail(where, "'" + s + "' is not a finite non-negative real number");
+  return parse_config_real(s, "sweep spec " + where);
 }
 
 bool parse_bool(const std::string& s, const std::string& where) {
-  const std::string lower = to_lower(std::string(trim(s)));
-  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on")
-    return true;
-  if (lower == "false" || lower == "0" || lower == "no" || lower == "off")
-    return false;
-  fail(where, "'" + s + "' is not a boolean");
+  return parse_config_bool(s, "sweep spec " + where);
 }
 
 /// Expands one range item: "1..32 log2", "2..8 step 2", "1..4".
@@ -330,7 +287,8 @@ class LimitedBinarySource final : public TraceSource {
   std::uint64_t produced_ = 0;
 };
 
-/// Builds the per-job source factory of one workload axis value.
+}  // namespace
+
 TraceSourceFactory make_workload_factory(const std::string& value,
                                          std::uint64_t accesses,
                                          std::uint64_t footprint_bytes) {
@@ -374,67 +332,7 @@ TraceSourceFactory make_workload_factory(const std::string& value,
   };
 }
 
-/// Applies one L1/global axis value to the job config.  "workload" and
-/// the hierarchy axes ("l2_*", "l3_size", "inclusion") are the caller's
-/// to handle; any other unlisted key is a logic error (the parser only
-/// admits known axes).
-void apply_axis(SimConfig& cfg, const std::string& key,
-                const std::string& value) {
-  const auto number = [&] { return parse_number(value, "axis " + key); };
-  const auto real = [&] { return parse_real(value, "axis " + key); };
-  if (key == "cache_size")
-    cfg.cache.size_bytes = number();
-  else if (key == "line_size")
-    cfg.cache.line_bytes = number();
-  else if (key == "ways")
-    cfg.cache.ways = number();
-  else if (key == "banks")
-    cfg.partition.num_banks = number();
-  else if (key == "updates")
-    cfg.reindex_updates = number();
-  else if (key == "breakeven")
-    cfg.breakeven_override = number();
-  else if (key == "drowsy_window")
-    cfg.drowsy_window_cycles = number();
-  else if (key == "seed")
-    cfg.indexing_seed = number();
-  else if (key == "hit_latency")
-    cfg.latency.hit_cycles = number();
-  else if (key == "miss_latency")
-    cfg.latency.miss_cycles = number();
-  else if (key == "drowsy_wake")
-    cfg.latency.drowsy_wake_cycles = number();
-  else if (key == "gated_wake")
-    cfg.latency.gated_wake_cycles = number();
-  else if (key == "mshrs")
-    cfg.contention.mshrs = number();
-  else if (key == "ports")
-    cfg.contention.ports = number();
-  else if (key == "bandwidth")
-    cfg.contention.bytes_per_cycle = number();
-  else if (key == "mshr_latency")
-    cfg.contention.mshr_latency_cycles = number();
-  else if (key == "port_cycles")
-    cfg.contention.port_cycles = number();
-  else if (key == "energy_drowsy_leak")
-    cfg.energy_params.drowsy_leak_fraction = real();
-  else if (key == "energy_gated_leak")
-    cfg.energy_params.gated_leak_fraction = real();
-  else if (key == "energy_sleep_overhead")
-    cfg.energy_params.sleep_area_leak_overhead = real();
-  else if (key == "energy_control_leak_uw")
-    cfg.energy_params.control_leak_uw_per_unit = real();
-  else if (key == "energy_gate_fixed_pj")
-    cfg.energy_params.gate_transition_fixed_pj = real();
-  else if (key == "granularity")
-    cfg.granularity = granularity_from_string(value);
-  else if (key == "indexing")
-    cfg.indexing = indexing_kind_from_string(value);
-  else if (key == "policy")
-    cfg.policy = power_policy_from_string(value);
-  else
-    throw ConfigError("unhandled sweep axis '" + key + "'");
-}
+namespace {
 
 bool is_valid_grid_name(const std::string& name) {
   if (name.empty()) return false;
@@ -518,9 +416,10 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
         fail(where, "malformed section header");
       section = std::string(trim(t.substr(1, t.size() - 2)));
       if (section != "grid" && section != "sweep" && section != "table" &&
-          section != "paper")
+          section != "paper" && section != "timeline")
         fail(where, "unknown section [" + section +
-                        "] (expected [grid], [sweep], [table] or [paper])");
+                        "] (expected [grid], [sweep], [table], [paper] or "
+                        "[timeline])");
       continue;
     }
     const std::size_t eq = t.find('=');
@@ -553,7 +452,7 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
     e.value = std::string(trim(std::string_view(o).substr(eq + 1)));
     e.where = where;
     if (e.section != "grid" && e.section != "sweep" && e.section != "table" &&
-        e.section != "paper")
+        e.section != "paper" && e.section != "timeline")
       fail(where, "unknown section '" + e.section + "'");
     bool replaced = false;
     for (RawEntry& prev : entries) {
@@ -608,6 +507,16 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
                         "' (valid: name accesses footprint unit_pricing "
                         "l2_banks l2_breakeven l3_banks l3_breakeven "
                         "llc_banks llc_breakeven llc_ways)");
+    }
+  }
+
+  for (const RawEntry& e : entries) {
+    if (e.section != "timeline") continue;
+    if (e.key == "dir") {
+      if (e.value.empty()) fail(e.where, "timeline dir must be non-empty");
+      spec.timeline_dir_ = e.value;
+    } else {
+      fail(e.where, "unknown [timeline] key '" + e.key + "' (valid: dir)");
     }
   }
 
@@ -861,134 +770,26 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
   for (;;) {
     GridJob job;
     job.coords.reserve(axes_.size());
-    // Hierarchy coordinates are collected first (axis order must not
-    // matter) and assembled into lower levels below.
-    std::uint64_t l2_size = 0, l3_size = 0;
-    Granularity l2_granularity = Granularity::kBank;
-    IndexingKind l2_indexing = IndexingKind::kStatic;
-    PowerPolicy l2_policy = PowerPolicy::kGated;
-    std::uint64_t l2_drowsy_window = 0;
-    std::uint64_t l2_hit_latency = 0, l2_miss_latency = 0;
-    // L3 overrides: an unset knob inherits the L2 value below, so specs
-    // written before the l3_* axes existed expand unchanged.
-    std::optional<Granularity> l3_granularity;
-    std::optional<IndexingKind> l3_indexing;
-    std::optional<PowerPolicy> l3_policy;
-    std::optional<std::uint64_t> l3_drowsy_window;
-    std::optional<std::uint64_t> l3_hit_latency, l3_miss_latency;
-    std::uint64_t l2_mshrs = 0, l2_ports = 0, l2_bandwidth = 0;
-    InclusionPolicy inclusion = InclusionPolicy::kNonInclusive;
-    std::uint64_t cores_val = 0, llc_size_val = 0, llc_wpc_val = 0;
-    std::uint64_t llc_mshrs = 0, llc_ports = 0, llc_bandwidth = 0;
-    std::map<int, std::string> core_workloads;
-    SimConfig cfg;
-    cfg.force_unit_pricing = unit_pricing_;
+    // Stage this grid point through the shared key -> config application
+    // path (core/run_assembly.h) — the same one pcalsim and the api
+    // facade use, so the vocabularies cannot drift.  The [grid] scalars
+    // seed the assembly; each axis then stages its value (axis order
+    // must not matter, which the staged assembly guarantees).
+    RunAssembly asmb;
+    asmb.config.force_unit_pricing = unit_pricing_;
+    asmb.set("l2_banks", std::to_string(l2_banks_));
+    asmb.set("l2_breakeven", std::to_string(l2_breakeven_));
+    if (l3_banks_) asmb.set("l3_banks", std::to_string(*l3_banks_));
+    if (l3_breakeven_)
+      asmb.set("l3_breakeven", std::to_string(*l3_breakeven_));
+    asmb.set("llc_banks", std::to_string(llc_banks_));
+    asmb.set("llc_breakeven", std::to_string(llc_breakeven_));
+    asmb.set("llc_ways", std::to_string(llc_ways_));
     for (std::size_t i = 0; i < axes_.size(); ++i) {
       const std::string& value = axes_[i].values[odometer[i]];
-      const std::string& key = axes_[i].key;
       job.coords.push_back(value);
-      if (key == "workload") {
-        job.workload = value;
-      } else if (key == "l2_size") {
-        l2_size = parse_number(value, "axis l2_size");
-      } else if (key == "l3_size") {
-        l3_size = parse_number(value, "axis l3_size");
-      } else if (key == "l2_granularity") {
-        l2_granularity = granularity_from_string(value);
-      } else if (key == "l2_indexing") {
-        l2_indexing = indexing_kind_from_string(value);
-      } else if (key == "l2_policy") {
-        l2_policy = power_policy_from_string(value);
-      } else if (key == "l2_drowsy_window") {
-        l2_drowsy_window = parse_number(value, "axis l2_drowsy_window");
-      } else if (key == "l2_hit_latency") {
-        l2_hit_latency = parse_number(value, "axis l2_hit_latency");
-      } else if (key == "l2_miss_latency") {
-        l2_miss_latency = parse_number(value, "axis l2_miss_latency");
-      } else if (key == "l3_granularity") {
-        l3_granularity = granularity_from_string(value);
-      } else if (key == "l3_indexing") {
-        l3_indexing = indexing_kind_from_string(value);
-      } else if (key == "l3_policy") {
-        l3_policy = power_policy_from_string(value);
-      } else if (key == "l3_drowsy_window") {
-        l3_drowsy_window = parse_number(value, "axis l3_drowsy_window");
-      } else if (key == "l3_hit_latency") {
-        l3_hit_latency = parse_number(value, "axis l3_hit_latency");
-      } else if (key == "l3_miss_latency") {
-        l3_miss_latency = parse_number(value, "axis l3_miss_latency");
-      } else if (key == "l2_mshrs") {
-        l2_mshrs = parse_number(value, "axis l2_mshrs");
-      } else if (key == "l2_ports") {
-        l2_ports = parse_number(value, "axis l2_ports");
-      } else if (key == "l2_bandwidth") {
-        l2_bandwidth = parse_number(value, "axis l2_bandwidth");
-      } else if (key == "cores") {
-        cores_val = parse_number(value, "axis cores");
-      } else if (key == "llc_size") {
-        llc_size_val = parse_number(value, "axis llc_size");
-      } else if (key == "llc_ways_per_core") {
-        llc_wpc_val = parse_number(value, "axis llc_ways_per_core");
-      } else if (key == "llc_mshrs") {
-        llc_mshrs = parse_number(value, "axis llc_mshrs");
-      } else if (key == "llc_ports") {
-        llc_ports = parse_number(value, "axis llc_ports");
-      } else if (key == "llc_bandwidth") {
-        llc_bandwidth = parse_number(value, "axis llc_bandwidth");
-      } else if (core_workload_index(key) >= 0) {
-        core_workloads[core_workload_index(key)] = value;
-      } else if (key == "inclusion") {
-        inclusion = inclusion_policy_from_string(value);
-      } else {
-        apply_axis(cfg, key, value);
-      }
+      asmb.set(axes_[i].key, value, "axis " + axes_[i].key);
     }
-    // Lower levels: L2 then L3, each enabled by a nonzero size.  The L2
-    // is shaped by the [grid] l2_banks/l2_breakeven scalars and the l2_*
-    // axes; the L3 inherits every L2 knob unless an l3_* scalar or axis
-    // overrides it.  `inclusion` applies to every lower level; wakeup
-    // latencies are shared down the stack (one sleep technology).
-    const auto add_level = [&](std::uint64_t size, Granularity granularity,
-                               IndexingKind indexing, PowerPolicy policy,
-                               std::uint64_t banks, std::uint64_t breakeven,
-                               std::uint64_t drowsy_window,
-                               std::uint64_t hit_latency,
-                               std::uint64_t miss_latency) {
-      LevelConfig level = cfg.make_level(size);  // depth seed + geometry
-      level.inclusion = inclusion;
-      CacheTopology& topo = level.topology;
-      topo.granularity = granularity;
-      topo.partition.num_banks = banks;
-      topo.indexing = indexing;
-      topo.breakeven_cycles = breakeven;
-      topo.policy = policy;
-      topo.drowsy_window_cycles = drowsy_window;
-      topo.latency.hit_cycles = hit_latency;
-      topo.latency.miss_cycles = miss_latency;
-      topo.latency.drowsy_wake_cycles = cfg.latency.drowsy_wake_cycles;
-      topo.latency.gated_wake_cycles = cfg.latency.gated_wake_cycles;
-      // Lower-level resources: the l2_* contention axes, shared down the
-      // stack like the other inherited knobs; the timing scalars ride
-      // along from L1 (one resource technology).
-      topo.contention.mshrs = l2_mshrs;
-      topo.contention.ports = l2_ports;
-      topo.contention.bytes_per_cycle = l2_bandwidth;
-      topo.contention.mshr_latency_cycles = cfg.contention.mshr_latency_cycles;
-      topo.contention.port_cycles = cfg.contention.port_cycles;
-      cfg.lower_levels.push_back(level);
-    };
-    if (l2_size > 0)
-      add_level(l2_size, l2_granularity, l2_indexing, l2_policy, l2_banks_,
-                l2_breakeven_, l2_drowsy_window, l2_hit_latency,
-                l2_miss_latency);
-    if (l3_size > 0)
-      add_level(l3_size, l3_granularity.value_or(l2_granularity),
-                l3_indexing.value_or(l2_indexing),
-                l3_policy.value_or(l2_policy), l3_banks_.value_or(l2_banks_),
-                l3_breakeven_.value_or(l2_breakeven_),
-                l3_drowsy_window.value_or(l2_drowsy_window),
-                l3_hit_latency.value_or(l2_hit_latency),
-                l3_miss_latency.value_or(l2_miss_latency));
     const auto fail_point = [&](const Error& e) {
       std::string coords;
       for (std::size_t i = 0; i < axes_.size(); ++i)
@@ -996,40 +797,22 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
       throw ConfigError("grid point (" + coords + "): " + e.what());
     };
     try {
-      cfg.validate();
+      RunAssembly::Assembled assembled = asmb.assemble();
+      job.config = std::move(assembled.config);
+      job.workload = asmb.workload();
+      job.make_source = factories.at(job.workload);
+      if (assembled.multicore) {
+        job.multicore = std::make_shared<const MultiCoreConfig>(
+            std::move(*assembled.multicore));
+        job.core_sources.reserve(assembled.cores);
+        for (std::uint64_t k = 0; k < assembled.cores; ++k) {
+          const auto it = asmb.core_workloads().find(static_cast<int>(k));
+          job.core_sources.push_back(factories.at(
+              it != asmb.core_workloads().end() ? it->second : job.workload));
+        }
+      }
     } catch (const Error& e) {
-      fail_point(e);
-    }
-    job.config = cfg;
-    job.make_source = factories.at(job.workload);
-    if (cores_val > 0) {
-      // Multi-core point: the config so far is the per-core template;
-      // the llc_* knobs shape the shared LLC behind every core.
-      LevelConfig llc = cfg.make_level(llc_size_val);
-      llc.inclusion = inclusion;
-      llc.topology.cache.ways = llc_ways_;
-      llc.topology.partition.num_banks = llc_banks_;
-      llc.topology.breakeven_cycles = llc_breakeven_;
-      llc.topology.contention.mshrs = llc_mshrs;
-      llc.topology.contention.ports = llc_ports;
-      llc.topology.contention.bytes_per_cycle = llc_bandwidth;
-      llc.topology.contention.mshr_latency_cycles =
-          cfg.contention.mshr_latency_cycles;
-      llc.topology.contention.port_cycles = cfg.contention.port_cycles;
-      try {
-        MultiCoreConfig mc = make_multicore(cfg, cores_val, llc, llc_wpc_val);
-        mc.validate();
-        job.multicore =
-            std::make_shared<const MultiCoreConfig>(std::move(mc));
-      } catch (const Error& e) {
-        fail_point(e);
-      }
-      job.core_sources.reserve(cores_val);
-      for (std::uint64_t k = 0; k < cores_val; ++k) {
-        const auto it = core_workloads.find(static_cast<int>(k));
-        job.core_sources.push_back(factories.at(
-            it != core_workloads.end() ? it->second : job.workload));
-      }
+      fail_point(e);  // rethrows with grid-point context
     }
     jobs.push_back(std::move(job));
 
@@ -1063,6 +846,13 @@ double grid_metric_value(const SimResult& r, const std::string& metric) {
   if (metric == "bw_stall_cycles")
     return static_cast<double>(r.bw_stall_cycles);
   throw ConfigError("unknown table metric '" + metric + "'");
+}
+
+std::string GridSpec::job_label(const GridJob& job) const {
+  std::string out;
+  for (std::size_t i = 0; i < axes_.size(); ++i)
+    out += (i ? " " : "") + axes_[i].key + "=" + job.coords[i];
+  return out;
 }
 
 TextTable GridSpec::render_table(

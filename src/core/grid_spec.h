@@ -122,6 +122,11 @@ class GridSpec {
   std::uint64_t accesses() const { return accesses_; }
   /// [grid] unit_pricing: price every job with the per-unit model.
   bool unit_pricing() const { return unit_pricing_; }
+  /// [timeline] dir: where runners drop one power-state timeline
+  /// artifact per job (docs/TIMELINE.md); empty (the default) disables
+  /// timeline emission — runs and their outputs are then bit-identical
+  /// to a spec without the section.
+  const std::string& timeline_dir() const { return timeline_dir_; }
 
   const std::vector<GridAxis>& axes() const { return axes_; }
   const GridAxis* find_axis(const std::string& key) const;
@@ -145,6 +150,11 @@ class GridSpec {
   TextTable render_table(const std::vector<GridJob>& jobs,
                          const std::vector<SweepOutcome>& outcomes) const;
 
+  /// The job's coordinate label ("cache_size=8192 banks=4
+  /// workload=cjpeg") — the SweepJob::label pcalsweep and the api facade
+  /// attach, so failure reports name grid points identically everywhere.
+  std::string job_label(const GridJob& job) const;
+
  private:
   GridSpec() = default;
 
@@ -152,6 +162,7 @@ class GridSpec {
   std::uint64_t accesses_ = 0;
   std::uint64_t footprint_bytes_ = 64 * 1024;
   bool unit_pricing_ = false;
+  std::string timeline_dir_;
   std::uint64_t l2_banks_ = 4;
   std::uint64_t l2_breakeven_ = 64;
   /// L3 geometry scalars; unset inherits the l2_* value (back-compat
@@ -170,5 +181,16 @@ class GridSpec {
 /// Extracts one named metric from a result (the [table] cell values).
 /// Throws ConfigError on unknown metric names.
 double grid_metric_value(const SimResult& result, const std::string& metric);
+
+/// Builds the per-job TraceSourceFactory of one workload value — the
+/// resolution the sweep grid applies to every workload-axis item
+/// ("mediabench"/named workloads, uniform/streaming/hotspot,
+/// "trace:<file>" (.pct or text), "multiprog:<a>+<b>").  Shared with the
+/// pcal::api facade so an embedded run resolves workload names exactly
+/// as pcalsweep does.  Throws ConfigError / ParseError on unknown names
+/// and unreadable trace files.
+TraceSourceFactory make_workload_factory(const std::string& value,
+                                         std::uint64_t accesses,
+                                         std::uint64_t footprint_bytes);
 
 }  // namespace pcal

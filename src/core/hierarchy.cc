@@ -2,30 +2,10 @@
 
 #include <sstream>
 
+#include "core/enum_strings.h"
 #include "util/error.h"
 
 namespace pcal {
-
-const char* to_string(InclusionPolicy policy) {
-  switch (policy) {
-    case InclusionPolicy::kNonInclusive: return "noninclusive";
-    case InclusionPolicy::kInclusive: return "inclusive";
-    case InclusionPolicy::kExclusive: return "exclusive";
-    case InclusionPolicy::kVictim: return "victim";
-  }
-  return "?";
-}
-
-InclusionPolicy inclusion_policy_from_string(const std::string& s) {
-  if (s == "noninclusive" || s == "non-inclusive")
-    return InclusionPolicy::kNonInclusive;
-  if (s == "inclusive") return InclusionPolicy::kInclusive;
-  if (s == "exclusive") return InclusionPolicy::kExclusive;
-  if (s == "victim") return InclusionPolicy::kVictim;
-  throw ConfigError(
-      "unknown inclusion policy: \"" + s +
-      "\" (expected noninclusive | inclusive | exclusive | victim)");
-}
 
 void HierarchyConfig::validate() const {
   PCAL_CONFIG_CHECK(!levels.empty(), "hierarchy needs at least one level");
@@ -225,6 +205,12 @@ const IntervalAccumulator& HierarchicalCache::unit_intervals(
   std::uint64_t local = 0;
   const Level& level = level_of_unit(unit, &local);
   return level.cache->unit_intervals(local);
+}
+
+UnitPowerState HierarchicalCache::unit_state(std::uint64_t unit) const {
+  std::uint64_t local = 0;
+  const Level& level = level_of_unit(unit, &local);
+  return level.cache->unit_state(local);
 }
 
 }  // namespace pcal

@@ -81,8 +81,6 @@ enum class InclusionPolicy : std::uint8_t {
   kVictim = 3,        // eviction installs only (pure victim sink)
 };
 
-const char* to_string(InclusionPolicy policy);
-
 /// One level of a routing chain as route_access() sees it: a borrowed
 /// backend plus the inclusion policy tying it to the level above.
 struct RoutedLevel {
@@ -101,10 +99,6 @@ struct RoutedLevel {
 /// (core/multicore.h) with identical semantics, bit for bit.
 AccessOutcome route_access(RoutedLevel* levels, std::size_t num_levels,
                            std::uint64_t address, bool is_write);
-
-/// Parses "noninclusive" | "non-inclusive" | "inclusive" | "exclusive" |
-/// "victim"; throws ConfigError otherwise.
-InclusionPolicy inclusion_policy_from_string(const std::string& s);
 
 /// One level of a hierarchy: its cache architecture plus how it relates
 /// to the level above it.
@@ -154,6 +148,7 @@ class HierarchicalCache final : public ManagedCache {
   UnitActivity unit_activity(std::uint64_t unit) const override;
   const IntervalAccumulator& unit_intervals(
       std::uint64_t unit) const override;
+  UnitPowerState unit_state(std::uint64_t unit) const override;
 
   // ---- level access ----
   std::size_t num_levels() const { return levels_.size(); }

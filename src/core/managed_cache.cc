@@ -8,45 +8,11 @@
 #include "bank/line_managed_cache.h"
 #include "bank/way_grain_cache.h"
 #include "core/drowsy_cache.h"
+#include "core/enum_strings.h"
 #include "core/monolithic_cache.h"
 #include "util/error.h"
 
 namespace pcal {
-
-const char* to_string(Granularity granularity) {
-  switch (granularity) {
-    case Granularity::kMonolithic: return "monolithic";
-    case Granularity::kBank: return "bank";
-    case Granularity::kLine: return "line";
-    case Granularity::kWay: return "way";
-  }
-  return "?";
-}
-
-Granularity granularity_from_string(const std::string& s) {
-  if (s == "monolithic") return Granularity::kMonolithic;
-  if (s == "bank") return Granularity::kBank;
-  if (s == "line") return Granularity::kLine;
-  if (s == "way") return Granularity::kWay;
-  throw ConfigError("unknown granularity: \"" + s +
-                    "\" (expected monolithic | bank | line | way)");
-}
-
-const char* to_string(PowerPolicy policy) {
-  switch (policy) {
-    case PowerPolicy::kGated: return "gated";
-    case PowerPolicy::kDrowsyHybrid: return "drowsy";
-  }
-  return "?";
-}
-
-PowerPolicy power_policy_from_string(const std::string& s) {
-  if (s == "gated") return PowerPolicy::kGated;
-  // Both the short spelling and the enum's own name round-trip.
-  if (s == "drowsy" || s == "drowsy_hybrid") return PowerPolicy::kDrowsyHybrid;
-  throw ConfigError("unknown power policy: \"" + s +
-                    "\" (expected gated | drowsy | drowsy_hybrid)");
-}
 
 std::uint64_t CacheTopology::num_units() const {
   switch (granularity) {
@@ -121,6 +87,15 @@ UnitActivity unit_activity_from(const BlockControl& control,
   a.drowsy_cycles = 0;
   a.gated_episodes = a.sleep_episodes;
   return a;
+}
+
+UnitPowerState unit_state_from(const BlockControl& control,
+                               std::uint64_t unit, std::uint64_t cycle,
+                               std::uint64_t gate_cycles) {
+  const std::uint64_t gap = control.idle_gap(unit, cycle);
+  if (gap < control.breakeven_cycles()) return UnitPowerState::kAwake;
+  if (gap >= gate_cycles) return UnitPowerState::kGated;
+  return UnitPowerState::kDrowsy;
 }
 
 namespace {

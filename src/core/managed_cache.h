@@ -59,12 +59,6 @@ enum class Granularity : std::uint8_t {
   kWay = 3,         // per-way within each bank: M x W units
 };
 
-const char* to_string(Granularity granularity);
-
-/// Parses "monolithic" | "bank" | "line" | "way"; throws ConfigError
-/// otherwise.
-Granularity granularity_from_string(const std::string& s);
-
 /// What happens to an idle unit once its breakeven counter saturates.
 enum class PowerPolicy : std::uint8_t {
   /// Straight to the state-destructive power-gated state (the paper's
@@ -76,12 +70,6 @@ enum class PowerPolicy : std::uint8_t {
   /// idle cycles).  A zero window degenerates exactly to kGated.
   kDrowsyHybrid = 1,
 };
-
-const char* to_string(PowerPolicy policy);
-
-/// Parses "gated" | "drowsy" | "drowsy_hybrid" (the enum's own spelling
-/// round-trips alongside the short form); throws ConfigError otherwise.
-PowerPolicy power_policy_from_string(const std::string& s);
 
 /// One level's slice of a routed access: which level was referenced,
 /// at what address, which physical unit served it, and whether it hit /
@@ -146,6 +134,32 @@ struct AccessOutcome {
     e.address = address;
   }
 };
+
+/// Instantaneous power state of one unit, as the interval observer and
+/// the timeline artifact report it (docs/TIMELINE.md).  With one access
+/// per cycle a unit's state is a pure function of its current idle gap:
+/// shorter than the breakeven it is awake, past the gate threshold it has
+/// power-gated, in between (the hybrid policy's drowsy window) it holds
+/// at the drowsy voltage.  Under the pure gated policy the two thresholds
+/// coincide, so kDrowsy never appears.
+enum class UnitPowerState : std::uint8_t {
+  kAwake = 0,
+  kDrowsy = 1,
+  kGated = 2,
+};
+
+/// One-letter spelling used by the compact timeline encoding ("AADG").
+inline char to_char(UnitPowerState s) {
+  switch (s) {
+    case UnitPowerState::kAwake:
+      return 'A';
+    case UnitPowerState::kDrowsy:
+      return 'D';
+    case UnitPowerState::kGated:
+      return 'G';
+  }
+  return '?';
+}
 
 /// Per-unit activity facts, valid after finish().
 ///
@@ -296,6 +310,16 @@ class ManagedCache {
   virtual const IntervalAccumulator& unit_intervals(
       std::uint64_t unit) const = 0;
 
+  /// Instantaneous power state of one unit at the current cycle — what
+  /// the interval observer samples for the power-state timeline.  Valid
+  /// at any point of the run (unlike the post-finish() activity
+  /// queries).  The default covers backends with no idleness tracking;
+  /// every concrete backend derives the state from its Block Control
+  /// idle gap via unit_state_from below.
+  virtual UnitPowerState unit_state(std::uint64_t /*unit*/) const {
+    return UnitPowerState::kAwake;
+  }
+
   /// Restricts *allocation* (miss-victim choice) to the tag-store ways
   /// whose mask bit is set; hits are still served from any way, so a
   /// line resident outside the mask is found and touched — standard
@@ -334,5 +358,14 @@ class BlockControl;
 /// gated_episodes = sleep_episodes).
 UnitActivity unit_activity_from(const BlockControl& control,
                                 std::uint64_t unit);
+
+/// Classifies one unit's instantaneous state from its Block Control idle
+/// gap at `cycle`: below the control's breakeven it is awake, at or past
+/// `gate_cycles` it has power-gated, in between it is drowsy.  The shared
+/// unit_state() body of every backend (gate_cycles == breakeven — the
+/// pure gated policy — never yields kDrowsy).
+UnitPowerState unit_state_from(const BlockControl& control,
+                               std::uint64_t unit, std::uint64_t cycle,
+                               std::uint64_t gate_cycles);
 
 }  // namespace pcal

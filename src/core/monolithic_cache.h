@@ -34,6 +34,9 @@ class MonolithicCache final : public ManagedCache {
     PCAL_ASSERT_MSG(finished_, "call finish() first");
     return control_.intervals(unit);
   }
+  UnitPowerState unit_state(std::uint64_t unit) const override {
+    return unit_state_from(control_, unit, cycle_, gate_cycles_);
+  }
 
   bool set_alloc_way_mask(std::uint64_t mask) override {
     cache_.set_alloc_way_mask(mask);

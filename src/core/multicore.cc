@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/contention.h"
+#include "core/enum_strings.h"
 #include "power/unit_energy.h"
 #include "util/error.h"
 
@@ -262,6 +263,62 @@ MultiCoreResult MultiCoreSystem::run(
   shapes.push_back(contention_shape_of(config_.llc.topology));
   ContentionModel contention(std::move(shapes));
 
+  // Snapshot buffers, reused across boundaries (observers must copy what
+  // they keep).  The group table is one row per (depth, core) private
+  // level plus the shared LLC, in the depth-major unit order the result
+  // reports — at one core this collapses to the Simulator's per-level
+  // table with the same core = -1 convention for the chain's last level.
+  std::vector<UnitGroupStates> snap_groups;
+  std::vector<UnitPowerState> snap_states;
+  const auto fill_unit_states = [&](IntervalSnapshot& snap) {
+    snap_groups.clear();
+    snap_states.clear();
+    std::uint64_t offset = 0;
+    const auto census = [&](const ManagedCache& cache, int core,
+                            std::uint64_t level) {
+      UnitGroupStates g;
+      g.core = core;
+      g.level = level;
+      g.first_unit = offset;
+      g.units = cache.num_units();
+      g.stats = cache.stats();
+      for (std::uint64_t u = 0; u < g.units; ++u) {
+        const UnitPowerState s = cache.unit_state(u);
+        snap_states.push_back(s);
+        if (s == UnitPowerState::kAwake)
+          ++g.awake;
+        else if (s == UnitPowerState::kDrowsy)
+          ++g.drowsy;
+        else
+          ++g.gated;
+      }
+      offset += g.units;
+      snap_groups.push_back(g);
+    };
+    for (std::size_t d = 0; d < depth; ++d)
+      for (std::size_t k = 0; k < num_cores; ++k)
+        census(*rt[k].levels[d], static_cast<int>(k), d);
+    census(*llc, -1, depth);
+    snap.groups = &snap_groups;
+    snap.unit_states = &snap_states;
+  };
+
+  // A boundary is a context switch when any core's multiprogrammed
+  // source sits exactly on one of its quantum boundaries (the
+  // Simulator's rule, per core).
+  std::vector<std::uint64_t> quantum(num_cores, 0);
+  for (std::size_t k = 0; k < num_cores; ++k) {
+    const auto q = rt[k].source->boundary_hint();
+    if (q) quantum[k] = *q;
+  }
+  const auto at_context_switch = [&] {
+    for (std::size_t k = 0; k < num_cores; ++k)
+      if (quantum[k] > 0 && rt[k].accesses > 0 &&
+          rt[k].accesses % quantum[k] == 0)
+        return true;
+    return false;
+  };
+
   // The global clock: one issued access per cycle plus its stalls;
   // unreferenced levels (and every other core) idle, so every backend's
   // cycle counter stays in lockstep with the TimingModel.
@@ -347,7 +404,11 @@ MultiCoreResult MultiCoreSystem::run(
             snap.cycles = rt.front().levels.front()->cycles();
             snap.updates_applied = updates_applied;
             snap.fired_update = fired;
+            snap.context_switch = at_context_switch();
+            snap.accesses = timing.accesses();
+            snap.stall_cycles = timing.stall_cycles();
             snap.stats = &rt.front().levels.front()->stats();
+            fill_unit_states(snap);
             observer(snap);
           }
         }
@@ -485,7 +546,10 @@ MultiCoreResult MultiCoreSystem::run(
     snap.cycles = cycles;
     snap.updates_applied = r.reindex_updates_applied;
     snap.final_snapshot = true;
+    snap.accesses = timing.accesses();
+    snap.stall_cycles = timing.stall_cycles();
     snap.stats = &rt.front().levels.front()->stats();
+    fill_unit_states(snap);
     observer(snap);
   }
 

@@ -213,6 +213,41 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
     shapes.push_back(contention_shape_of(level.topology));
   ContentionModel contention(std::move(shapes));
 
+  // Snapshot buffers, reused across boundaries (observers must copy what
+  // they keep — see IntervalSnapshot).  The group table is one row per
+  // hierarchy level; the census re-reads every unit's state per boundary.
+  std::vector<UnitGroupStates> snap_groups;
+  std::vector<UnitPowerState> snap_states;
+  const auto fill_unit_states = [&](IntervalSnapshot& snap) {
+    const std::uint64_t n = cache->num_units();
+    snap_states.resize(n);
+    snap_groups.clear();
+    const std::size_t levels = hierarchy ? hier->num_levels() : 1;
+    std::uint64_t offset = 0;
+    for (std::size_t i = 0; i < levels; ++i) {
+      UnitGroupStates g;
+      g.core = -1;
+      g.level = i;
+      g.first_unit = offset;
+      g.units = hierarchy ? hier->level_units(i) : n;
+      g.stats = hierarchy ? hier->level_stats(i) : cache->stats();
+      for (std::uint64_t u = 0; u < g.units; ++u) {
+        const UnitPowerState s = cache->unit_state(offset + u);
+        snap_states[offset + u] = s;
+        if (s == UnitPowerState::kAwake)
+          ++g.awake;
+        else if (s == UnitPowerState::kDrowsy)
+          ++g.drowsy;
+        else
+          ++g.gated;
+      }
+      offset += g.units;
+      snap_groups.push_back(g);
+    }
+    snap.groups = &snap_groups;
+    snap.unit_states = &snap_states;
+  };
+
   TimingModel timing;
   MemAccess batch[kBatchSize];
   std::uint64_t since_boundary = 0;
@@ -260,8 +295,11 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
           snap.fired_update = fired;
           snap.context_switch = quantum && *quantum > 0 &&
                                 timing.accesses() % *quantum == 0;
+          snap.accesses = timing.accesses();
+          snap.stall_cycles = timing.stall_cycles();
           snap.stats = &cache->stats();
           snap.cache = cache.get();
+          fill_unit_states(snap);
           observer(snap);
         }
       }
@@ -362,8 +400,11 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
     snap.cycles = cycles;
     snap.updates_applied = r.reindex_updates_applied;
     snap.final_snapshot = true;
+    snap.accesses = timing.accesses();
+    snap.stall_cycles = timing.stall_cycles();
     snap.stats = &cache->stats();
     snap.cache = cache.get();
+    fill_unit_states(snap);
     observer(snap);
   }
   return r;

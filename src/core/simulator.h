@@ -209,6 +209,25 @@ struct SimResult {
 /// snapshots may read `stats` and `cache->cycles()`/`num_units()`;
 /// residency queries on `cache` are only valid when `final` is true (the
 /// backend has finished by then).
+/// Power-state census of one contiguous run of units at a snapshot
+/// boundary: which (core, level) the units belong to, where they sit in
+/// the engine's concatenated unit vector, and how many are awake /
+/// drowsy / gated right now.  The uniform shape across Simulator and
+/// MultiCoreSystem observers: a single-core run reports one group per
+/// hierarchy level with core == -1; a multi-core run reports every
+/// private level of every core plus the shared LLC (core == -1).
+struct UnitGroupStates {
+  int core = -1;               // owning core; -1 = single-run / shared LLC
+  std::uint64_t level = 0;     // hierarchy depth (0 faces the CPU)
+  std::uint64_t first_unit = 0;  // index of the group's first unit
+  std::uint64_t units = 0;
+  std::uint64_t awake = 0;
+  std::uint64_t drowsy = 0;
+  std::uint64_t gated = 0;
+  /// The group's tag-store statistics (cumulative at snapshot time).
+  CacheStats stats;
+};
+
 struct IntervalSnapshot {
   std::uint64_t interval = 0;  // 1-based boundary index; 0 on the final call
   std::uint64_t cycles = 0;
@@ -220,8 +239,17 @@ struct IntervalSnapshot {
   /// multiple of the source's boundary_hint()).  Always false for
   /// sources without a natural boundary.
   bool context_switch = false;
+  /// Cumulative accesses consumed and stall cycles charged so far.
+  std::uint64_t accesses = 0;
+  std::uint64_t stall_cycles = 0;
   const CacheStats* stats = nullptr;
   const ManagedCache* cache = nullptr;
+  /// Per-(core, level) power-state census, in unit-vector order, and the
+  /// flat per-unit states it was counted from.  Both point at buffers
+  /// the engine reuses between boundaries: valid only for the duration
+  /// of the observer call — copy what you keep.
+  const std::vector<UnitGroupStates>* groups = nullptr;
+  const std::vector<UnitPowerState>* unit_states = nullptr;
 };
 
 using IntervalObserver = std::function<void(const IntervalSnapshot&)>;

@@ -44,13 +44,6 @@ enum class IndexingKind : std::uint8_t {
   kScrambling = 2, // XOR with LFSR state (Fig. 3b)
 };
 
-const char* to_string(IndexingKind kind);
-
-/// Parses "static" | "probing" | "scrambling" (the to_string names);
-/// throws ConfigError otherwise.  Lets config files and CLI front-ends
-/// select policies by name instead of magic integers.
-IndexingKind indexing_kind_from_string(const std::string& s);
-
 /// Builds a policy for M banks.  `seed` parameterizes Scrambling's LFSR.
 std::unique_ptr<IndexingPolicy> make_indexing_policy(IndexingKind kind,
                                                      std::uint64_t num_banks,

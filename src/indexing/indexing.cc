@@ -17,23 +17,6 @@ void check_banks(std::uint64_t m) {
 
 }  // namespace
 
-const char* to_string(IndexingKind kind) {
-  switch (kind) {
-    case IndexingKind::kStatic: return "static";
-    case IndexingKind::kProbing: return "probing";
-    case IndexingKind::kScrambling: return "scrambling";
-  }
-  return "?";
-}
-
-IndexingKind indexing_kind_from_string(const std::string& s) {
-  if (s == "static") return IndexingKind::kStatic;
-  if (s == "probing") return IndexingKind::kProbing;
-  if (s == "scrambling") return IndexingKind::kScrambling;
-  throw ConfigError("unknown indexing kind: \"" + s +
-                    "\" (expected static | probing | scrambling)");
-}
-
 std::unique_ptr<IndexingPolicy> make_indexing_policy(IndexingKind kind,
                                                      std::uint64_t num_banks,
                                                      std::uint64_t seed) {

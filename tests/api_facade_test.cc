@@ -1,0 +1,189 @@
+// The embeddable facade (api/pcal.h) must be a veneer, not a second
+// engine: run() has to match a hand-assembled Simulator run bit for
+// bit, run_grid() has to match pcalsweep's row shape at any worker
+// count, and validate() has to report every problem structurally
+// instead of throwing at the first.
+#include "api/pcal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/run_assembly.h"
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+using api::ConfigIssue;
+using api::RunConfig;
+
+RunConfig small_config() {
+  RunConfig rc;
+  rc.set("cache_size", "8192")
+      .set("banks", "4")
+      .set("workload", "uniform")
+      .set("accesses", "20000");
+  return rc;
+}
+
+const char kSpec[] =
+    "[sweep]\n"
+    "workload = uniform, streaming\n"
+    "banks = 2, 4\n"
+    "[grid]\n"
+    "accesses = 20000\n";
+
+TEST(RunConfigTest, KnowsTheSharedVocabulary) {
+  EXPECT_TRUE(RunConfig::knows("cache_size"));
+  EXPECT_TRUE(RunConfig::knows("llc_ways_per_core"));
+  EXPECT_TRUE(RunConfig::knows("core3_workload"));
+  EXPECT_FALSE(RunConfig::knows("no_such_knob"));
+}
+
+TEST(RunConfigTest, ValidateAcceptsCleanConfig) {
+  EXPECT_TRUE(small_config().validate().empty());
+}
+
+TEST(RunConfigTest, ValidateReportsEveryEntryProblem) {
+  RunConfig rc;
+  rc.set("no_such_knob", "1").set("banks", "three").set("cache_size", "8k");
+  const std::vector<ConfigIssue> issues = rc.validate();
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].key, "no_such_knob");
+  EXPECT_EQ(issues[0].value, "1");
+  EXPECT_EQ(issues[1].key, "banks");
+  EXPECT_NE(issues[1].reason.find("three"), std::string::npos);
+  EXPECT_NE(api::describe(issues).find("no_such_knob"), std::string::npos);
+}
+
+TEST(RunConfigTest, ValidateChecksTheAssembledWhole) {
+  RunConfig rc;
+  rc.set("cores", "2");  // needs llc_size > 0 -- only assemble() knows
+  const std::vector<ConfigIssue> issues = rc.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].key, "");
+  EXPECT_NE(issues[0].reason.find("llc_size"), std::string::npos);
+}
+
+TEST(RunConfigTest, ValidateResolvesWorkloads) {
+  RunConfig rc = small_config();
+  rc.set("workload", "no_such_workload");
+  std::vector<ConfigIssue> issues = rc.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].key, "workload");
+
+  RunConfig mc;
+  mc.set("cores", "2").set("llc_size", "65536").set("cache_size", "8192");
+  mc.set("core1_workload", "also_not_a_workload");
+  issues = mc.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].key, "core1_workload");
+}
+
+TEST(ApiRunTest, MatchesHandAssembledSimulatorRun) {
+  const RunConfig rc = small_config();
+  const api::RunOutput out = api::run(rc);
+
+  RunAssembly asmb;
+  for (const auto& [key, value] : rc.entries()) asmb.set(key, value);
+  const RunAssembly::Assembled assembled = asmb.assemble();
+  const auto source = make_workload_factory(
+      asmb.workload(), asmb.accesses(), asmb.footprint_bytes())();
+  Simulator sim(assembled.config);
+  const SimResult direct = sim.run(*source, &api::shared_aging().lut());
+
+  EXPECT_EQ(out.result.accesses, direct.accesses);
+  EXPECT_EQ(out.result.total_cycles, direct.total_cycles);
+  EXPECT_EQ(out.result.cache_stats.hits, direct.cache_stats.hits);
+  EXPECT_EQ(out.result.cache_stats.misses, direct.cache_stats.misses);
+  EXPECT_EQ(out.result.energy.partitioned.total_pj(),
+            direct.energy.partitioned.total_pj());
+  EXPECT_EQ(out.result.lifetime_years(), direct.lifetime_years());
+  EXPECT_TRUE(out.cores.empty());
+}
+
+TEST(ApiRunTest, DefaultsToUniformWorkload) {
+  RunConfig with_default;
+  with_default.set("cache_size", "8192").set("banks", "4").set("accesses",
+                                                               "20000");
+  const api::RunOutput a = api::run(with_default);
+  const api::RunOutput b = api::run(small_config());
+  EXPECT_EQ(a.result.workload, b.result.workload);
+  EXPECT_EQ(a.result.total_cycles, b.result.total_cycles);
+  EXPECT_EQ(a.result.cache_stats.hits, b.result.cache_stats.hits);
+}
+
+TEST(ApiRunTest, MultiCoreRunsPartitionedLlc) {
+  RunConfig rc;
+  rc.set("cores", "2")
+      .set("llc_size", "65536")
+      .set("llc_ways_per_core", "4")
+      .set("cache_size", "8192")
+      .set("banks", "4")
+      .set("workload", "uniform")
+      .set("accesses", "20000");
+  const api::RunOutput out = api::run(rc);
+  ASSERT_EQ(out.cores.size(), 2u);
+  EXPECT_EQ(out.cores[0].llc_way_mask & out.cores[1].llc_way_mask, 0u);
+  EXPECT_EQ(out.cores[0].accesses + out.cores[1].accesses,
+            out.result.accesses);
+}
+
+TEST(ApiRunTest, ThrowsOnInvalidConfig) {
+  RunConfig rc;
+  rc.set("banks", "x");
+  EXPECT_THROW(api::run(rc), Error);
+}
+
+TEST(ApiGridTest, WorkerCountDoesNotChangeResults) {
+  api::GridOptions one;
+  one.workers = 1;
+  api::GridOptions eight;
+  eight.workers = 8;
+  const api::GridRun a = api::run_grid_text(kSpec, one, "par");
+  const api::GridRun b = api::run_grid_text(kSpec, eight, "par");
+  ASSERT_EQ(a.outcomes.size(), 4u);
+  ASSERT_EQ(b.outcomes.size(), 4u);
+  EXPECT_EQ(a.failed_jobs(), 0u);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i)
+    EXPECT_EQ(a.result_row(i), b.result_row(i)) << "job " << i;
+  EXPECT_EQ(a.table, b.table);
+}
+
+TEST(ApiGridTest, ResultRowsCarryBenchShapeAndLabels) {
+  const api::GridRun run = api::run_grid_text(kSpec, {}, "par");
+  ASSERT_EQ(run.jobs.size(), 4u);
+  const std::string row = run.result_row(0);
+  EXPECT_EQ(row.find("{\"job\": 0, \"workload\": \"uniform\""), 0u);
+  EXPECT_NE(row.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(row.find("\"energy_pj\": "), std::string::npos);
+  ASSERT_FALSE(run.outcomes.empty());
+  EXPECT_EQ(run.outcomes[0].label, "workload=uniform banks=2");
+  EXPECT_EQ(run.outcomes[3].label, "workload=streaming banks=4");
+}
+
+TEST(ApiGridTest, ObserverFactoryAttachesPerJob) {
+  std::vector<std::atomic<int>> fired(4);
+  for (auto& f : fired) f = 0;
+  api::GridOptions options;
+  options.workers = 2;
+  options.make_observer = [&fired](std::size_t i) -> IntervalObserver {
+    return [&fired, i](const IntervalSnapshot&) { ++fired[i]; };
+  };
+  const api::GridRun run = api::run_grid_text(kSpec, options, "obs");
+  ASSERT_EQ(run.outcomes.size(), fired.size());
+  for (std::size_t i = 0; i < fired.size(); ++i)
+    EXPECT_GT(fired[i].load(), 0) << "job " << i;
+}
+
+TEST(ApiGridTest, ThrowsOnMalformedSpec) {
+  EXPECT_THROW(api::run_grid_text("[sweep]\nbanks = oops\n"), Error);
+}
+
+}  // namespace
+}  // namespace pcal

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/enum_strings.h"
 #include "core/experiment.h"
 #include "core/simulator.h"
 #include "trace/trace.h"

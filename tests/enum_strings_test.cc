@@ -1,0 +1,96 @@
+// The consolidated enum <-> string vocabulary (core/enum_strings.h).
+//
+// One parser per enum, shared by pcalsim, the sweep grid, the checkpoint
+// codec and the Python bindings — so the round-trip contract is pinned
+// exhaustively here: every enumerator prints a spelling its parser
+// accepts, every documented alias parses to the right enumerator, and
+// everything else throws ConfigError naming the accepted vocabulary.
+#include "core/enum_strings.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.h"
+
+namespace pcal {
+namespace {
+
+TEST(EnumStrings, GranularityRoundTrip) {
+  for (Granularity g : {Granularity::kMonolithic, Granularity::kBank,
+                        Granularity::kLine, Granularity::kWay}) {
+    EXPECT_EQ(granularity_from_string(to_string(g)), g);
+  }
+  EXPECT_STREQ(to_string(Granularity::kMonolithic), "monolithic");
+  EXPECT_STREQ(to_string(Granularity::kBank), "bank");
+  EXPECT_STREQ(to_string(Granularity::kLine), "line");
+  EXPECT_STREQ(to_string(Granularity::kWay), "way");
+}
+
+TEST(EnumStrings, PowerPolicyRoundTrip) {
+  for (PowerPolicy p : {PowerPolicy::kGated, PowerPolicy::kDrowsyHybrid}) {
+    EXPECT_EQ(power_policy_from_string(to_string(p)), p);
+  }
+  EXPECT_STREQ(to_string(PowerPolicy::kGated), "gated");
+  EXPECT_STREQ(to_string(PowerPolicy::kDrowsyHybrid), "drowsy");
+  // The enum's own long spelling parses but never prints.
+  EXPECT_EQ(power_policy_from_string("drowsy_hybrid"),
+            PowerPolicy::kDrowsyHybrid);
+}
+
+TEST(EnumStrings, IndexingKindRoundTrip) {
+  for (IndexingKind k : {IndexingKind::kStatic, IndexingKind::kProbing,
+                         IndexingKind::kScrambling}) {
+    EXPECT_EQ(indexing_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_STREQ(to_string(IndexingKind::kStatic), "static");
+  EXPECT_STREQ(to_string(IndexingKind::kProbing), "probing");
+  EXPECT_STREQ(to_string(IndexingKind::kScrambling), "scrambling");
+}
+
+TEST(EnumStrings, InclusionPolicyRoundTrip) {
+  for (InclusionPolicy p :
+       {InclusionPolicy::kNonInclusive, InclusionPolicy::kInclusive,
+        InclusionPolicy::kExclusive, InclusionPolicy::kVictim}) {
+    EXPECT_EQ(inclusion_policy_from_string(to_string(p)), p);
+  }
+  EXPECT_STREQ(to_string(InclusionPolicy::kNonInclusive), "noninclusive");
+  EXPECT_STREQ(to_string(InclusionPolicy::kInclusive), "inclusive");
+  EXPECT_STREQ(to_string(InclusionPolicy::kExclusive), "exclusive");
+  EXPECT_STREQ(to_string(InclusionPolicy::kVictim), "victim");
+  // The hyphenated alias parses but never prints.
+  EXPECT_EQ(inclusion_policy_from_string("non-inclusive"),
+            InclusionPolicy::kNonInclusive);
+}
+
+TEST(EnumStrings, RejectsUnknownSpellings) {
+  EXPECT_THROW(granularity_from_string("banked"), ConfigError);
+  EXPECT_THROW(granularity_from_string(""), ConfigError);
+  EXPECT_THROW(power_policy_from_string("hybrid"), ConfigError);
+  EXPECT_THROW(indexing_kind_from_string("rotating"), ConfigError);
+  EXPECT_THROW(inclusion_policy_from_string("strict"), ConfigError);
+  // Parsing is case-sensitive: spellings are the lowercase to_string forms.
+  EXPECT_THROW(granularity_from_string("Bank"), ConfigError);
+  EXPECT_THROW(inclusion_policy_from_string("Inclusive"), ConfigError);
+}
+
+TEST(EnumStrings, ErrorMessagesNameTheVocabulary) {
+  try {
+    granularity_from_string("nope");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("monolithic | bank | line | way"),
+              std::string::npos);
+  }
+  try {
+    inclusion_policy_from_string("nope");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "noninclusive | inclusive | exclusive | victim"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pcal

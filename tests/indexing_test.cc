@@ -5,6 +5,7 @@
 #include <array>
 #include <set>
 
+#include "core/enum_strings.h"
 #include "indexing/probing.h"
 #include "indexing/scrambling.h"
 #include "indexing/static_indexing.h"

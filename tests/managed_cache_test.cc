@@ -11,6 +11,7 @@
 #include "bank/banked_cache.h"
 #include "bank/line_managed_cache.h"
 #include "cache/cache.h"
+#include "core/enum_strings.h"
 #include "core/hierarchy.h"
 #include "core/monolithic_cache.h"
 #include "trace/trace.h"

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/enum_strings.h"
 #include "util/error.h"
 
 namespace pcal {

@@ -41,19 +41,25 @@
 //   PCAL_FAULT_INJECT     job=<i>:access=<n>:mode=<throw|transient|hang
 //                         |exit>[:times=<t>] — deterministic fault
 //                         injection for the crash-safety tests
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "api/timeline.h"
 #include "core/bench_record.h"
 #include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "core/grid_spec.h"
 #include "trace/fault_inject.h"
+#include "util/error.h"
 #include "util/string_util.h"
 
 namespace {
@@ -122,10 +128,16 @@ unsigned threads_or_env() {
 }
 
 std::string coords_of(const GridSpec& spec, const GridJob& job) {
-  std::string out;
-  for (std::size_t i = 0; i < spec.axes().size(); ++i)
-    out += (i ? " " : "") + spec.axes()[i].key + "=" + job.coords[i];
-  return out;
+  return spec.job_label(job);
+}
+
+/// Ensures the [timeline] artifact directory exists (one level; an
+/// existing directory is fine).  Throws so the failure surfaces before
+/// any simulation time is spent.
+void ensure_timeline_dir(const std::string& dir) {
+  if (mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST) return;
+  throw Error("cannot create timeline dir " + dir + ": " +
+              std::strerror(errno));
 }
 
 /// Length-prefixed string hashing so adjacent fields can never alias.
@@ -394,6 +406,27 @@ int main(int argc, char** argv) {
       sweep_jobs.push_back(std::move(j));
     }
 
+    // [timeline] dir: one TimelineRecorder per job on this shard's
+    // slice.  The observer runs on the worker thread but only touches
+    // its own recorder; artifacts are written after the run.  Without
+    // the section `recorders` stays empty, every observer stays unset,
+    // and the run is bit-identical to one without the knob.
+    std::vector<std::unique_ptr<api::TimelineRecorder>> recorders;
+    if (!spec.timeline_dir().empty()) {
+      ensure_timeline_dir(spec.timeline_dir());
+      recorders.resize(sweep_jobs.size());
+      for (std::size_t i = 0; i < sweep_jobs.size(); ++i) {
+        auto rec =
+            std::make_unique<api::TimelineRecorder>(sweep_jobs[i].label);
+        if (sweep_jobs[i].multicore)
+          rec->price_with(*sweep_jobs[i].multicore);
+        else
+          rec->price_with(sweep_jobs[i].config);
+        sweep_jobs[i].observer = rec->observer();
+        recorders[i] = std::move(rec);
+      }
+    }
+
     // Journal setup.  The header pins the grid identity (fingerprint),
     // the full cross-product size, the per-job accesses and the shard
     // slice; resume refuses a journal whose header disagrees.
@@ -481,6 +514,23 @@ int main(int argc, char** argv) {
     // bit-identical to an uninterrupted run.
     for (std::size_t i = 0; i < outcomes.size(); ++i)
       if (outcomes[i].skipped) outcomes[i] = journaled[slice[i]];
+
+    // Write one timeline artifact per job that actually ran this
+    // invocation (journal-restored and failed jobs recorded nothing).
+    // Named by *global* job index so sharded runs drop disjoint files
+    // into a shared directory.
+    if (!recorders.empty()) {
+      std::size_t written = 0;
+      for (std::size_t i = 0; i < recorders.size(); ++i) {
+        if (recorders[i]->intervals().empty()) continue;
+        recorders[i]->write_json_file(spec.timeline_dir() + "/" +
+                                      spec.name() + "_job" +
+                                      std::to_string(slice[i]) + ".json");
+        ++written;
+      }
+      std::cerr << "[pcalsweep] " << written << " timeline artifact(s) in "
+                << spec.timeline_dir() << "\n";
+    }
 
     // Resumed runs recompute the merged aggregate; plain runs keep the
     // runner's stats verbatim (threads/wall/steals are run-varying
