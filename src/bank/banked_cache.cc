@@ -1,5 +1,7 @@
 #include "bank/banked_cache.h"
 
+#include <algorithm>
+
 namespace pcal {
 
 BankedCache::BankedCache(const BankedCacheConfig& config)
@@ -105,6 +107,58 @@ AccessOutcome BankedCache::do_access(std::uint64_t address, bool is_write) {
   out.evicted = b.evicted;
   out.victim_address = b.victim_address;
   return out;
+}
+
+// Batched hot loop, two stages per chunk: (1) tag extraction and the
+// bank decoder's f() mapping for the whole chunk — the mapping only
+// moves on update_indexing(), which the driver never fires mid-batch —
+// then (2) power bookkeeping and the tag-store access per element.  One
+// invariant check per batch, Block Control via the assert-free
+// record_access, and outcome fields written straight into the caller's
+// array (no BankedAccessOutcome -> AccessOutcome conversion).  Each
+// access's stall self-advances the clock, so every statistic matches
+// the scalar path bit for bit.
+std::uint64_t BankedCache::do_access_batch(const MemAccess* accesses,
+                                           std::size_t n, AccessOutcome* out) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t tags[kChunk];
+  DecodedIndex d[kChunk];
+  const std::uint64_t breakeven = block_control_.breakeven_cycles();
+  std::uint64_t stalls = 0;
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t address = accesses[base + j].address;
+      tags[j] = config_.cache.tag_of(address);
+      d[j] = decoder_.decode(config_.cache.set_index_of(address));
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t address = accesses[base + j].address;
+      const bool is_write = accesses[base + j].kind == AccessKind::kWrite;
+      AccessOutcome& o = out[base + j];
+      const std::uint64_t bank = d[j].physical_bank;
+      const std::uint64_t nf = block_control_.next_free(bank);
+      const std::uint64_t gap = cycle_ >= nf ? cycle_ - nf : 0;
+      o.woke_unit = cycle_ >= nf && gap >= breakeven;
+      o.wake = classify_wake(o.woke_unit, gap, gate_cycles_);
+      const CacheAccessResult r =
+          cache_.access(tags[j], d[j].physical_set, is_write, address);
+      o.hit = r.hit;
+      o.writeback = r.writeback;
+      o.evicted = r.evicted;
+      o.victim_address = r.victim_address;
+      o.logical_unit = d[j].logical_bank;
+      o.physical_unit = bank;
+      o.stall_cycles = config_.latency.event_stall(r.hit, o.wake);
+      o.num_events = 0;
+      o.add_event(0, r.hit, r.writeback, bank, address);
+      block_control_.record_access(bank, cycle_);
+      cycle_ += 1 + o.stall_cycles;
+      stalls += o.stall_cycles;
+    }
+  }
+  return stalls;
 }
 
 UnitActivity BankedCache::unit_activity(std::uint64_t unit) const {

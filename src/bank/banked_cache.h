@@ -119,6 +119,8 @@ class BankedCache : public ManagedCache {
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;
   AccessOutcome do_probe(std::uint64_t address) override;
+  std::uint64_t do_access_batch(const MemAccess* accesses, std::size_t n,
+                                AccessOutcome* out) override;
   BankedAccessOutcome run_access(std::uint64_t address, bool is_write,
                                  bool allocate);
 

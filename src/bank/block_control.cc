@@ -6,71 +6,50 @@ BlockControl::BlockControl(std::uint64_t num_banks,
                            std::uint64_t breakeven_cycles)
     : breakeven_(breakeven_cycles) {
   PCAL_ASSERT_MSG(num_banks > 0, "need at least one bank");
-  banks_.resize(num_banks);
-}
-
-void BlockControl::on_access(std::uint64_t bank, std::uint64_t cycle) {
-  PCAL_ASSERT_MSG(!finished_, "BlockControl already finished");
-  BankState& b = at(bank);
-  PCAL_ASSERT_MSG(cycle >= last_cycle_, "cycles must be non-decreasing");
-  last_cycle_ = cycle;
-  PCAL_ASSERT_MSG(cycle >= b.next_free, "bank accessed twice in one cycle");
-  b.intervals.add_interval(cycle - b.next_free);
-  b.next_free = cycle + 1;
-  ++b.accesses;
+  next_free_.resize(num_banks, 0);
+  accesses_.resize(num_banks, 0);
+  intervals_.resize(num_banks);
 }
 
 void BlockControl::finish(std::uint64_t end_cycle) {
   if (finished_) return;
-  for (BankState& b : banks_) {
-    PCAL_ASSERT_MSG(end_cycle >= b.next_free,
+  for (std::size_t bank = 0; bank < next_free_.size(); ++bank) {
+    PCAL_ASSERT_MSG(end_cycle >= next_free_[bank],
                     "end cycle precedes last access");
-    b.intervals.add_interval(end_cycle - b.next_free);
+    intervals_[bank].add_interval(end_cycle - next_free_[bank]);
   }
   finished_ = true;
 }
 
-bool BlockControl::is_sleeping(std::uint64_t bank, std::uint64_t cycle) const {
-  const BankState& b = at(bank);
-  // Sleeping iff the bank has been idle for more than `breakeven_` cycles:
-  // the counter starts at the first idle cycle (next_free) and saturates
-  // after breakeven_ increments.
-  return cycle >= b.next_free && (cycle - b.next_free) >= breakeven_;
-}
-
-std::uint64_t BlockControl::idle_gap(std::uint64_t bank,
-                                     std::uint64_t cycle) const {
-  const BankState& b = at(bank);
-  return cycle >= b.next_free ? cycle - b.next_free : 0;
-}
-
 std::uint64_t BlockControl::accesses(std::uint64_t bank) const {
-  return at(bank).accesses;
+  PCAL_ASSERT_MSG(bank < accesses_.size(), "bank out of range");
+  return accesses_[bank];
 }
 
 std::uint64_t BlockControl::sleep_cycles(std::uint64_t bank) const {
   PCAL_ASSERT_MSG(finished_, "call finish() first");
-  return at(bank).intervals.sleep_cycles(breakeven_);
+  return intervals(bank).sleep_cycles(breakeven_);
 }
 
 std::uint64_t BlockControl::sleep_episodes(std::uint64_t bank) const {
   PCAL_ASSERT_MSG(finished_, "call finish() first");
-  return at(bank).intervals.intervals_above(breakeven_);
+  return intervals(bank).intervals_above(breakeven_);
 }
 
 double BlockControl::sleep_residency(std::uint64_t bank,
                                      std::uint64_t total_cycles) const {
   PCAL_ASSERT_MSG(finished_, "call finish() first");
-  return at(bank).intervals.useful_idleness_time(breakeven_, total_cycles);
+  return intervals(bank).useful_idleness_time(breakeven_, total_cycles);
 }
 
 double BlockControl::useful_idleness_count(std::uint64_t bank) const {
   PCAL_ASSERT_MSG(finished_, "call finish() first");
-  return at(bank).intervals.useful_idleness_count(breakeven_);
+  return intervals(bank).useful_idleness_count(breakeven_);
 }
 
 const IntervalAccumulator& BlockControl::intervals(std::uint64_t bank) const {
-  return at(bank).intervals;
+  PCAL_ASSERT_MSG(bank < intervals_.size(), "bank out of range");
+  return intervals_[bank];
 }
 
 }  // namespace pcal

@@ -49,6 +49,11 @@ class SaturatingCounter {
 };
 
 /// Per-bank activity bookkeeping for the whole partitioned cache.
+///
+/// State is kept as flat struct-of-arrays columns (`next_free_[]`,
+/// `accesses_[]`, `intervals_[]`), so the batched backend hot loops touch
+/// contiguous memory; the per-bank query API below is a view over those
+/// columns and is unchanged.
 class BlockControl {
  public:
   /// `breakeven_cycles`: idle cycles before a bank is put to sleep.
@@ -56,7 +61,24 @@ class BlockControl {
 
   /// Records that `bank` is accessed at `cycle`.  Cycles must be
   /// non-decreasing; exactly one bank is accessed per cycle.
-  void on_access(std::uint64_t bank, std::uint64_t cycle);
+  void on_access(std::uint64_t bank, std::uint64_t cycle) {
+    PCAL_ASSERT_MSG(!finished_, "BlockControl already finished");
+    PCAL_ASSERT_MSG(bank < next_free_.size(), "bank out of range");
+    PCAL_ASSERT_MSG(cycle >= last_cycle_, "cycles must be non-decreasing");
+    PCAL_ASSERT_MSG(cycle >= next_free_[bank],
+                    "bank accessed twice in one cycle");
+    record_access(bank, cycle);
+  }
+
+  /// on_access without the per-access invariant checks: the batched hot
+  /// path, where the caller asserts once per batch and its monotonically
+  /// advancing cycle counter guarantees the invariants by construction.
+  void record_access(std::uint64_t bank, std::uint64_t cycle) {
+    last_cycle_ = cycle;
+    intervals_[bank].add_interval(cycle - next_free_[bank]);
+    next_free_[bank] = cycle + 1;
+    ++accesses_[bank];
+  }
 
   /// Closes the trailing idle intervals at the end of simulation
   /// (`end_cycle` = one past the last simulated cycle).  Must be called
@@ -65,16 +87,34 @@ class BlockControl {
 
   /// True iff the bank would be in the low-power state at `cycle` (its
   /// idle counter has saturated).
-  bool is_sleeping(std::uint64_t bank, std::uint64_t cycle) const;
+  bool is_sleeping(std::uint64_t bank, std::uint64_t cycle) const {
+    const std::uint64_t nf = at(bank);
+    // Sleeping iff the bank has been idle for more than `breakeven_`
+    // cycles: the counter starts at the first idle cycle (next_free) and
+    // saturates after breakeven_ increments.
+    return cycle >= nf && (cycle - nf) >= breakeven_;
+  }
 
   /// Idle cycles the bank has accumulated by `cycle` since its last
   /// access (0 while it is still busy).  This is what lets the timing
   /// core classify a wakeup's depth: gap >= the gate threshold means the
   /// unit had already power-gated, a shorter gap means it was drowsy.
-  std::uint64_t idle_gap(std::uint64_t bank, std::uint64_t cycle) const;
+  std::uint64_t idle_gap(std::uint64_t bank, std::uint64_t cycle) const {
+    const std::uint64_t nf = at(bank);
+    return cycle >= nf ? cycle - nf : 0;
+  }
 
-  std::uint64_t num_banks() const { return banks_.size(); }
+  /// First cycle at which `bank` is free again (one past its last
+  /// access) — the raw column behind is_sleeping/idle_gap, exposed so
+  /// batched backends can derive gap, wake depth and sleep state from
+  /// one subtraction.  No bounds check.
+  std::uint64_t next_free(std::uint64_t bank) const {
+    return next_free_[bank];
+  }
+
+  std::uint64_t num_banks() const { return next_free_.size(); }
   std::uint64_t breakeven_cycles() const { return breakeven_; }
+  bool finished() const { return finished_; }
 
   // ---- per-bank statistics (valid after finish()) ----
 
@@ -90,22 +130,16 @@ class BlockControl {
   const IntervalAccumulator& intervals(std::uint64_t bank) const;
 
  private:
-  struct BankState {
-    std::uint64_t next_free = 0;  // first cycle after the last access
-    std::uint64_t accesses = 0;
-    IntervalAccumulator intervals;
-  };
-
-  BankState& at(std::uint64_t bank) {
-    PCAL_ASSERT_MSG(bank < banks_.size(), "bank out of range");
-    return banks_[bank];
-  }
-  const BankState& at(std::uint64_t bank) const {
-    PCAL_ASSERT_MSG(bank < banks_.size(), "bank out of range");
-    return banks_[bank];
+  /// Bounds-checked read of the next_free column (the scalar-path view).
+  std::uint64_t at(std::uint64_t bank) const {
+    PCAL_ASSERT_MSG(bank < next_free_.size(), "bank out of range");
+    return next_free_[bank];
   }
 
-  std::vector<BankState> banks_;
+  // SoA columns, one entry per bank.
+  std::vector<std::uint64_t> next_free_;  // first cycle after last access
+  std::vector<std::uint64_t> accesses_;
+  std::vector<IntervalAccumulator> intervals_;
   std::uint64_t breakeven_;
   std::uint64_t last_cycle_ = 0;
   bool finished_ = false;

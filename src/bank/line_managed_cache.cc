@@ -131,6 +131,58 @@ AccessOutcome LineManagedCache::do_access(std::uint64_t address,
   return out;
 }
 
+// Batched hot loop: logical set, physical set (the full-index mapping is
+// constant within a batch — rotation only moves on update_indexing())
+// and tag are precomputed per chunk, then power bookkeeping runs before
+// the tag-store touch per element, matching the scalar path's order
+// (wake classification at the pre-access cycle).  One invariant check
+// per batch; stalls self-advance the clock; bit-identical statistics.
+std::uint64_t LineManagedCache::do_access_batch(const MemAccess* accesses,
+                                                std::size_t n,
+                                                AccessOutcome* out) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t tags[kChunk];
+  std::uint64_t logical[kChunk];
+  std::uint64_t physical[kChunk];
+  const std::uint64_t breakeven = control_.breakeven_cycles();
+  std::uint64_t stalls = 0;
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t address = accesses[base + j].address;
+      tags[j] = config_.cache.tag_of(address);
+      logical[j] = config_.cache.set_index_of(address);
+      physical[j] = map_set(logical[j]);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t address = accesses[base + j].address;
+      const bool is_write = accesses[base + j].kind == AccessKind::kWrite;
+      AccessOutcome& o = out[base + j];
+      const std::uint64_t line = physical[j];
+      const std::uint64_t nf = control_.next_free(line);
+      const std::uint64_t gap = cycle_ >= nf ? cycle_ - nf : 0;
+      o.woke_unit = cycle_ >= nf && gap >= breakeven;
+      o.wake = classify_wake(o.woke_unit, gap, gate_cycles_);
+      const CacheAccessResult r =
+          cache_.access(tags[j], line, is_write, address);
+      o.hit = r.hit;
+      o.writeback = r.writeback;
+      o.evicted = r.evicted;
+      o.victim_address = r.victim_address;
+      o.logical_unit = logical[j];
+      o.physical_unit = line;
+      o.stall_cycles = config_.latency.event_stall(r.hit, o.wake);
+      o.num_events = 0;
+      o.add_event(0, r.hit, r.writeback, line, address);
+      control_.record_access(line, cycle_);
+      cycle_ += 1 + o.stall_cycles;
+      stalls += o.stall_cycles;
+    }
+  }
+  return stalls;
+}
+
 UnitActivity LineManagedCache::unit_activity(std::uint64_t unit) const {
   PCAL_ASSERT_MSG(finished_, "call finish() first");
   return unit_activity_from(control_, unit);

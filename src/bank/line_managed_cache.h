@@ -103,6 +103,8 @@ class LineManagedCache : public ManagedCache {
  private:
   AccessOutcome do_access(std::uint64_t address, bool is_write) override;
   AccessOutcome do_probe(std::uint64_t address) override;
+  std::uint64_t do_access_batch(const MemAccess* accesses, std::size_t n,
+                                AccessOutcome* out) override;
   LineAccessOutcome run_access(std::uint64_t address, bool is_write,
                                bool allocate);
 

@@ -1,5 +1,7 @@
 #include "bank/way_grain_cache.h"
 
+#include <algorithm>
+
 namespace pcal {
 
 WayGrainCache::WayGrainCache(const CacheTopology& topology)
@@ -53,6 +55,55 @@ AccessOutcome WayGrainCache::run_access(std::uint64_t address, bool is_write,
   control_.on_access(out.physical_unit, cycle_);
   ++cycle_;
   return out;
+}
+
+// Batched hot loop: tags and bank decode are precomputed per chunk (the
+// f() mapping only moves on update_indexing(), never mid-batch), but the
+// tag store must still be touched in order — the serving *way* is only
+// known after the access (hitting way, or the LRU victim), and it picks
+// the power-managed unit.  Same outcome fields, Block Control bookkeeping
+// and self-applied stalls as the scalar path, bit for bit.
+std::uint64_t WayGrainCache::do_access_batch(const MemAccess* accesses,
+                                             std::size_t n,
+                                             AccessOutcome* out) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t tags[kChunk];
+  DecodedIndex d[kChunk];
+  const std::uint64_t breakeven = control_.breakeven_cycles();
+  std::uint64_t stalls = 0;
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t address = accesses[base + j].address;
+      tags[j] = config_.tag_of(address);
+      d[j] = decoder_.decode(config_.set_index_of(address));
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t address = accesses[base + j].address;
+      const bool is_write = accesses[base + j].kind == AccessKind::kWrite;
+      AccessOutcome& o = out[base + j];
+      const CacheAccessResult r =
+          cache_.access(tags[j], d[j].physical_set, is_write, address);
+      o.hit = r.hit;
+      o.writeback = r.writeback;
+      o.evicted = r.evicted;
+      o.victim_address = r.victim_address;
+      o.logical_unit = d[j].logical_bank * ways_ + r.way;
+      o.physical_unit = d[j].physical_bank * ways_ + r.way;
+      const std::uint64_t nf = control_.next_free(o.physical_unit);
+      const std::uint64_t gap = cycle_ >= nf ? cycle_ - nf : 0;
+      o.woke_unit = cycle_ >= nf && gap >= breakeven;
+      o.wake = classify_wake(o.woke_unit, gap, gate_cycles_);
+      o.stall_cycles = latency_.event_stall(r.hit, o.wake);
+      o.num_events = 0;
+      o.add_event(0, r.hit, r.writeback, o.physical_unit, address);
+      control_.record_access(o.physical_unit, cycle_);
+      cycle_ += 1 + o.stall_cycles;
+      stalls += o.stall_cycles;
+    }
+  }
+  return stalls;
 }
 
 bool WayGrainCache::invalidate_line(std::uint64_t address) {

@@ -94,6 +94,12 @@ class DrowsyHybridCache final : public ManagedCache {
   AccessOutcome do_probe(std::uint64_t address) override {
     return base_->probe(address);
   }
+  /// Batches ride the base backend's tight loop: the hybrid only
+  /// re-prices idleness after the fact, it never alters access outcomes.
+  std::uint64_t do_access_batch(const MemAccess* accesses, std::size_t n,
+                                AccessOutcome* out) override {
+    return base_->access_batch(accesses, n, out);
+  }
 
   std::unique_ptr<ManagedCache> base_;
   std::uint64_t drowsy_cycles_;

@@ -416,10 +416,27 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
         fail(where, "malformed section header");
       section = std::string(trim(t.substr(1, t.size() - 2)));
       if (section != "grid" && section != "sweep" && section != "table" &&
-          section != "paper" && section != "timeline")
+          section != "paper" && section != "timeline" && section != "filter")
         fail(where, "unknown section [" + section +
-                        "] (expected [grid], [sweep], [table], [paper] or "
-                        "[timeline])");
+                        "] (expected [grid], [sweep], [table], [paper], "
+                        "[timeline] or [filter])");
+      continue;
+    }
+    if (section == "filter") {
+      // [filter] lines are whole `key OP value` expressions, not
+      // key = value pairs ('=' may be part of the operator); keep the
+      // trimmed line in `key` and parse it in phase 2 once the axes
+      // exist.  The generic duplicate check below then rejects a filter
+      // line repeated verbatim.
+      RawEntry e;
+      e.section = section;
+      e.key = std::string(t);
+      e.where = where;
+      for (const RawEntry& prev : entries)
+        if (prev.section == e.section && prev.key == e.key)
+          fail(where, "duplicate filter '" + e.key + "' (first defined at " +
+                          prev.where + ")");
+      entries.push_back(std::move(e));
       continue;
     }
     const std::size_t eq = t.find('=');
@@ -452,8 +469,12 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
     e.value = std::string(trim(std::string_view(o).substr(eq + 1)));
     e.where = where;
     if (e.section != "grid" && e.section != "sweep" && e.section != "table" &&
-        e.section != "paper" && e.section != "timeline")
+        e.section != "paper" && e.section != "timeline" &&
+        e.section != "filter")
       fail(where, "unknown section '" + e.section + "'");
+    // A filter override ("filter.banks<=8=") carries the expression split
+    // at its first '='; phase 2 reassembles it, so nothing special here
+    // beyond letting it append (filters have no notion of replacement).
     bool replaced = false;
     for (RawEntry& prev : entries) {
       if (prev.section == e.section && prev.key == e.key) {
@@ -645,6 +666,96 @@ GridSpec GridSpec::parse(std::istream& is, const std::string& default_name,
   }
 
   for (const RawEntry& e : entries) {
+    if (e.section != "filter") continue;
+    // Overrides arrive split at their first '=' ("filter.banks<=8" ->
+    // key "banks<", value "8"); file lines arrive whole in `key`.
+    const std::string expr =
+        e.value.empty() ? e.key : e.key + "=" + e.value;
+    std::size_t op_pos = std::string::npos;
+    for (std::size_t i = 0; i < expr.size(); ++i) {
+      const char c = expr[i];
+      if (c == '<' || c == '>' || c == '=' || c == '!') {
+        op_pos = i;
+        break;
+      }
+    }
+    if (op_pos == std::string::npos)
+      fail(e.where, "filter '" + expr +
+                        "' must look like 'key OP value' with OP one of "
+                        "== != < <= > >=");
+    GridFilter f;
+    f.op = (op_pos + 1 < expr.size() && expr[op_pos + 1] == '=')
+               ? expr.substr(op_pos, 2)
+               : expr.substr(op_pos, 1);
+    if (f.op == "=" || f.op == "!")
+      fail(e.where, "filter '" + expr + "' has operator '" + f.op +
+                        "' (expected == != < <= > >=)");
+    f.key = std::string(trim(std::string_view(expr).substr(0, op_pos)));
+    f.value = std::string(
+        trim(std::string_view(expr).substr(op_pos + f.op.size())));
+    if (f.key.empty() || f.value.empty())
+      fail(e.where, "filter '" + expr + "' is missing its " +
+                        (f.key.empty() ? std::string("key")
+                                       : std::string("value")));
+    f.axis = spec.axes_.size();
+    for (std::size_t i = 0; i < spec.axes_.size(); ++i)
+      if (spec.axes_[i].key == f.key) f.axis = i;
+    if (f.axis == spec.axes_.size())
+      fail(e.where, "filter key '" + f.key +
+                        "' names no declared sweep axis (declared: " +
+                        spec.describe_axes() + ")");
+    const GridAxis& axis = spec.axes_[f.axis];
+    const bool numeric = is_numeric_axis(f.key);
+    const bool real = is_float_axis(f.key);
+    if (!numeric && !real && f.op != "==" && f.op != "!=")
+      fail(e.where, "filter '" + expr + "': axis '" + f.key +
+                        "' is non-numeric; only == and != apply");
+    if (numeric) f.value = std::to_string(parse_number(f.value, e.where));
+    const double rhs_real = real ? parse_real(f.value, e.where) : 0.0;
+    f.pass.reserve(axis.values.size());
+    for (const std::string& v : axis.values) {
+      bool ok;
+      if (numeric) {
+        // Axis values are already canonical decimal; the axis key being
+        // numeric guarantees they parse.
+        const std::uint64_t lhs = parse_number(v, e.where);
+        const std::uint64_t rhs = parse_number(f.value, e.where);
+        ok = f.op == "==" ? lhs == rhs
+             : f.op == "!=" ? lhs != rhs
+             : f.op == "<"  ? lhs < rhs
+             : f.op == "<=" ? lhs <= rhs
+             : f.op == ">"  ? lhs > rhs
+                            : lhs >= rhs;
+      } else if (real) {
+        const double lhs = parse_real(v, e.where);
+        ok = f.op == "==" ? lhs == rhs_real
+             : f.op == "!=" ? lhs != rhs_real
+             : f.op == "<"  ? lhs < rhs_real
+             : f.op == "<=" ? lhs <= rhs_real
+             : f.op == ">"  ? lhs > rhs_real
+                            : lhs >= rhs_real;
+      } else {
+        // String/enum axes compare against the stored spelling (the
+        // same one coords and table rows show).
+        ok = (v == f.value) == (f.op == "==");
+      }
+      f.pass.push_back(ok ? 1 : 0);
+    }
+    spec.filters_.push_back(std::move(f));
+  }
+  if (!spec.filters_.empty()) {
+    for (std::size_t i = 0; i < spec.axes_.size(); ++i) {
+      bool any = false;
+      for (std::size_t j = 0; j < spec.axes_[i].values.size() && !any; ++j)
+        any = spec.value_passes(i, j);
+      if (!any)
+        throw ConfigError("[filter] eliminates every value of axis '" +
+                          spec.axes_[i].key +
+                          "' — the grid would expand to zero jobs");
+    }
+  }
+
+  for (const RawEntry& e : entries) {
     if (e.section != "table") continue;
     spec.has_table_ = true;
     TableSpec& t = spec.table_;
@@ -737,9 +848,25 @@ const GridAxis* GridSpec::find_axis(const std::string& key) const {
   return nullptr;
 }
 
+bool GridSpec::value_passes(std::size_t axis, std::size_t index) const {
+  for (const GridFilter& f : filters_)
+    if (f.axis == axis && !f.pass[index]) return false;
+  return true;
+}
+
 std::size_t GridSpec::cross_product_size() const {
+  // Every filter constrains exactly one axis, so the pruned count is
+  // still a product: surviving values per axis, multiplied out.
   std::size_t total = 1;
-  for (const GridAxis& axis : axes_) total *= axis.values.size();
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    std::size_t n = axes_[i].values.size();
+    if (!filters_.empty()) {
+      n = 0;
+      for (std::size_t j = 0; j < axes_[i].values.size(); ++j)
+        if (value_passes(i, j)) ++n;
+    }
+    total *= n;
+  }
   return total;
 }
 
@@ -768,6 +895,23 @@ std::vector<GridJob> GridSpec::expand(std::uint64_t num_accesses) const {
   jobs.reserve(cross_product_size());
   std::vector<std::size_t> odometer(axes_.size(), 0);
   for (;;) {
+    // [filter]-pruned points are skipped before any assembly work; the
+    // odometer still walks the full rectangle so declaration order is
+    // preserved among the survivors.
+    bool pruned = false;
+    if (!filters_.empty())
+      for (std::size_t i = 0; i < axes_.size() && !pruned; ++i)
+        pruned = !value_passes(i, odometer[i]);
+    if (pruned) {
+      std::size_t i = axes_.size();
+      while (i > 0) {
+        --i;
+        if (++odometer[i] < axes_[i].values.size()) break;
+        odometer[i] = 0;
+        if (i == 0) return jobs;
+      }
+      continue;
+    }
     GridJob job;
     job.coords.reserve(axes_.size());
     // Stage this grid point through the shared key -> config application

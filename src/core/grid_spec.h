@@ -84,6 +84,25 @@ struct TableSpec {
   std::vector<TableMetric> metrics;
 };
 
+/// One [filter] predicate: a `key OP value` line (OP one of == != < <=
+/// > >=) over a declared sweep axis.  All filters AND together; grid
+/// points whose coordinate fails any filter are pruned before job
+/// assembly — the way a spec carves a non-rectangular region out of the
+/// cross-product (e.g. `banks <= 8` riding along a wide shared axis
+/// file).  cross_product_size() and expand() both see the pruned grid,
+/// so job counts and the BENCH record's cross_product stay consistent.
+struct GridFilter {
+  std::string key;
+  std::string op;
+  /// Canonical rhs spelling: numeric axes normalize ("8k" -> "8192"),
+  /// float/string axes keep the spec's spelling.
+  std::string value;
+  /// Index of the filtered axis in axes().
+  std::size_t axis = 0;
+  /// Precomputed per-axis-value verdict (parallel to the axis's values).
+  std::vector<char> pass;
+};
+
 /// One expanded grid point, ready for the SweepRunner (attach the lut /
 /// observer yourself).  `coords` holds this point's value for every axis,
 /// in axis order — the key for table grouping and CSV output.
@@ -130,6 +149,12 @@ class GridSpec {
 
   const std::vector<GridAxis>& axes() const { return axes_; }
   const GridAxis* find_axis(const std::string& key) const;
+  /// The [filter] predicates, in declaration order (empty when the spec
+  /// has no [filter] section — the common case, and bit-compatible with
+  /// pre-filter specs everywhere, fingerprints included).
+  const std::vector<GridFilter>& filters() const { return filters_; }
+  /// Number of grid points expand() yields: the raw axis cross-product,
+  /// minus the points the [filter] section prunes.
   std::size_t cross_product_size() const;
   /// "cache_size x3, banks x4, workload x18" — for progress lines.
   std::string describe_axes() const;
@@ -158,6 +183,9 @@ class GridSpec {
  private:
   GridSpec() = default;
 
+  /// True iff axis `axis`'s value at `index` survives every filter.
+  bool value_passes(std::size_t axis, std::size_t index) const;
+
   std::string name_;
   std::uint64_t accesses_ = 0;
   std::uint64_t footprint_bytes_ = 64 * 1024;
@@ -174,6 +202,7 @@ class GridSpec {
   std::uint64_t llc_breakeven_ = 64;
   std::uint64_t llc_ways_ = 8;
   std::vector<GridAxis> axes_;
+  std::vector<GridFilter> filters_;
   bool has_table_ = false;
   TableSpec table_;
 };

@@ -46,6 +46,7 @@
 #include "core/contention.h"
 #include "core/timing.h"
 #include "indexing/index_policy.h"
+#include "trace/access.h"
 
 namespace pcal {
 
@@ -268,6 +269,30 @@ class ManagedCache {
     return out;
   }
 
+  /// Simulates `n` accesses in one call, writing one outcome per access
+  /// into `out` (caller-owned, length >= n).  Semantically identical to
+  ///
+  ///   for each i: out[i] = access(a[i]);
+  ///               advance_idle(out[i].stall_cycles);
+  ///
+  /// — each access's stall advances the clock before the next access is
+  /// served, so sleep/wake classification, statistics and residencies
+  /// are bit-identical to the scalar loop at every batch size.  The
+  /// default does exactly that loop (every backend is correct from day
+  /// one); the concrete backends override do_access_batch with batched
+  /// implementations over their struct-of-arrays unit state.  One
+  /// caveat for `out` reuse across calls: entries of events[] at and
+  /// past num_events are unspecified (the scalar path zero-fills them,
+  /// the batched paths may leave stale data).
+  ///
+  /// Returns the batch's summed stall_cycles — accumulated in-register
+  /// by the batched backends, so the driver's clock never has to re-read
+  /// the strided outcome array.
+  std::uint64_t access_batch(const MemAccess* accesses, std::size_t n,
+                             AccessOutcome* out) {
+    return do_access_batch(accesses, n, out);
+  }
+
   /// Fires the update signal: advances the time-varying indexing and
   /// flushes the cache.  Returns the number of dirty lines written back.
   virtual std::uint64_t update_indexing() = 0;
@@ -340,6 +365,21 @@ class ManagedCache {
  private:
   virtual AccessOutcome do_access(std::uint64_t address, bool is_write) = 0;
   virtual AccessOutcome do_probe(std::uint64_t address) = 0;
+
+  /// Batched access body behind access_batch().  The default loops over
+  /// the scalar NVI path — correct for every backend, including
+  /// composites (hierarchies route level by level, so they inherit it).
+  virtual std::uint64_t do_access_batch(const MemAccess* accesses,
+                                        std::size_t n, AccessOutcome* out) {
+    std::uint64_t stalls = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = access(accesses[i].address,
+                      accesses[i].kind == AccessKind::kWrite);
+      if (out[i].stall_cycles != 0) advance_idle(out[i].stall_cycles);
+      stalls += out[i].stall_cycles;
+    }
+    return stalls;
+  }
 };
 
 /// Builds the backend for a topology: MonolithicCache, BankedCache,

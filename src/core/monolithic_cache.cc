@@ -42,6 +42,42 @@ AccessOutcome MonolithicCache::run_access(std::uint64_t address,
   return out;
 }
 
+// Batched hot loop: one invariant check per batch, per-access fields
+// written straight into the caller's outcome array (no AccessOutcome
+// copies), Block Control bookkeeping via the assert-free record_access.
+// Each access's stall self-advances the clock, so outcomes, statistics
+// and residencies are bit-identical to the scalar loop.
+std::uint64_t MonolithicCache::do_access_batch(const MemAccess* accesses,
+                                               std::size_t n,
+                                               AccessOutcome* out) {
+  PCAL_ASSERT_MSG(!finished_, "cache already finished");
+  const std::uint64_t breakeven = control_.breakeven_cycles();
+  std::uint64_t stalls = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t address = accesses[i].address;
+    const bool is_write = accesses[i].kind == AccessKind::kWrite;
+    AccessOutcome& o = out[i];
+    const std::uint64_t nf = control_.next_free(0);
+    const std::uint64_t gap = cycle_ >= nf ? cycle_ - nf : 0;
+    o.woke_unit = cycle_ >= nf && gap >= breakeven;
+    o.wake = classify_wake(o.woke_unit, gap, gate_cycles_);
+    const CacheAccessResult r = cache_.access_address(address, is_write);
+    o.hit = r.hit;
+    o.writeback = r.writeback;
+    o.evicted = r.evicted;
+    o.victim_address = r.victim_address;
+    o.logical_unit = 0;
+    o.physical_unit = 0;
+    o.stall_cycles = latency_.event_stall(r.hit, o.wake);
+    o.num_events = 0;
+    o.add_event(0, r.hit, r.writeback, 0, address);
+    control_.record_access(0, cycle_);
+    cycle_ += 1 + o.stall_cycles;
+    stalls += o.stall_cycles;
+  }
+  return stalls;
+}
+
 std::uint64_t MonolithicCache::update_indexing() {
   PCAL_ASSERT_MSG(!finished_, "cache already finished");
   ++updates_;

@@ -11,8 +11,12 @@
 namespace pcal {
 namespace {
 
-/// Accesses fetched per TraceSource::next_batch call in the hot loop.
+/// Accesses fetched per TraceSource::next_batch call in the scalar loop.
 constexpr std::size_t kBatchSize = 256;
+
+/// Ceiling on SimConfig::batch_size: caps the driver's per-batch staging
+/// buffers (MemAccess + AccessOutcome) at a few MB.
+constexpr std::uint64_t kMaxDriverBatch = 1 << 16;
 
 /// Observer cadence for runs with no re-indexing updates (static /
 /// monolithic configs still stream interval stats).
@@ -249,59 +253,101 @@ SimResult Simulator::run(TraceSource& source, const AgingLut* lut,
   };
 
   TimingModel timing;
-  MemAccess batch[kBatchSize];
   std::uint64_t since_boundary = 0;
   std::uint64_t boundary_index = 0;
-  for (;;) {
-    const std::size_t n = source.next_batch(batch, kBatchSize);
-    if (n == 0) break;
-    for (std::size_t i = 0; i < n; ++i) {
-      const AccessOutcome out = cache->access(
-          batch[i].address, batch[i].kind == AccessKind::kWrite);
-      std::uint64_t stall = out.stall_cycles;
-      if (contention.enabled()) {
-        // Replay the access's level trace through the resource model at
-        // its position on the stretched clock; latency stalls land
-        // before resource arbitration (the fill is in flight while the
-        // core stalls), and each event sees the stalls charged so far.
-        const std::uint64_t now = timing.total_cycles();
-        for (std::uint8_t e = 0; e < out.num_events; ++e) {
-          const LevelEvent& le = out.events[e];
-          ContentionEvent ev;
-          ev.level = le.level;
-          ev.unit = le.unit;
-          ev.address = le.address;
-          ev.miss = !le.hit;
-          ev.writeback = le.writeback;
-          stall += contention.on_event(ev, now + stall).total();
+
+  // Everything that happens at an update/observer boundary, shared by
+  // both loop flavours below: fire the re-indexing update while budget
+  // remains, then hand the observer its snapshot.
+  const auto on_boundary = [&]() {
+    since_boundary = 0;
+    ++boundary_index;
+    bool fired = false;
+    if (update_interval != 0 &&
+        cache->indexing_updates() < config_.reindex_updates) {
+      cache->update_indexing();
+      fired = true;
+    }
+    if (observer) {
+      IntervalSnapshot snap;
+      snap.interval = boundary_index;
+      snap.cycles = cache->cycles();
+      snap.updates_applied = cache->indexing_updates();
+      snap.fired_update = fired;
+      snap.context_switch = quantum && *quantum > 0 &&
+                            timing.accesses() % *quantum == 0;
+      snap.accesses = timing.accesses();
+      snap.stall_cycles = timing.stall_cycles();
+      snap.stats = &cache->stats();
+      snap.cache = cache.get();
+      fill_unit_states(snap);
+      observer(snap);
+    }
+  };
+
+  // Two flavours of the same loop.  The scalar path replays one access
+  // at a time — required when contention is on (each access's level
+  // trace arbitrates for resources at its own position on the stretched
+  // clock) and available as a measured baseline via force_scalar_loop.
+  // The batched path hands whole runs of accesses to the backend's
+  // struct-of-arrays loop, splitting exactly at boundaries so updates
+  // and snapshots land on the same access positions; outcomes,
+  // statistics and residencies are bit-identical between the two (the
+  // clock-agreement assert below and tests/batched_access_test.cc pin
+  // it).
+  const bool scalar_loop = config_.force_scalar_loop || contention.enabled();
+  if (scalar_loop) {
+    MemAccess batch[kBatchSize];
+    for (;;) {
+      const std::size_t n = source.next_batch(batch, kBatchSize);
+      if (n == 0) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        const AccessOutcome out = cache->access(
+            batch[i].address, batch[i].kind == AccessKind::kWrite);
+        std::uint64_t stall = out.stall_cycles;
+        if (contention.enabled()) {
+          // Replay the access's level trace through the resource model at
+          // its position on the stretched clock; latency stalls land
+          // before resource arbitration (the fill is in flight while the
+          // core stalls), and each event sees the stalls charged so far.
+          const std::uint64_t now = timing.total_cycles();
+          for (std::uint8_t e = 0; e < out.num_events; ++e) {
+            const LevelEvent& le = out.events[e];
+            ContentionEvent ev;
+            ev.level = le.level;
+            ev.unit = le.unit;
+            ev.address = le.address;
+            ev.miss = !le.hit;
+            ev.writeback = le.writeback;
+            stall += contention.on_event(ev, now + stall).total();
+          }
         }
+        if (stall != 0) cache->advance_idle(stall);
+        timing.on_access(stall);
+        if (interval != 0 && ++since_boundary >= interval) on_boundary();
       }
-      if (stall != 0) cache->advance_idle(stall);
-      timing.on_access(stall);
-      if (interval != 0 && ++since_boundary >= interval) {
-        since_boundary = 0;
-        ++boundary_index;
-        bool fired = false;
-        if (update_interval != 0 &&
-            cache->indexing_updates() < config_.reindex_updates) {
-          cache->update_indexing();
-          fired = true;
-        }
-        if (observer) {
-          IntervalSnapshot snap;
-          snap.interval = boundary_index;
-          snap.cycles = cache->cycles();
-          snap.updates_applied = cache->indexing_updates();
-          snap.fired_update = fired;
-          snap.context_switch = quantum && *quantum > 0 &&
-                                timing.accesses() % *quantum == 0;
-          snap.accesses = timing.accesses();
-          snap.stall_cycles = timing.stall_cycles();
-          snap.stats = &cache->stats();
-          snap.cache = cache.get();
-          fill_unit_states(snap);
-          observer(snap);
-        }
+    }
+  } else {
+    const std::size_t batch_size = static_cast<std::size_t>(
+        std::min<std::uint64_t>(std::max<std::uint64_t>(config_.batch_size,
+                                                        1),
+                                kMaxDriverBatch));
+    std::vector<MemAccess> buf(batch_size);
+    std::vector<AccessOutcome> outs(batch_size);
+    for (;;) {
+      const std::size_t n = source.next_batch(buf.data(), batch_size);
+      if (n == 0) break;
+      std::size_t pos = 0;
+      while (pos < n) {
+        std::size_t take = n - pos;
+        if (interval != 0)
+          take = std::min<std::uint64_t>(take, interval - since_boundary);
+        const std::uint64_t stalls =
+            cache->access_batch(buf.data() + pos, take, outs.data());
+        timing.on_batch(take, stalls);
+        pos += take;
+        since_boundary += take;
+        if (interval != 0 && since_boundary >= interval) on_boundary();
       }
     }
   }

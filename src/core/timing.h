@@ -97,6 +97,14 @@ class TimingModel {
     stall_cycles_ += stall_cycles;
   }
 
+  /// Records `n` consumed accesses with `stall_cycles` total stalls in
+  /// one step — numerically identical to n on_access calls, so the
+  /// batched driver loop lands on the same clock as the scalar one.
+  void on_batch(std::uint64_t n, std::uint64_t stall_cycles) {
+    accesses_ += n;
+    stall_cycles_ += stall_cycles;
+  }
+
   std::uint64_t accesses() const { return accesses_; }
   std::uint64_t stall_cycles() const { return stall_cycles_; }
   /// Total simulated cycles: one per access plus every stall.

@@ -87,17 +87,12 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
-void IntervalAccumulator::add_interval(std::uint64_t cycles) {
-  if (cycles == 0) return;
-  ++by_length_[cycles];
-  ++count_;
-  total_idle_ += cycles;
-  longest_ = std::max(longest_, cycles);
-}
-
 std::uint64_t IntervalAccumulator::idle_cycles_above(
     std::uint64_t breakeven) const {
   std::uint64_t sum = 0;
+  for (std::uint64_t len = breakeven + 1;
+       len < small_.size() && len <= kSmallMax; ++len)
+    sum += len * small_[len];
   for (auto it = by_length_.upper_bound(breakeven); it != by_length_.end();
        ++it) {
     sum += it->first * it->second;
@@ -108,6 +103,9 @@ std::uint64_t IntervalAccumulator::idle_cycles_above(
 std::uint64_t IntervalAccumulator::intervals_above(
     std::uint64_t breakeven) const {
   std::uint64_t n = 0;
+  for (std::uint64_t len = breakeven + 1;
+       len < small_.size() && len <= kSmallMax; ++len)
+    n += small_[len];
   for (auto it = by_length_.upper_bound(breakeven); it != by_length_.end();
        ++it) {
     n += it->second;
@@ -117,6 +115,9 @@ std::uint64_t IntervalAccumulator::intervals_above(
 
 std::uint64_t IntervalAccumulator::sleep_cycles(std::uint64_t breakeven) const {
   std::uint64_t sum = 0;
+  for (std::uint64_t len = breakeven + 1;
+       len < small_.size() && len <= kSmallMax; ++len)
+    sum += (len - breakeven) * small_[len];
   for (auto it = by_length_.upper_bound(breakeven); it != by_length_.end();
        ++it) {
     sum += (it->first - breakeven) * it->second;
@@ -139,6 +140,11 @@ double IntervalAccumulator::useful_idleness_count(
 }
 
 void IntervalAccumulator::merge(const IntervalAccumulator& o) {
+  if (!o.small_.empty()) {
+    if (small_.empty()) small_.assign(kSmallMax + 1, 0);
+    for (std::uint64_t len = 1; len < o.small_.size(); ++len)
+      small_[len] += o.small_[len];
+  }
   for (const auto& [len, n] : o.by_length_) by_length_[len] += n;
   count_ += o.count_;
   total_idle_ += o.total_idle_;

@@ -184,6 +184,67 @@ TEST_P(FuzzContention, ResourceLimitsObeyTheStructuralLaws) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzContention,
                          ::testing::Range<std::uint64_t>(1, 17));
 
+// Batched-vs-scalar under fuzzed configs: for random architectures,
+// workloads and a random batch-size schedule, the batched driver loop
+// must reproduce the scalar loop's SimResult exactly.  (The exhaustive
+// fixed-grid version lives in tests/batched_access_test.cc; this keeps
+// the corner-finding pressure on odd bank counts, granularities, stream
+// mixes and batch sizes.)
+class FuzzBatchedEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzBatchedEquivalence, BatchedLoopMatchesScalarLoop) {
+  Xoshiro256 rng(GetParam() * 7919 + 1);
+  const WorkloadSpec spec = random_spec(rng);
+  SimConfig cfg = random_config(rng);
+  cfg.granularity = static_cast<Granularity>(rng.next_below(4));
+  if (cfg.granularity == Granularity::kWay) cfg.cache.ways = 2;
+  if (rng.next_below(2)) {
+    cfg.policy = PowerPolicy::kDrowsyHybrid;
+    cfg.drowsy_window_cycles = rng.next_below(100);
+  }
+  if (rng.next_below(2)) {
+    cfg.latency.hit_cycles = rng.next_below(3);
+    cfg.latency.miss_cycles = rng.next_below(12);
+    cfg.latency.drowsy_wake_cycles = rng.next_below(4);
+    cfg.latency.gated_wake_cycles = rng.next_below(9);
+  }
+  constexpr std::uint64_t kAccesses = 60'000;
+
+  SimConfig scalar_cfg = cfg;
+  scalar_cfg.force_scalar_loop = true;
+  SyntheticTraceSource sa(spec, kAccesses);
+  const SimResult s = Simulator(scalar_cfg).run(sa, &aging().lut());
+
+  SimConfig batched_cfg = cfg;
+  batched_cfg.force_scalar_loop = false;
+  batched_cfg.batch_size = 1 + rng.next_below(5000);
+  SyntheticTraceSource sb(spec, kAccesses);
+  const SimResult b = Simulator(batched_cfg).run(sb, &aging().lut());
+
+  EXPECT_EQ(s.accesses, b.accesses);
+  EXPECT_EQ(s.total_cycles, b.total_cycles);
+  EXPECT_EQ(s.stall_cycles, b.stall_cycles);
+  EXPECT_EQ(s.cache_stats.hits, b.cache_stats.hits);
+  EXPECT_EQ(s.cache_stats.misses, b.cache_stats.misses);
+  EXPECT_EQ(s.cache_stats.writebacks, b.cache_stats.writebacks);
+  EXPECT_EQ(s.cache_stats.flushes, b.cache_stats.flushes);
+  EXPECT_EQ(s.reindex_updates_applied, b.reindex_updates_applied);
+  ASSERT_EQ(s.units.size(), b.units.size());
+  for (std::size_t u = 0; u < s.units.size(); ++u) {
+    EXPECT_EQ(s.units[u].accesses, b.units[u].accesses);
+    EXPECT_EQ(s.units[u].sleep_cycles, b.units[u].sleep_cycles);
+    EXPECT_EQ(s.units[u].sleep_episodes, b.units[u].sleep_episodes);
+    EXPECT_EQ(s.units[u].drowsy_cycles, b.units[u].drowsy_cycles);
+    EXPECT_EQ(s.units[u].sleep_residency, b.units[u].sleep_residency);
+  }
+  EXPECT_EQ(s.energy.partitioned.total_pj(), b.energy.partitioned.total_pj());
+  EXPECT_EQ(s.lifetime_years(), b.lifetime_years());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBatchedEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
 TEST(FuzzDeterminism, SameSeedSameResult) {
   for (std::uint64_t seed : {3u, 11u}) {
     Xoshiro256 rng_a(seed), rng_b(seed);

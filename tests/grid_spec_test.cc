@@ -164,6 +164,108 @@ TEST(GridSpecParse, OverridesReplaceAndAppend) {
   EXPECT_THROW(parse(kMinimal, {"sweep.banks=0x"}), ParseError);
 }
 
+TEST(GridSpecFilter, PrunesCrossProductAndExpansion) {
+  const GridSpec spec = parse(R"(
+[sweep]
+banks = 1..32 log2
+workload = cjpeg, sha
+
+[filter]
+banks <= 8
+)");
+  ASSERT_EQ(spec.filters().size(), 1u);
+  EXPECT_EQ(spec.filters()[0].key, "banks");
+  EXPECT_EQ(spec.filters()[0].op, "<=");
+  EXPECT_EQ(spec.filters()[0].value, "8");
+  // Axes keep their full value lists; only the expansion is pruned.
+  EXPECT_EQ(spec.find_axis("banks")->values.size(), 6u);
+  EXPECT_EQ(spec.cross_product_size(), 4u * 2u);  // banks 1,2,4,8
+  const std::vector<GridJob> jobs = spec.expand(1000);
+  ASSERT_EQ(jobs.size(), 8u);
+  // Declaration order survives pruning: banks outermost, ascending.
+  EXPECT_EQ(jobs.front().coords,
+            (std::vector<std::string>{"1", "cjpeg"}));
+  EXPECT_EQ(jobs.back().coords, (std::vector<std::string>{"8", "sha"}));
+  for (const GridJob& job : jobs)
+    EXPECT_LE(std::stoul(job.coords[0]), 8u) << spec.job_label(job);
+}
+
+TEST(GridSpecFilter, ConjunctionsAndSpellings) {
+  // Multiple filters AND together; numeric rhs canonicalizes ("16k").
+  const GridSpec spec = parse(R"(
+[sweep]
+cache_size = 8192, 16k, 32k
+banks = 2, 4, 8
+workload = cjpeg
+
+[filter]
+cache_size < 16k
+banks >= 4
+banks != 8
+)");
+  EXPECT_EQ(spec.filters()[0].value, "16384");
+  EXPECT_EQ(spec.cross_product_size(), 1u * 1u * 1u);
+  const std::vector<GridJob> jobs = spec.expand(1000);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].coords,
+            (std::vector<std::string>{"8192", "4", "cjpeg"}));
+}
+
+TEST(GridSpecFilter, StringAxesEqualityOnly) {
+  const GridSpec spec = parse(R"(
+[sweep]
+banks = 2
+policy = gated, drowsy, drowsy_hybrid
+workload = cjpeg
+
+[filter]
+policy != drowsy
+)");
+  EXPECT_EQ(spec.cross_product_size(), 2u);
+  for (const GridJob& job : spec.expand(1000))
+    EXPECT_NE(job.coords[1], "drowsy");
+  // Ordering operators are meaningless on enum/string axes.
+  EXPECT_THROW(parse(std::string(kMinimal) + "[filter]\nworkload < sha\n"),
+               ParseError);
+}
+
+TEST(GridSpecFilter, MalformedAndImpossibleFiltersRejected) {
+  // No operator, bare '=' and '!' operators, unknown axis key.
+  EXPECT_THROW(parse(std::string(kMinimal) + "[filter]\nbanks 8\n"),
+               ParseError);
+  EXPECT_THROW(parse(std::string(kMinimal) + "[filter]\nbanks = 8\n"),
+               ParseError);
+  EXPECT_THROW(parse(std::string(kMinimal) + "[filter]\nbanks ! 8\n"),
+               ParseError);
+  EXPECT_THROW(parse(std::string(kMinimal) + "[filter]\nbankz == 8\n"),
+               ParseError);
+  // A verbatim duplicate line is a spec bug, same as duplicate keys.
+  EXPECT_THROW(
+      parse(std::string(kMinimal) + "[filter]\nbanks <= 8\nbanks <= 8\n"),
+      ParseError);
+  // Filters that empty an axis would expand zero jobs — rejected with
+  // the axis named, not silently reported as an empty sweep.
+  try {
+    parse(std::string(kMinimal) + "[filter]\nbanks > 64\n");
+    FAIL() << "impossible filter accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("banks"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GridSpecFilter, OverridesAppendFilters) {
+  // Overrides split at their first '=': "filter.banks<=8" reassembles to
+  // "banks<=8"; operators without '=' take a trailing '='.
+  const GridSpec le = parse(kMinimal, {"filter.banks<=2"});
+  EXPECT_EQ(le.cross_product_size(), 1u);
+  EXPECT_EQ(le.expand(1000).front().coords[0], "2");
+  const GridSpec lt = parse(kMinimal, {"filter.banks<4="});
+  ASSERT_EQ(lt.filters().size(), 1u);
+  EXPECT_EQ(lt.filters()[0].op, "<");
+  EXPECT_EQ(lt.cross_product_size(), 1u);
+}
+
 TEST(GridSpecExpand, FirstAxisIsOutermostLoop) {
   const GridSpec spec = parse(R"(
 [sweep]

@@ -160,6 +160,17 @@ std::uint64_t run_fingerprint(const GridSpec& spec, std::uint64_t accesses) {
     fp.add_u64(axis.values.size());
     for (const std::string& v : axis.values) add_str(&fp, v);
   }
+  // [filter] predicates change which points expand; mix them only when
+  // present so every pre-filter spec keeps its historical fingerprint
+  // (journals written before this feature still resume).
+  if (!spec.filters().empty()) {
+    fp.add_u64(spec.filters().size());
+    for (const GridFilter& f : spec.filters()) {
+      add_str(&fp, f.key);
+      add_str(&fp, f.op);
+      add_str(&fp, f.value);
+    }
+  }
   return fp.value();
 }
 
@@ -584,6 +595,15 @@ int main(int argc, char** argv) {
         f << (i ? ", " : "") << "\"" << json_escape(spec.axes()[i].key)
           << "\": " << spec.axes()[i].values.size();
       f << "},\n";
+      if (!spec.filters().empty()) {
+        f << "  \"filters\": [";
+        for (std::size_t i = 0; i < spec.filters().size(); ++i) {
+          const GridFilter& flt = spec.filters()[i];
+          f << (i ? ", " : "") << "\""
+            << json_escape(flt.key + " " + flt.op + " " + flt.value) << "\"";
+        }
+        f << "],\n";
+      }
       if (failed > 0) {
         f << "  \"failures\": [\n";
         bool first = true;
